@@ -1,0 +1,68 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures/claims: it runs
+the relevant compiled machine code on the unit-delay simulator (or the
+machine-level model), measures the *simulated* metrics the paper
+reports (initiation intervals, rates, buffer counts, traffic
+fractions), asserts the paper's qualitative shape, and records the rows
+under ``benchmarks/results/<experiment>.txt`` so the reproduction is
+inspectable after a ``--benchmark-only`` run (where stdout is
+captured).  The pytest-benchmark timing numbers measure this library's
+wall-clock simulation speed, which the paper does not constrain.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Iterable, Optional
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_rows(
+    experiment: str,
+    header: str,
+    rows: Iterable[tuple],
+    note: str = "",
+) -> None:
+    """Write one experiment's result table to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [header]
+    for row in rows:
+        lines.append("  ".join(str(col) for col in row))
+    if note:
+        lines.append(f"# {note}")
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text, encoding="utf-8")
+    print(f"\n[{experiment}]")
+    print(text)
+
+
+def bench_once(benchmark, fn, *args: Any, rounds: int = 3, **kwargs: Any):
+    """Benchmark ``fn`` with a bounded number of rounds and return its
+    (last) result for metric extraction."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=rounds,
+                              iterations=1, warmup_rounds=0)
+
+
+def steady_ii(times: list[int], skip_frac: float = 0.25) -> float:
+    """Steady-state initiation interval from sink arrival steps,
+    discarding ramp-up and drain windows."""
+    if len(times) < 8:
+        raise ValueError("need more arrivals for a steady-state estimate")
+    skip = max(1, int(len(times) * skip_frac))
+    window = times[skip:-skip] if len(times) > 2 * skip + 2 else times[skip:]
+    return (window[-1] - window[0]) / (len(window) - 1)
+
+
+def constant_inputs(cp, value: float = 1.0) -> dict[str, list[float]]:
+    return {name: [value] * spec.length for name, spec in cp.input_specs.items()}
+
+
+def extra(benchmark, **info: Any) -> None:
+    """Attach paper-metric key/values to the pytest-benchmark record."""
+    for key, val in info.items():
+        benchmark.extra_info[key] = val
+
+
+_ = Optional

@@ -1,0 +1,74 @@
+"""Experiment fig2 -- basic pipelined execution (paper Figure 2).
+
+The paper's three-stage pipe for ``let y = a*b in (y+2)*(y-3)`` runs at
+one result per two instruction times; programs whose fork/join paths
+differ in length must be balanced "by inserting identity operators"
+(Section 3).  Rows reproduced:
+
+  variant              II (instruction times / element)
+  balanced (Fig 2)     2.0
+  unbalanced fork      3.0
+  identity-balanced    2.0
+"""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.workloads import FIG2_SOURCE
+
+from _common import bench_once, constant_inputs, extra, record_rows
+
+M = 300
+
+#: an expression whose fork paths differ by one stage: y feeds the ADD
+#: both directly and through a MUL.
+UNBALANCED_SOURCE = """
+Y : array[real] :=
+  forall i in [0, m - 1]
+    y : real := a[i] * b[i]
+  construct
+    y + y * 2.
+  endall
+"""
+
+
+def _run(source: str, balance: str):
+    cp = compile_program(FIG2_SOURCE if source == "fig2" else UNBALANCED_SOURCE,
+                         params={"m": M}, balance=balance)
+    return cp.run(constant_inputs(cp))
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_balanced_pipeline(benchmark):
+    res = bench_once(benchmark, _run, "fig2", "optimal")
+    ii = res.initiation_interval("Y")
+    extra(benchmark, initiation_interval=ii)
+    assert ii == pytest.approx(2.0, abs=0.05)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_unbalanced_fork_throttles(benchmark):
+    res = bench_once(benchmark, _run, "unbalanced", "none")
+    ii = res.initiation_interval("Y")
+    extra(benchmark, initiation_interval=ii)
+    assert ii == pytest.approx(3.0, abs=0.05)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_identity_balancing_restores_rate(benchmark):
+    res = bench_once(benchmark, _run, "unbalanced", "optimal")
+    ii = res.initiation_interval("Y")
+    extra(benchmark, initiation_interval=ii)
+    assert ii == pytest.approx(2.0, abs=0.05)
+
+    rows = [
+        ("balanced (Fig 2)", 2.0),
+        ("unbalanced fork", 3.0),
+        ("identity-balanced", round(ii, 3)),
+    ]
+    record_rows(
+        "fig2",
+        "variant  II",
+        rows,
+        note="paper: pipeline rate is one result per ~2 instruction times",
+    )

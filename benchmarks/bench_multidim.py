@@ -1,0 +1,111 @@
+"""Experiment md -- the Section 9 multidimensional extension.
+
+"The extension of this work to array values of multiple dimension is
+straightforward": 2-D foralls lower to 1-D foralls over row-major
+streams, with row-offset selections becoming constant-offset flat
+selections whose skew FIFOs are the classic line buffers.  Rows:
+
+  kind                         II       note
+  elementwise map              2.0      full rate
+  row stencil (i +/- 1)        ~2.2     line buffers ~2C deep
+  column stencil (j +/- 1)     ~2.1
+  4-neighbour Laplace          ~3.0     stable; see repro.val.multidim
+
+The Laplace's ~1/3 rate is buffer-insensitive (a measured finding about
+the interaction of conditional arms with deep row skews -- a subtlety
+the paper's remark does not anticipate).
+"""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.val.multidim import flatten2d
+
+from _common import bench_once, extra, record_rows
+
+R, C = 10, 48
+
+KINDS = {
+    "elementwise": (
+        "L : array[real] := forall i in [0, r - 1]; j in [0, c - 1] "
+        "construct M[i, j] * 2. + 1. endall"
+    ),
+    "row-stencil": """
+L : array[real] :=
+  forall i in [0, r - 1]; j in [0, c - 1]
+  construct
+    if (i = 0) | (i = r - 1) then M[i, j]
+    else 0.5 * (M[i-1, j] + M[i+1, j])
+    endif
+  endall
+""",
+    "col-stencil": """
+L : array[real] :=
+  forall i in [0, r - 1]; j in [0, c - 1]
+  construct
+    if (j = 0) | (j = c - 1) then M[i, j]
+    else 0.5 * (M[i, j-1] + M[i, j+1])
+    endif
+  endall
+""",
+    "laplace": """
+L : array[real] :=
+  forall i in [0, r - 1]; j in [0, c - 1]
+  construct
+    if (i = 0) | (i = r - 1) | (j = 0) | (j = c - 1) then M[i, j]
+    else 0.25 * (M[i-1, j] + M[i+1, j] + M[i, j-1] + M[i, j+1])
+    endif
+  endall
+""",
+}
+
+BOUNDS = {
+    "elementwise": (1.95, 2.05),
+    "row-stencil": (2.0, 2.6),
+    "col-stencil": (2.0, 2.4),
+    "laplace": (2.6, 3.2),
+}
+
+
+def _measure(kind: str):
+    cp = compile_program(
+        KINDS[kind],
+        params={"r": R, "c": C},
+        array_shapes={"M": ((0, R - 1), (0, C - 1))},
+    )
+    res = cp.run({"M": flatten2d([[1.0] * C for _ in range(R)])})
+    return cp, res
+
+
+@pytest.mark.benchmark(group="multidim")
+@pytest.mark.parametrize("kind", sorted(KINDS))
+def test_md_throughput(benchmark, kind):
+    cp, res = bench_once(benchmark, _measure, kind)
+    ii = res.initiation_interval("L")
+    lo, hi = BOUNDS[kind]
+    extra(benchmark, initiation_interval=ii, cells=cp.cell_count)
+    assert lo <= ii <= hi, f"{kind}: II={ii}"
+
+
+@pytest.mark.benchmark(group="multidim")
+def test_md_summary(benchmark):
+    def sweep():
+        return {
+            kind: (
+                _measure(kind)[1].initiation_interval("L"),
+                _measure(kind)[0].cell_count,
+            )
+            for kind in KINDS
+        }
+
+    data = bench_once(benchmark, sweep, rounds=1)
+    record_rows(
+        "multidim",
+        "kind  II  cells",
+        [
+            (kind, round(data[kind][0], 3), data[kind][1])
+            for kind in sorted(data)
+        ],
+        note=f"{R}x{C} grid; row-offset taps compile to ~2C-deep line "
+        "buffers (the 2-D analogue of Figure 4's skew FIFOs)",
+    )

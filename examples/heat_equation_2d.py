@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""2-D heat diffusion: the Section 9 multidimensional extension.
+
+"The extension of this work to array values of multiple dimension is
+straightforward" -- a 2-D array is its row-major stream, a 2-D forall a
+1-D forall over the flattened iteration space, and row-offset
+selections like ``U[i-1, j]`` become constant-offset flat selections
+whose skew FIFOs are exactly the *line buffers* of hardware stencil
+pipelines.
+
+The example runs Jacobi iterations of the heat equation with fixed
+boundaries, checks every step against a plain Python stencil, and shows
+the line buffers in the compiled code.  (Throughput caveat: the
+measured rate of the boundary-guarded 4-neighbour stencil is ~1/3, not
+the 1/2 maximum; see repro/val/multidim.py for the analysis.)
+
+Run:  python examples/heat_equation_2d.py
+"""
+
+from repro.compiler import compile_program
+from repro.graph import Op
+from repro.val.multidim import flatten2d, unflatten2d
+
+ROWS, COLS = 12, 24
+ALPHA = 0.2
+N_STEPS = 10
+
+SOURCE = """
+V : array[real] :=
+  forall i in [0, r - 1]; j in [0, c - 1]
+  construct
+    if (i = 0) | (i = r - 1) | (j = 0) | (j = c - 1) then
+      U[i, j]
+    else
+      U[i, j] + 0.2 * (U[i-1, j] + U[i+1, j] + U[i, j-1] + U[i, j+1]
+                       - 4. * U[i, j])
+    endif
+  endall
+"""
+
+
+def initial_plate() -> list[list[float]]:
+    plate = [[0.0] * COLS for _ in range(ROWS)]
+    for j in range(COLS):
+        plate[0][j] = 100.0            # hot top edge
+    for i in range(ROWS):
+        plate[i][0] = 25.0             # warm left edge
+    return plate
+
+
+def python_step(u):
+    out = [row[:] for row in u]
+    for i in range(1, ROWS - 1):
+        for j in range(1, COLS - 1):
+            out[i][j] = u[i][j] + ALPHA * (
+                u[i - 1][j] + u[i + 1][j] + u[i][j - 1] + u[i][j + 1]
+                - 4.0 * u[i][j]
+            )
+    return out
+
+
+def main() -> None:
+    cp = compile_program(
+        SOURCE,
+        params={"r": ROWS, "c": COLS},
+        array_shapes={"U": ((0, ROWS - 1), (0, COLS - 1))},
+    )
+    print(cp.describe())
+    line_buffers = [
+        c.params["depth"]
+        for c in cp.graph.cells_by_op(Op.FIFO)
+        if c.params["depth"] >= COLS
+    ]
+    print(f"\nline buffers (row-skew FIFOs ~2C = {2 * COLS}): "
+          f"{sorted(line_buffers)}")
+
+    plate = initial_plate()
+    reference = [row[:] for row in plate]
+    for step in range(N_STEPS):
+        res = cp.run({"U": flatten2d(plate)})
+        plate = unflatten2d(res.outputs["V"].to_list(), COLS)
+        reference = python_step(reference)
+        err = max(
+            abs(plate[i][j] - reference[i][j])
+            for i in range(ROWS)
+            for j in range(COLS)
+        )
+        if step in (0, N_STEPS - 1):
+            print(f"step {step}: II = {res.initiation_interval('V'):.2f}, "
+                  f"max err vs Python stencil = {err:g}")
+        assert err < 1e-9
+
+    mid = ROWS // 2
+    print(f"\ntemperature profile, row {mid} after {N_STEPS} steps:")
+    print("  " + " ".join(f"{plate[mid][j]:6.2f}" for j in range(0, COLS, 3)))
+
+
+if __name__ == "__main__":
+    main()

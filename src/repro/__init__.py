@@ -1,0 +1,82 @@
+"""repro -- Maximum Pipelining of Array Operations on a Static Data Flow Machine.
+
+A from-scratch reproduction of Dennis & Gao (ICPP 1983 / MIT CSG Memo
+233): a compiler from the Val array-language subset to machine-level
+static dataflow programs that run fully pipelined, plus the simulators
+and analyses needed to demonstrate the paper's theorems.
+
+Quickstart
+----------
+>>> from repro import compile_program
+>>> src = '''
+... X : array[real] :=
+...   for i : integer := 1; T : array[real] := [0: 0.] do
+...     if i < m then
+...       iter T := T[i: A[i] * T[i-1] + B[i]]; i := i + 1 enditer
+...     else T[i: A[i] * T[i-1] + B[i]]
+...     endif
+...   endfor
+... '''
+>>> cp = compile_program(src, params={"m": 4})
+>>> result = cp.run({"A": [1.0] * 4, "B": [1.0] * 4})
+>>> result.outputs["X"].to_list()
+[0.0, 1.0, 2.0, 3.0, 4.0]
+>>> result.initiation_interval("X")  # 2.0 == maximally pipelined
+2.0
+
+Packages
+--------
+* :mod:`repro.val` -- Val frontend (parser, types, classification,
+  reference interpreter);
+* :mod:`repro.graph` -- machine-level instruction-graph IR;
+* :mod:`repro.compiler` -- the paper's mapping schemes and balancing;
+* :mod:`repro.sim` -- unit-delay ("instruction time") simulator;
+* :mod:`repro.machine` -- event-driven packet-level machine model;
+* :mod:`repro.analysis` -- static rate / balance / traffic analyses;
+* :mod:`repro.workloads` -- canonical programs and generators.
+"""
+
+from .compiler import CompiledProgram, ProgramResult, compile_program
+from .errors import (
+    AnalysisError,
+    ClassificationError,
+    CompileError,
+    DeadlockError,
+    GraphError,
+    RecurrenceError,
+    ReproError,
+    SimulationError,
+    ValSyntaxError,
+    ValTypeError,
+)
+from .machine import Machine, MachineConfig, run_machine
+from .sim import RunResult, SyncSimulator, run_graph
+from .val import ValArray, parse_program, run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "ClassificationError",
+    "CompileError",
+    "CompiledProgram",
+    "DeadlockError",
+    "GraphError",
+    "Machine",
+    "MachineConfig",
+    "ProgramResult",
+    "RecurrenceError",
+    "ReproError",
+    "RunResult",
+    "SimulationError",
+    "SyncSimulator",
+    "ValArray",
+    "ValSyntaxError",
+    "ValTypeError",
+    "__version__",
+    "compile_program",
+    "parse_program",
+    "run_graph",
+    "run_machine",
+    "run_program",
+]

@@ -1,0 +1,120 @@
+"""Path-balance checking for acyclic instruction graphs.
+
+The paper (Section 3): *"For an instruction graph to be fully
+pipelined, it is necessary that each path through the graph pass
+through exactly the same number of instruction cells."*  These helpers
+verify that property after the compiler's balancing pass and locate the
+offending reconvergence when it fails.
+
+Arc *weights* generalize the cell count by one instruction time per
+hop; a FIFO(d) contributes d, and the compiler adds stream *phase
+offsets* for gated array-window selection (see
+:mod:`repro.compiler.balance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..graph.cell import Arc
+from ..graph.graph import DataflowGraph
+from ..graph.opcodes import Op
+
+
+@dataclass
+class BalanceReport:
+    """Result of :func:`check_balance`."""
+
+    balanced: bool
+    levels: dict[int, int]
+    #: first arc found violating level consistency (None when balanced)
+    violation: Optional[Arc] = None
+    #: total slack over all arcs (0 when perfectly balanced)
+    total_slack: int = 0
+
+
+def default_arc_weight(g: DataflowGraph) -> Callable[[Arc], int]:
+    """One instruction time per hop, plus the arc's phase extra
+    (``arc.weight - 1``); a FIFO(d) destination counts d hops."""
+
+    def weight(arc: Arc) -> int:
+        dst = g.cells[arc.dst]
+        hop = dst.params["depth"] if dst.op is Op.FIFO else 1
+        return hop + (arc.weight - 1)
+
+    return weight
+
+
+def longest_path_levels(
+    g: DataflowGraph,
+    weight: Optional[Callable[[Arc], int]] = None,
+    ignore_arcs: tuple[int, ...] = (),
+) -> dict[int, int]:
+    """Longest-path level of every cell (sources at level 0).
+
+    This is the labeling used by the naive balancing algorithm: a cell's
+    level is the latest over its input paths.
+    """
+    w = weight or default_arc_weight(g)
+    ignored = set(ignore_arcs)
+    levels: dict[int, int] = {}
+    for cid in g.topo_order(ignore_arcs=ignored):
+        level = 0
+        for arc in g.in_arcs_of(cid):
+            if arc.aid in ignored:
+                continue
+            level = max(level, levels[arc.src] + w(arc))
+        levels[cid] = level
+    return levels
+
+
+def check_balance(
+    g: DataflowGraph,
+    weight: Optional[Callable[[Arc], int]] = None,
+    ignore_arcs: tuple[int, ...] = (),
+) -> BalanceReport:
+    """Check the equal-path-length property of an acyclic graph.
+
+    A graph is balanced when a consistent level assignment exists with
+    ``level(dst) == level(src) + weight(arc)`` on every arc -- i.e. all
+    reconvergent paths have equal weighted length.  Sources are anchored
+    at their longest-path level so independent sources may sit at
+    different levels (they are self-paced).
+    """
+    w = weight or default_arc_weight(g)
+    ignored = set(ignore_arcs)
+    levels = longest_path_levels(g, w, ignore_arcs=tuple(ignored))
+    total_slack = 0
+    violation: Optional[Arc] = None
+    for arc in g.arcs.values():
+        if arc.aid in ignored:
+            continue
+        slack = levels[arc.dst] - levels[arc.src] - w(arc)
+        if slack != 0 and violation is None:
+            violation = arc
+        total_slack += max(slack, 0)
+    return BalanceReport(
+        balanced=violation is None,
+        levels=levels,
+        violation=violation,
+        total_slack=total_slack,
+    )
+
+
+def pipeline_depth(g: DataflowGraph, ignore_arcs: tuple[int, ...] = ()) -> int:
+    """Weighted longest path (instruction times from source to sink)."""
+    levels = longest_path_levels(g, ignore_arcs=ignore_arcs)
+    return max(levels.values(), default=0)
+
+
+def count_buffer_cells(g: DataflowGraph) -> int:
+    """Total identity/buffer stages in the graph (FIFO depths + plain
+    IDs), the cost metric minimized by optimal balancing (Section 8)."""
+    total = 0
+    for cell in g:
+        if cell.op is Op.FIFO:
+            total += cell.params["depth"]
+        elif cell.op is Op.ID:
+            total += 1
+    return total

@@ -1,0 +1,106 @@
+"""Whole-program analysis reports.
+
+:func:`analyze_program` bundles the static analyses into one structured
+report for a compiled program: per-block structure (loop shapes and
+their rate bounds), balance verification, buffering cost, traffic
+estimate, and the end-to-end rate prediction -- the numbers a compiler
+engineer would check before ever simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional
+
+from ..graph.opcodes import Op
+from .traffic import TrafficReport, static_traffic_estimate
+
+
+@dataclass
+class BlockReport:
+    name: str
+    out_range: tuple[int, int]
+    cells: int
+    loop_length: Optional[int] = None
+    loop_tokens: Optional[int] = None
+    loop_rate_bound: Optional[Fraction] = None
+
+
+@dataclass
+class ProgramReport:
+    """Static facts about one compiled program."""
+
+    cells: int
+    cells_expanded: int
+    buffer_stages: int
+    balanced: bool
+    blocks: list[BlockReport] = field(default_factory=list)
+    traffic: Optional[TrafficReport] = None
+    #: min over blocks of their loop rate bounds (1/2 when loop-free)
+    rate_bound: Fraction = Fraction(1, 2)
+
+    @property
+    def initiation_interval_bound(self) -> Fraction:
+        return 1 / self.rate_bound
+
+    @property
+    def fully_pipelined(self) -> bool:
+        return self.rate_bound == Fraction(1, 2)
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.cells} cells ({self.cells_expanded} expanded), "
+            f"{self.buffer_stages} buffer stages, "
+            f"balanced={self.balanced}, "
+            f"II bound {self.initiation_interval_bound} "
+            f"({'fully pipelined' if self.fully_pipelined else 'throttled'})"
+        ]
+        for b in self.blocks:
+            loop = (
+                f" loop {b.loop_length}/{b.loop_tokens} "
+                f"(rate<={b.loop_rate_bound})"
+                if b.loop_length
+                else ""
+            )
+            lines.append(
+                f"  {b.name}: [{b.out_range[0]},{b.out_range[1]}] "
+                f"{b.cells} cells{loop}"
+            )
+        if self.traffic is not None:
+            lines.append(f"  {self.traffic}")
+        return "\n".join(lines)
+
+
+def analyze_program(cp) -> ProgramReport:
+    """Analyze a :class:`~repro.compiler.pipeline.CompiledProgram`."""
+    from ..compiler.balance import verify_balanced
+
+    g = cp.graph
+    rate = Fraction(1, 2)
+    blocks = []
+    for name, art in cp.artifacts.items():
+        loop = art.graph.meta.get("loop")
+        br = BlockReport(
+            name=name,
+            out_range=(art.out_lo, art.out_hi),
+            cells=len(art.graph),
+        )
+        if loop:
+            br.loop_length = loop["length"]
+            br.loop_tokens = loop["tokens"]
+            br.loop_rate_bound = loop["rate_bound"]
+            if loop["rate_bound"] is not None:
+                rate = min(rate, loop["rate_bound"])
+        blocks.append(br)
+    return ProgramReport(
+        cells=len(g),
+        cells_expanded=g.cell_count(expanded=True),
+        buffer_stages=sum(
+            c.params["depth"] for c in g.cells_by_op(Op.FIFO)
+        ),
+        balanced=verify_balanced(g),
+        blocks=blocks,
+        traffic=static_traffic_estimate(g),
+        rate_bound=rate,
+    )

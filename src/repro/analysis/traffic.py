@@ -1,0 +1,85 @@
+"""Packet-traffic accounting (the paper's Section 2 claim).
+
+*"In the case of application codes we have analyzed, one eighth or less
+of the operation packets would be sent to the array memories."*
+
+Every cell firing is one operation packet; its destination class
+depends on the opcode: arithmetic/relational work goes to function
+units, moves/gates/merges execute inside the processing element, and
+array build/select operations go to array memory units.  This module
+computes the breakdown from any simulator's firing counts (unit-delay
+or event-driven).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.graph import DataflowGraph
+from ..graph.opcodes import (
+    ARRAY_MEMORY_OPS,
+    FUNCTION_UNIT_OPS,
+    Op,
+)
+
+
+@dataclass
+class TrafficReport:
+    """Operation-packet counts by destination unit class."""
+
+    to_function_units: int = 0
+    to_array_memories: int = 0
+    local: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.to_function_units + self.to_array_memories + self.local
+
+    @property
+    def am_fraction(self) -> float:
+        """Fraction of operation packets sent to array memories; the
+        paper reports <= 1/8 for application codes."""
+        return self.to_array_memories / self.total if self.total else 0.0
+
+    @property
+    def fu_fraction(self) -> float:
+        return self.to_function_units / self.total if self.total else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"op packets: {self.total} total, "
+            f"{self.to_function_units} to FUs ({self.fu_fraction:.1%}), "
+            f"{self.to_array_memories} to AMs ({self.am_fraction:.1%}), "
+            f"{self.local} local"
+        )
+
+
+def traffic_breakdown(
+    g: DataflowGraph, fire_counts: dict[int, int]
+) -> TrafficReport:
+    """Classify every firing of ``g`` into its operation-packet class.
+
+    SOURCE/SINK pseudo-cells model the block boundary, not machine
+    instructions, so they are excluded; AM_READ/AM_WRITE *are* array
+    memory instructions and are counted there.
+    """
+    report = TrafficReport()
+    for cell in g:
+        n = fire_counts.get(cell.cid, 0)
+        if not n:
+            continue
+        if cell.op in (Op.SOURCE, Op.SINK, Op.CONST):
+            continue
+        if cell.op in ARRAY_MEMORY_OPS:
+            report.to_array_memories += n
+        elif cell.op in FUNCTION_UNIT_OPS and cell.op is not Op.ID:
+            report.to_function_units += n
+        else:
+            report.local += n
+    return report
+
+
+def static_traffic_estimate(g: DataflowGraph) -> TrafficReport:
+    """Breakdown assuming every cell fires equally often (steady state
+    of a fully pipelined graph) -- a compile-time estimate."""
+    return traffic_breakdown(g, {cid: 1 for cid in g.cells})

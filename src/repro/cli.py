@@ -1,0 +1,228 @@
+"""Command-line interface: compile, inspect, run and interpret Val
+programs from the shell.
+
+::
+
+    python -m repro compile prog.val -p m=100 --describe --dot prog.dot
+    python -m repro run prog.val -p m=100 --inputs inputs.json
+    python -m repro interpret prog.val -p m=100 --inputs inputs.json
+    python -m repro simulate prog.dfasm --inputs inputs.json
+
+Inputs are a JSON object mapping array names to lists (or to
+``[lo, [values...]]`` pairs for arrays with a nonzero lower bound).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Optional
+
+from .compiler import compile_program
+from .errors import ReproError
+from .graph.asm import read_asm, to_asm
+from .graph.dot import to_dot
+from .sim import run_graph
+from .val import parse_program, run_program
+from .val.values import ValArray
+
+
+def _parse_params(items: list[str]) -> dict[str, int]:
+    params: dict[str, int] = {}
+    for item in items:
+        key, _, value = item.partition("=")
+        if not value:
+            raise SystemExit(f"bad --param {item!r}; expected name=value")
+        params[key] = int(value)
+    return params
+
+
+def _load_inputs(path: Optional[str]) -> dict[str, Any]:
+    if path is None:
+        return {}
+    with open(path, "r", encoding="utf-8") as fh:
+        raw = json.load(fh)
+    inputs: dict[str, Any] = {}
+    for name, value in raw.items():
+        if (
+            isinstance(value, list)
+            and len(value) == 2
+            and isinstance(value[0], int)
+            and isinstance(value[1], list)
+        ):
+            inputs[name] = (value[0], value[1])
+        else:
+            inputs[name] = value
+    return inputs
+
+
+def _emit_outputs(outputs: dict[str, Any]) -> None:
+    rendered = {}
+    for name, value in outputs.items():
+        if isinstance(value, ValArray):
+            rendered[name] = [value.lo, value.to_list()]
+        else:
+            rendered[name] = value
+    json.dump(rendered, sys.stdout, indent=2, default=str)
+    sys.stdout.write("\n")
+
+
+def _compile_opts(args: argparse.Namespace) -> dict[str, Any]:
+    opts: dict[str, Any] = {
+        "forall_scheme": args.forall_scheme,
+        "foriter_scheme": args.foriter_scheme,
+        "balance": args.balance,
+        "controls": getattr(args, "controls", "patterns"),
+    }
+    if args.distance is not None:
+        opts["distance"] = args.distance
+    return opts
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    source = open(args.program, "r", encoding="utf-8").read()
+    cp = compile_program(
+        source, params=_parse_params(args.param), **_compile_opts(args)
+    )
+    if args.describe or not (args.output or args.dot):
+        print(cp.describe())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(to_asm(cp.graph))
+        print(f"wrote {args.output}")
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as fh:
+            fh.write(to_dot(cp.graph))
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source = open(args.program, "r", encoding="utf-8").read()
+    cp = compile_program(
+        source, params=_parse_params(args.param), **_compile_opts(args)
+    )
+    result = cp.run(_load_inputs(args.inputs))
+    _emit_outputs(result.outputs)
+    if args.stats:
+        for stream in result.outputs:
+            print(
+                f"# {stream}: II = {result.initiation_interval(stream):.3f} "
+                f"instruction times/element",
+                file=sys.stderr,
+            )
+        print(
+            f"# total: {result.stats.steps} instruction times, "
+            f"{result.stats.total_firings} firings",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_interpret(args: argparse.Namespace) -> int:
+    source = open(args.program, "r", encoding="utf-8").read()
+    outputs = run_program(
+        parse_program(source),
+        inputs=_load_inputs(args.inputs),
+        params=_parse_params(args.param),
+    )
+    _emit_outputs(outputs)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    g = read_asm(args.graph)
+    streams = {}
+    for name, value in _load_inputs(args.inputs).items():
+        # raw machine graphs take plain streams; drop any lower-bound
+        # annotation from the JSON form
+        streams[name] = list(value[1]) if isinstance(value, tuple) else value
+    res = run_graph(g, streams)
+    _emit_outputs(res.outputs)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Val-to-static-dataflow compiler and simulators "
+        "(Dennis & Gao, ICPP 1983)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, compiled: bool = True) -> None:
+        p.add_argument("program", help="Val source file")
+        p.add_argument(
+            "-p", "--param", action="append", default=[],
+            metavar="NAME=INT",
+            help="compile-time constant (repeatable), e.g. -p m=100",
+        )
+        if compiled:
+            p.add_argument(
+                "--forall-scheme", default="pipeline",
+                choices=["pipeline", "parallel"],
+            )
+            p.add_argument(
+                "--foriter-scheme", default="auto",
+                choices=["auto", "companion", "todd"],
+            )
+            p.add_argument(
+                "--balance", default="optimal",
+                choices=["optimal", "reduce", "naive", "none"],
+            )
+            p.add_argument(
+                "--controls", default="patterns",
+                choices=["patterns", "dataflow"],
+                help="emit control sequences as pattern tables or as "
+                "Todd-style counter subgraphs",
+            )
+            p.add_argument(
+                "--distance", type=int, default=None,
+                help="companion dependence distance (G-tree size)",
+            )
+
+    p = sub.add_parser("compile", help="compile and dump machine code")
+    common(p)
+    p.add_argument("-o", "--output", help="write dfasm machine code here")
+    p.add_argument("--dot", help="write a Graphviz rendering here")
+    p.add_argument("--describe", action="store_true",
+                   help="print the compilation report")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("run", help="compile and simulate on the "
+                       "unit-delay machine")
+    common(p)
+    p.add_argument("--inputs", help="JSON file of input arrays")
+    p.add_argument("--stats", action="store_true",
+                   help="print throughput statistics to stderr")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("interpret", help="run the reference Val interpreter")
+    common(p, compiled=False)
+    p.add_argument("--inputs", help="JSON file of input arrays")
+    p.set_defaults(fn=cmd_interpret)
+
+    p = sub.add_parser("simulate", help="simulate a dfasm machine-code file")
+    p.add_argument("graph", help="dfasm file")
+    p.add_argument("--inputs", help="JSON file of input arrays")
+    p.set_defaults(fn=cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

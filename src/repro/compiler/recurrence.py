@@ -1,0 +1,669 @@
+"""Recurrence analysis and companion functions (Section 7).
+
+A *simple for-iter* denotes a first-order recurrence
+``x_i = F(a_i, x_{i-1})`` whose recurrence function has a *companion
+function* G with ``F(a, F(b, x)) = F(G(a, b), x)``.  For the linear
+(affine) class the paper treats::
+
+    x_i = a1_i * x_{i-1} + a0_i
+    G((p1, p0), (q1, q0)) = (p1*q1, p1*q0 + p0)
+
+G is associative, so a dependence distance of ``s`` needs only a
+``log2 s``-deep tree of G stages (the paper's remark after Theorem 3).
+
+:func:`extract_linear_form` symbolically rewrites the for-iter element
+expression into the pair of coefficient expressions ``(P1, P0)`` --
+both primitive expressions on ``i`` that do *not* reference the
+accumulator -- or raises :class:`RecurrenceError` when the recurrence
+is not affine (no companion function is known then, and the compiler
+falls back to Todd's scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..errors import RecurrenceError
+from ..val import ast_nodes as A
+from ..val.classify import ForIterInfo, index_offset
+
+#: Sentinels for coefficient simplification.
+_ZERO = object()
+_ONE = object()
+
+Coeff = object  # _ZERO | _ONE | A.Expr
+
+
+def _mk_add(a: Coeff, b: Coeff) -> Coeff:
+    if a is _ZERO:
+        return b
+    if b is _ZERO:
+        return a
+    return A.BinOp("+", _as_ast(a), _as_ast(b))
+
+
+def _mk_sub(a: Coeff, b: Coeff) -> Coeff:
+    if b is _ZERO:
+        return a
+    return A.BinOp("-", _as_ast(a), _as_ast(b))
+
+
+def _mk_mul(a: Coeff, b: Coeff) -> Coeff:
+    if a is _ZERO or b is _ZERO:
+        return _ZERO
+    if a is _ONE:
+        return b
+    if b is _ONE:
+        return a
+    return A.BinOp("*", _as_ast(a), _as_ast(b))
+
+
+def _mk_div(a: Coeff, b: A.Expr) -> Coeff:
+    if a is _ZERO:
+        return _ZERO
+    return A.BinOp("/", _as_ast(a), b)
+
+
+def _mk_neg(a: Coeff) -> Coeff:
+    if a is _ZERO:
+        return _ZERO
+    return A.UnOp("-", _as_ast(a))
+
+
+def _as_ast(c: Coeff) -> A.Expr:
+    if c is _ZERO:
+        return A.Literal(0.0, A.REAL)
+    if c is _ONE:
+        return A.Literal(1.0, A.REAL)
+    assert isinstance(c, A.Node)
+    return c
+
+
+@dataclass(frozen=True)
+class Algebra:
+    """A (commutative-enough) semiring the recurrence is linear over.
+
+    The recurrence function is ``F(a, x) = (x otimes a1) oplus a0`` and
+    its companion function is always
+    ``G(p, q) = (p1 otimes q1, (p1 otimes q0) oplus p0)`` -- the ring
+    case is the paper's; the tropical cases extend Theorem 3 to
+    running-max/min recurrences (Kogge's general class, refs [11][12]).
+    """
+
+    name: str        # 'ring' | 'maxplus' | 'minplus'
+    otimes: str      # combine-op key: '*' or '+'
+    oplus: str       # combine-op key: '+' or 'max' / 'min'
+    zero: float      # oplus identity (annihilates under otimes)
+    one: float       # otimes identity
+
+
+RING = Algebra("ring", "*", "+", 0.0, 1.0)
+MAXPLUS = Algebra("maxplus", "+", "max", float("-inf"), 0.0)
+MINPLUS = Algebra("minplus", "+", "min", float("inf"), 0.0)
+
+ALGEBRAS = {a.name: a for a in (RING, MAXPLUS, MINPLUS)}
+
+
+@dataclass
+class LinearForm:
+    """``element_expr == (X[i-1] otimes coeff) oplus offset`` with
+    X-free coefficient expressions; ring instance:
+    ``coeff * X[i-1] + offset``."""
+
+    coeff: A.Expr
+    offset: A.Expr
+    algebra: Algebra = RING
+
+    @property
+    def is_pure_sum(self) -> bool:
+        """True for x_i = x_{i-1} + a_i (prefix sums): coeff == 1."""
+        return (
+            self.algebra is RING
+            and isinstance(self.coeff, A.Literal)
+            and self.coeff.value in (1, 1.0)
+        )
+
+
+def _references_acc(expr: A.Expr, acc: str) -> bool:
+    return acc in A.free_identifiers(expr)
+
+
+def extract_linear_form(
+    info: ForIterInfo, params: Mapping[str, int]
+) -> LinearForm:
+    """Rewrite the element expression as ``P1 * X[i-1] + P0``.
+
+    Handles the full PE grammar: let definitions referencing the
+    accumulator are inlined symbolically (the paper's Example 2 binds
+    ``P := A[i]*T[i-1] + B[i]`` in a let); conditionals with X-free
+    conditions produce conditional coefficients.
+    """
+    acc, counter = info.acc, info.counter
+
+    def lin(expr: A.Expr, env: dict[str, tuple[Coeff, Coeff]]) -> tuple[Coeff, Coeff]:
+        """Return (A, B) with expr == A * x + B, x = acc[counter-1]."""
+        if isinstance(expr, A.Literal):
+            return (_ZERO, expr)
+        if isinstance(expr, A.Ident):
+            if expr.name in env:
+                return env[expr.name]
+            if expr.name == acc:
+                raise RecurrenceError(
+                    f"bare accumulator reference at line {expr.line}"
+                )
+            return (_ZERO, expr)
+        if isinstance(expr, A.Index):
+            base = expr.base
+            if isinstance(base, A.Ident) and base.name == acc:
+                if index_offset(expr.index, counter, params) != -1:
+                    raise RecurrenceError(
+                        f"accumulator access at line {expr.line} is not "
+                        f"{acc}[{counter}-1]"
+                    )
+                return (_ONE, _ZERO)
+            return (_ZERO, expr)
+        if isinstance(expr, A.UnOp):
+            a, b = lin(expr.operand, env)
+            if expr.op == "-":
+                return (_mk_neg(a), _mk_neg(b))
+            if a is not _ZERO:
+                raise RecurrenceError(
+                    f"boolean negation of the accumulator at line {expr.line}"
+                )
+            return (_ZERO, expr)
+        if isinstance(expr, A.BinOp):
+            la, lb = lin(expr.left, env)
+            ra, rb = lin(expr.right, env)
+            if expr.op == "+":
+                return (_mk_add(la, ra), _mk_add(lb, rb))
+            if expr.op == "-":
+                return (_mk_sub(la, ra), _mk_sub(lb, rb))
+            if expr.op == "*":
+                if la is _ZERO:
+                    return (_mk_mul(ra, _as_ast(lb)), _mk_mul(lb, rb))
+                if ra is _ZERO:
+                    return (_mk_mul(la, _as_ast(rb)), _mk_mul(lb, rb))
+                raise RecurrenceError(
+                    f"recurrence is quadratic in the accumulator at line "
+                    f"{expr.line}; no companion function"
+                )
+            if expr.op == "/":
+                if ra is not _ZERO:
+                    raise RecurrenceError(
+                        f"division by the accumulator at line {expr.line}; "
+                        f"no companion function"
+                    )
+                return (_mk_div(la, _as_ast(rb)), _mk_div(lb, _as_ast(rb)))
+            # relational / boolean operators may not involve x
+            if la is not _ZERO or ra is not _ZERO:
+                raise RecurrenceError(
+                    f"accumulator used under {expr.op!r} at line {expr.line}; "
+                    f"recurrence is not affine"
+                )
+            return (_ZERO, expr)
+        if isinstance(expr, A.Let):
+            inner = dict(env)
+            for d in expr.defs:
+                inner[d.name] = lin(d.expr, inner)
+            return lin(expr.body, inner)
+        if isinstance(expr, A.If):
+            if _references_acc(expr.cond, acc):
+                raise RecurrenceError(
+                    f"condition at line {expr.line} depends on the "
+                    f"accumulator; recurrence is not affine"
+                )
+            ta, tb = lin(expr.then, env)
+            ea, eb = lin(expr.els, env)
+            if ta is _ZERO and ea is _ZERO:
+                return (_ZERO, expr)
+            coeff = A.If(expr.cond, _as_ast(ta), _as_ast(ea))
+            off = A.If(expr.cond, _as_ast(tb), _as_ast(eb))
+            return (coeff, off)
+        raise RecurrenceError(
+            f"{type(expr).__name__} at line {getattr(expr, 'line', 0)} is "
+            f"not allowed in a recurrence element expression"
+        )
+
+    env0: dict[str, tuple[Coeff, Coeff]] = {}
+    # Pre-bind the classified let definitions (they may carry the x term).
+    for d in info.let_defs:
+        env0[d.name] = lin(d.expr, env0)
+    a, b = lin(info.element_expr, env0)
+    if a is _ZERO:
+        raise RecurrenceError(
+            "element expression does not reference the accumulator; this is "
+            "a forall in disguise -- use the forall mapping"
+        )
+    return LinearForm(coeff=_as_ast(a), offset=_as_ast(b))
+
+
+# ---------------------------------------------------------------------------
+# tropical (max-plus / min-plus) linear forms
+# ---------------------------------------------------------------------------
+
+
+def _trop_lit(value: float) -> A.Expr:
+    return A.Literal(value, A.REAL)
+
+
+def extract_tropical_form(
+    info: ForIterInfo, params: Mapping[str, int], algebra: Algebra
+) -> LinearForm:
+    """Rewrite the element expression as ``oplus(x + P1, P0)`` over the
+    max-plus or min-plus semiring (running-extremum recurrences like
+    ``x_i = max(x_{i-1} - d_i, A[i])``)."""
+    if algebra.name not in ("maxplus", "minplus"):
+        raise RecurrenceError(f"not a tropical algebra: {algebra.name}")
+    acc, counter = info.acc, info.counter
+    oplus = algebra.oplus  # 'max' or 'min'
+
+    def mk_oplus(a: Coeff, b: Coeff) -> Coeff:
+        if a is _ZERO:
+            return b
+        if b is _ZERO:
+            return a
+        return A.Builtin(oplus, [_tas(a), _tas(b)])
+
+    def mk_shift(a: Coeff, e: A.Expr, negate: bool = False) -> Coeff:
+        """a + e (tropical otimes) with identity simplification."""
+        if a is _ZERO:
+            return _ZERO
+        term = A.UnOp("-", e) if negate else e
+        if a is _ONE:
+            return term
+        return A.BinOp("+", _tas(a), term)
+
+    def _tas(c: Coeff) -> A.Expr:
+        if c is _ZERO:
+            return _trop_lit(algebra.zero)
+        if c is _ONE:
+            return _trop_lit(algebra.one)
+        assert isinstance(c, A.Node)
+        return c
+
+    def lin(expr: A.Expr, env: dict) -> tuple[Coeff, Coeff]:
+        """(A, B) with expr == oplus(x + A, B)."""
+        if isinstance(expr, A.Index):
+            base = expr.base
+            if isinstance(base, A.Ident) and base.name == acc:
+                if index_offset(expr.index, counter, params) != -1:
+                    raise RecurrenceError(
+                        f"accumulator access at line {expr.line} is not "
+                        f"{acc}[{counter}-1]"
+                    )
+                return (_ONE, _ZERO)
+            return (_ZERO, expr)
+        if isinstance(expr, A.Ident):
+            if expr.name in env:
+                return env[expr.name]
+            if expr.name == acc:
+                raise RecurrenceError(
+                    f"bare accumulator reference at line {expr.line}"
+                )
+            return (_ZERO, expr)
+        if isinstance(expr, A.Literal):
+            return (_ZERO, expr)
+        if isinstance(expr, A.Builtin):
+            if expr.name != oplus:
+                # the dual lattice op may only touch x-free parts
+                parts = [lin(a, env) for a in expr.args]
+                if any(p[0] is not _ZERO for p in parts):
+                    raise RecurrenceError(
+                        f"{expr.name} of the accumulator inside a "
+                        f"{algebra.name} recurrence (line {expr.line})"
+                    )
+                return (_ZERO, expr)
+            la, lb = lin(expr.args[0], env)
+            ra, rb = lin(expr.args[1], env)
+            return (mk_oplus(la, ra), mk_oplus(lb, rb))
+        if isinstance(expr, A.BinOp):
+            if expr.op in ("+", "-"):
+                la, lb = lin(expr.left, env)
+                ra, rb = lin(expr.right, env)
+                if la is _ZERO and ra is _ZERO:
+                    return (_ZERO, expr)
+                if la is not _ZERO and ra is not _ZERO:
+                    raise RecurrenceError(
+                        f"accumulator appears on both sides of {expr.op!r} "
+                        f"at line {expr.line} (not tropical-linear)"
+                    )
+                if la is not _ZERO:
+                    # (x (+) A) (+) e2, e2 x-free
+                    e2 = expr.right
+                    return (
+                        mk_shift(la, e2, negate=expr.op == "-"),
+                        mk_shift(lb, e2, negate=expr.op == "-"),
+                    )
+                if expr.op == "-":
+                    raise RecurrenceError(
+                        f"subtracting the accumulator at line {expr.line} "
+                        f"flips the lattice; not {algebra.name}-linear"
+                    )
+                return (mk_shift(ra, expr.left), mk_shift(rb, expr.left))
+            # '*', '/', relations: only on x-free parts (scaling does not
+            # distribute over max/min without sign knowledge)
+            la, lb = lin(expr.left, env)
+            ra, rb = lin(expr.right, env)
+            if la is not _ZERO or ra is not _ZERO:
+                raise RecurrenceError(
+                    f"accumulator under {expr.op!r} at line {expr.line}; "
+                    f"not {algebra.name}-linear"
+                )
+            return (_ZERO, expr)
+        if isinstance(expr, A.UnOp):
+            a, b = lin(expr.operand, env)
+            if a is not _ZERO:
+                raise RecurrenceError(
+                    f"negating the accumulator at line {expr.line} flips "
+                    f"the lattice; not {algebra.name}-linear"
+                )
+            return (_ZERO, expr)
+        if isinstance(expr, A.Let):
+            inner = dict(env)
+            for d in expr.defs:
+                inner[d.name] = lin(d.expr, inner)
+            return lin(expr.body, inner)
+        if isinstance(expr, A.If):
+            if _references_acc(expr.cond, acc):
+                raise RecurrenceError(
+                    f"condition at line {expr.line} depends on the "
+                    f"accumulator"
+                )
+            ta, tb = lin(expr.then, env)
+            ea, eb = lin(expr.els, env)
+            if ta is _ZERO and ea is _ZERO:
+                return (_ZERO, expr)
+            return (
+                A.If(expr.cond, _tas(ta), _tas(ea)),
+                A.If(expr.cond, _tas(tb), _tas(eb)),
+            )
+        raise RecurrenceError(
+            f"{type(expr).__name__} not allowed in a tropical recurrence"
+        )
+
+    env0: dict = {}
+    for d in info.let_defs:
+        env0[d.name] = lin(d.expr, env0)
+    a, b = lin(info.element_expr, env0)
+    if a is _ZERO:
+        raise RecurrenceError(
+            "element expression does not reference the accumulator"
+        )
+    # local _tas closures used sentinel conversion; rebuild ASTs
+    coeff = a if isinstance(a, A.Node) else _trop_lit(
+        algebra.one if a is _ONE else algebra.zero
+    )
+    offset = b if isinstance(b, A.Node) else _trop_lit(
+        algebra.one if b is _ONE else algebra.zero
+    )
+    return LinearForm(coeff=coeff, offset=offset, algebra=algebra)
+
+
+# ---------------------------------------------------------------------------
+# Moebius (linear fractional) forms -- tridiagonal sweeps
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MobiusForm:
+    """``element_expr == (a*X[i-1] + b) / (c*X[i-1] + d)``.
+
+    Linear fractional transformations compose as 2x2 matrices, which is
+    associative, so the companion construction applies with a 4-component
+    parameter vector and G = matrix multiplication.  This covers the
+    Thomas tridiagonal algorithm's forward sweeps --
+    ``c'_i = c_i / (b_i - a_i c'_{i-1})`` -- the classic recurrence the
+    affine class misses.
+    """
+
+    a: A.Expr
+    b: A.Expr
+    c: A.Expr
+    d: A.Expr
+
+    @property
+    def components(self) -> tuple[A.Expr, A.Expr, A.Expr, A.Expr]:
+        return (self.a, self.b, self.c, self.d)
+
+
+def extract_mobius_form(
+    info: ForIterInfo, params: Mapping[str, int]
+) -> MobiusForm:
+    """Rewrite the element expression as a linear fractional transform
+    of ``X[i-1]``.
+
+    The numerator and denominator are each extracted with the affine
+    machinery; a top-level affine expression is the special case with
+    denominator ``0*x + 1``.
+    """
+    acc, counter = info.acc, info.counter
+    _ = (acc, counter)
+
+    # Find the outermost division whose operands are affine in x; the
+    # whole expression must be  N / D  (possibly wrapped in lets).
+    def peel(expr: A.Expr, env: dict) -> tuple[A.Expr, Optional[A.Expr], dict]:
+        if isinstance(expr, A.Let):
+            inner = dict(env)
+            for dd in expr.defs:
+                inner[dd.name] = dd.expr  # lazily substituted below
+            return peel(expr.body, inner)
+        if isinstance(expr, A.Ident) and expr.name in env:
+            return peel(env[expr.name], env)
+        if isinstance(expr, A.BinOp) and expr.op == "/":
+            return expr.left, expr.right, env
+        return expr, None, env
+
+    def substitute(expr: A.Expr, env: dict) -> A.Expr:
+        """Inline let-bound names so the affine extractor sees one tree."""
+        if isinstance(expr, A.Ident) and expr.name in env:
+            return substitute(env[expr.name], env)
+        if isinstance(expr, A.Literal):
+            return expr
+        if isinstance(expr, A.Ident):
+            return expr
+        if isinstance(expr, A.BinOp):
+            return A.BinOp(
+                expr.op, substitute(expr.left, env), substitute(expr.right, env)
+            )
+        if isinstance(expr, A.UnOp):
+            return A.UnOp(expr.op, substitute(expr.operand, env))
+        if isinstance(expr, A.Builtin):
+            return A.Builtin(expr.name, [substitute(x, env) for x in expr.args])
+        if isinstance(expr, A.Index):
+            return expr
+        if isinstance(expr, A.If):
+            return A.If(
+                substitute(expr.cond, env),
+                substitute(expr.then, env),
+                substitute(expr.els, env),
+            )
+        if isinstance(expr, A.Let):
+            inner = dict(env)
+            for dd in expr.defs:
+                inner[dd.name] = substitute(dd.expr, env)
+            return substitute(expr.body, inner)
+        raise RecurrenceError(
+            f"{type(expr).__name__} not supported in a fractional recurrence"
+        )
+
+    env0: dict = {}
+    for dd in info.let_defs:
+        env0[dd.name] = dd.expr
+    num, den, env = peel(info.element_expr, env0)
+    if den is None:
+        raise RecurrenceError(
+            "element expression is not a division; not a fractional "
+            "recurrence"
+        )
+
+    def affine(expr: A.Expr) -> tuple[A.Expr, A.Expr]:
+        pseudo = ForIterInfo(
+            counter=info.counter,
+            counter_lo=info.counter_lo,
+            acc=info.acc,
+            init_index=info.init_index,
+            init_expr=info.init_expr,
+            element_expr=substitute(expr, env),
+            elem_lo=info.elem_lo,
+            elem_hi=info.elem_hi,
+            final_append=info.final_append,
+            let_defs=[],
+            accesses=info.accesses,
+            body_hi=info.body_hi,
+        )
+        try:
+            form = extract_linear_form(pseudo, params)
+            return form.coeff, form.offset
+        except RecurrenceError as exc:
+            if "does not reference" in str(exc):
+                # x-free side: coefficient 0
+                return A.Literal(0.0, A.REAL), substitute(expr, env)
+            raise
+
+    a_c, b_c = affine(num)
+    c_c, d_c = affine(den)
+    return MobiusForm(a=a_c, b=b_c, c=c_c, d=d_c)
+
+
+def mobius_apply(p: tuple, q: tuple) -> tuple:
+    """Host-level companion for linear fractional transforms: 2x2 matrix
+    product ``[[a, b], [c, d]]``; used by tests."""
+    pa, pb, pc, pd = p
+    qa, qb, qc, qd = q
+    return (
+        pa * qa + pb * qc,
+        pa * qb + pb * qd,
+        pc * qa + pd * qc,
+        pc * qb + pd * qd,
+    )
+
+
+def mobius_eval(p: tuple, x: float) -> float:
+    pa, pb, pc, pd = p
+    return (pa * x + pb) / (pc * x + pd)
+
+
+def extract_recurrence(
+    info: ForIterInfo, params: Mapping[str, int]
+):
+    """Find *some* algebra over which the recurrence has a companion:
+    the affine ring first (the paper's case), then max-plus / min-plus
+    if the element expression uses the corresponding lattice operator,
+    then linear fractional transforms (tridiagonal sweeps).
+
+    Returns a :class:`LinearForm` or a :class:`MobiusForm`.
+    """
+    try:
+        return extract_linear_form(info, params)
+    except RecurrenceError as ring_err:
+        used = {
+            n.name
+            for n in A.walk(info.element_expr)
+            if isinstance(n, A.Builtin)
+        }
+        for d in info.let_defs:
+            used |= {
+                n.name for n in A.walk(d.expr) if isinstance(n, A.Builtin)
+            }
+        errors = [str(ring_err)]
+        for name, algebra in (("max", MAXPLUS), ("min", MINPLUS)):
+            if name in used:
+                try:
+                    return extract_tropical_form(info, params, algebra)
+                except RecurrenceError as exc:
+                    errors.append(str(exc))
+        try:
+            return extract_mobius_form(info, params)
+        except RecurrenceError as exc:
+            errors.append(str(exc))
+        raise RecurrenceError(
+            "no companion function found; tried: " + "; ".join(errors)
+        ) from None
+
+
+def has_companion(info: ForIterInfo, params: Mapping[str, int]) -> bool:
+    """True when the for-iter is *simple* in some supported algebra
+    (Theorem 3 applies)."""
+    try:
+        extract_recurrence(info, params)
+        return True
+    except RecurrenceError:
+        return False
+
+
+def companion_apply(p: tuple, q: tuple, algebra: Algebra = RING):
+    """Reference (host-level) companion function G on concrete pairs,
+    used by tests and the interpreter cross-checks:
+    ``G((p1,p0),(q1,q0)) = (p1 (x) q1, (p1 (x) q0) (+) p0)`` --
+    multiplication/addition for the ring, addition/max (or min) for the
+    tropical semirings."""
+    p1, p0 = p
+    q1, q0 = q
+    if algebra is RING:
+        return (p1 * q1, p1 * q0 + p0)
+    join = max if algebra.name == "maxplus" else min
+    return (p1 + q1, join(p1 + q0, p0))
+
+
+def companion_fold(pairs: list[tuple], algebra: Algebra = RING) -> tuple:
+    """Left fold of G over parameter pairs ordered newest first."""
+    acc = pairs[0]
+    for nxt in pairs[1:]:
+        acc = companion_apply(acc, nxt, algebra)
+    return acc
+
+
+def shift_index(
+    expr: A.Expr,
+    counter: str,
+    shift: int,
+    params: Optional[Mapping[str, int]] = None,
+) -> A.Expr:
+    """Substitute ``counter := counter - shift`` throughout ``expr``.
+
+    Array selections keep the canonical ``i+m`` shape (so rule-4
+    offsets stay recognizable); value uses of the counter become
+    explicit subtractions that constant-fold during compilation.
+    """
+    if shift == 0:
+        return expr
+    params = params or {}
+
+    def shifted_index(index: A.Expr, base_offset: Optional[int]) -> A.Expr:
+        assert base_offset is not None
+        new = base_offset - shift
+        i = A.Ident(counter)
+        if new == 0:
+            return i
+        op = "+" if new > 0 else "-"
+        return A.BinOp(op, i, A.Literal(abs(new), A.INTEGER))
+
+    def walk(e: A.Expr) -> A.Expr:
+        if isinstance(e, A.Literal):
+            return e
+        if isinstance(e, A.Ident):
+            if e.name == counter:
+                return A.BinOp("-", e, A.Literal(shift, A.INTEGER))
+            return e
+        if isinstance(e, A.Index):
+            off = index_offset(e.index, counter, params)
+            if isinstance(e.base, A.Ident) and off is not None:
+                return A.Index(e.base, shifted_index(e.index, off))
+            return A.Index(walk(e.base), walk(e.index))
+        if isinstance(e, A.BinOp):
+            return A.BinOp(e.op, walk(e.left), walk(e.right))
+        if isinstance(e, A.UnOp):
+            return A.UnOp(e.op, walk(e.operand))
+        if isinstance(e, A.If):
+            return A.If(walk(e.cond), walk(e.then), walk(e.els))
+        if isinstance(e, A.Builtin):
+            return A.Builtin(e.name, [walk(a) for a in e.args])
+        if isinstance(e, A.Let):
+            return A.Let(
+                [A.Definition(d.name, d.type, walk(d.expr)) for d in e.defs],
+                walk(e.body),
+            )
+        raise RecurrenceError(f"cannot shift {type(e).__name__}")
+
+    return walk(expr)

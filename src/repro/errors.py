@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the Val frontend, the compiler, the simulators and the
+analysis passes derives from :class:`ReproError`, so callers can catch one
+type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ValSyntaxError(ReproError):
+    """Raised by the Val lexer/parser on malformed source text.
+
+    Carries the 1-based source position of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class ValTypeError(ReproError):
+    """Raised by the type checker on ill-typed Val programs."""
+
+
+class ClassificationError(ReproError):
+    """Raised when a Val construct falls outside the paper's restricted class.
+
+    The paper's theorems only cover *primitive expressions*, *primitive
+    forall* expressions and *simple for-iter* expressions; anything else is
+    rejected with this error (mirroring what the proposed compiler would do).
+    """
+
+
+class GraphError(ReproError):
+    """Raised on malformed dataflow instruction graphs."""
+
+
+class CompileError(ReproError):
+    """Raised by the compiler when a construct cannot be mapped."""
+
+
+class SimulationError(ReproError):
+    """Raised by the simulators (deadlock with pending work, bad input...)."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when a simulation quiesces before the expected outputs arrive.
+
+    This is the machine-level symptom of the "jams" the paper warns about
+    when unused array elements are not discarded or skew buffers are missing.
+    """
+
+    def __init__(self, message: str, step: int = 0, pending: int = 0) -> None:
+        self.step = step
+        self.pending = pending
+        super().__init__(message)
+
+
+class AnalysisError(ReproError):
+    """Raised by the static rate/balance analyses."""
+
+
+class RecurrenceError(CompileError):
+    """Raised when a for-iter body is not a recognizable first-order
+    recurrence or has no derivable companion function."""

@@ -1,0 +1,205 @@
+"""A textual assembly format for machine-level dataflow programs.
+
+The static architecture loads instruction cells into fixed memory
+locations before execution; ``dfasm`` is the loader's source format —
+one directive per cell plus its operand/destination fields.  Useful for
+inspecting compiled code, writing machine programs by hand, and storing
+graphs in files.  ``to_asm``/``from_asm`` round-trip exactly
+(graph isomorphism with identical ids, attributes and metadata keys).
+
+Format::
+
+    graph example1
+    cell 0 source
+      .name in_B
+      .stream 'B'
+    cell 1 id
+      .name sel
+      .gated
+    cell 2 add
+      .name add2
+      .const 1 2.0
+    cell 7 sink
+      .name out
+      .stream 'A'
+      .limit 8
+    arc 0 1 0
+    arc 5 1 gate
+    arc 1 2 0 tag=T weight=3
+    arc 2 7 0 init=0.5
+    meta feedback_arcs [3, 4]
+
+Attribute values are Python literals (``ast.literal_eval``); arc lines
+are ``arc <src> <dst> <port|gate> [tag=T|F] [weight=N] [init=<lit>]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from ..errors import GraphError
+from .cell import GATE_PORT
+from .graph import DataflowGraph
+from .opcodes import Op
+
+
+def _literal(value: Any) -> str:
+    return repr(value)
+
+
+def to_asm(g: DataflowGraph) -> str:
+    """Serialize a graph to dfasm text."""
+    lines = [f"graph {g.name or 'anon'}"]
+    for cid in sorted(g.cells):
+        cell = g.cells[cid]
+        lines.append(f"cell {cid} {cell.op.value}")
+        if cell.name:
+            lines.append(f"  .name {cell.name}")
+        if cell.gated:
+            lines.append("  .gated")
+        for port in sorted(cell.consts):
+            lines.append(f"  .const {port} {_literal(cell.consts[port])}")
+        for key in sorted(cell.params):
+            lines.append(f"  .{key} {_literal(cell.params[key])}")
+    for aid in sorted(g.arcs):
+        arc = g.arcs[aid]
+        port = "gate" if arc.dst_port == GATE_PORT else str(arc.dst_port)
+        attrs = []
+        if arc.tag is not None:
+            attrs.append(f"tag={'T' if arc.tag else 'F'}")
+        if arc.weight != 1:
+            attrs.append(f"weight={arc.weight}")
+        if arc.has_initial:
+            attrs.append(f"init={_literal(arc.initial)}")
+        tail = (" " + " ".join(attrs)) if attrs else ""
+        lines.append(f"arc {arc.src} {arc.dst} {port}{tail}")
+    arc_position = {aid: k for k, aid in enumerate(sorted(g.arcs))}
+    for key in sorted(g.meta):
+        value = g.meta[key]
+        if key == "feedback_arcs":
+            # arc ids are not stable across a round-trip; store positions
+            # in the serialized arc order instead
+            value = sorted(arc_position[aid] for aid in value)
+        try:
+            text = _literal(value)
+            ast.literal_eval(text)
+        except (ValueError, SyntaxError):
+            continue  # non-literal metadata is not serialized
+        lines.append(f"meta {key} {text}")
+    return "\n".join(lines) + "\n"
+
+
+_RESERVED_CELL_KEYS = {"name", "gated", "const"}
+
+
+def from_asm(text: str) -> DataflowGraph:
+    """Parse dfasm text back into a graph (ids preserved)."""
+    g = DataflowGraph()
+    id_map: dict[int, int] = {}
+    pending: list[tuple[int, dict]] = []   # (declared id, spec)
+    arcs: list[tuple[int, int, int, dict]] = []
+    current: dict | None = None
+
+    def flush_current() -> None:
+        nonlocal current
+        if current is not None:
+            pending.append((current.pop("_id"), current))
+            current = None
+
+    for raw_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        indented = line.startswith((" ", "\t"))
+        tokens = line.split()
+        try:
+            if indented:
+                if current is None or not tokens[0].startswith("."):
+                    raise GraphError("attribute line outside a cell block")
+                key = tokens[0][1:]
+                rest = line.split(None, 1)[1] if len(tokens) > 1 else ""
+                if key == "gated":
+                    current["gated"] = True
+                elif key == "name":
+                    current["name"] = rest.strip()
+                elif key == "const":
+                    port_text, value_text = rest.split(None, 1)
+                    current.setdefault("consts", {})[int(port_text)] = (
+                        ast.literal_eval(value_text)
+                    )
+                else:
+                    current.setdefault("params", {})[key] = ast.literal_eval(
+                        rest
+                    )
+                continue
+            flush_current()
+            kind = tokens[0]
+            if kind == "graph":
+                g.name = tokens[1] if len(tokens) > 1 else ""
+            elif kind == "cell":
+                current = {
+                    "_id": int(tokens[1]),
+                    "op": Op(tokens[2]),
+                }
+            elif kind == "arc":
+                src, dst = int(tokens[1]), int(tokens[2])
+                port = GATE_PORT if tokens[3] == "gate" else int(tokens[3])
+                attrs: dict[str, Any] = {}
+                for token in tokens[4:]:
+                    key, _, value = token.partition("=")
+                    if key == "tag":
+                        attrs["tag"] = value == "T"
+                    elif key == "weight":
+                        attrs["weight"] = int(value)
+                    elif key == "init":
+                        attrs["initial"] = ast.literal_eval(value)
+                    else:
+                        raise GraphError(f"unknown arc attribute {key!r}")
+                arcs.append((src, dst, port, attrs))
+            elif kind == "meta":
+                key = tokens[1]
+                value_text = line.split(None, 2)[2]
+                g.meta[key] = ast.literal_eval(value_text)
+            else:
+                raise GraphError(f"unknown directive {kind!r}")
+        except GraphError:
+            raise
+        except Exception as exc:
+            raise GraphError(f"dfasm line {raw_no}: {exc}") from exc
+    flush_current()
+
+    for declared, spec in sorted(pending):
+        new = g.add_cell(
+            spec["op"],
+            name=spec.get("name", ""),
+            consts=spec.get("consts"),
+            gated=spec.get("gated", False),
+            **spec.get("params", {}),
+        )
+        id_map[declared] = new
+    for src, dst, port, attrs in arcs:
+        try:
+            g.connect(id_map[src], id_map[dst], port, **attrs)
+        except KeyError as exc:
+            raise GraphError(f"arc references unknown cell {exc}") from None
+    # translate feedback arc *positions* (see to_asm) back into arc ids
+    if "feedback_arcs" in g.meta:
+        new_aids = sorted(g.arcs)
+        try:
+            g.meta["feedback_arcs"] = [
+                new_aids[pos] for pos in g.meta["feedback_arcs"]
+            ]
+        except (TypeError, IndexError) as exc:
+            raise GraphError(f"bad feedback_arcs metadata: {exc}") from None
+    return g
+
+
+def write_asm(g: DataflowGraph, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_asm(g))
+
+
+def read_asm(path: str) -> DataflowGraph:
+    with open(path, "r", encoding="utf-8") as fh:
+        return from_asm(fh.read())

@@ -1,0 +1,128 @@
+"""Instruction cells and arcs of a machine-level dataflow program.
+
+A machine-level data flow program is a directed graph whose nodes are
+*instruction cells* and whose arcs are the destination fields of those
+cells (paper, Section 2).  Each arc also stands for the reverse
+acknowledge path, so an arc can hold at most one data token at a time:
+the producer may not fire again until the consumer has fired (sent its
+acknowledge).
+
+Cells may carry:
+
+* **constant operands** -- literal values stored in the instruction's
+  operand fields; they are always present and are never consumed (the
+  static architecture's immediate operands);
+* a **gate control operand** -- the paper's boolean operand that directs
+  the result packet to destination arcs tagged ``T`` or ``F`` (Figures
+  4-8).  Untagged arcs always receive the result.  If no destination
+  matches the control value the result is discarded, which is how unused
+  array elements are dropped so they "do not cause jams" (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .opcodes import Op, arity
+
+#: Virtual port number of the gate control operand.
+GATE_PORT = -1
+
+#: Sentinel for "no initial token" on an arc.
+_NO_TOKEN = object()
+
+
+@dataclass
+class Cell:
+    """One instruction cell.
+
+    Attributes
+    ----------
+    cid:
+        Integer id, unique within its graph.
+    op:
+        Opcode (:class:`repro.graph.opcodes.Op`).
+    name:
+        Optional human-readable label used in dumps and dot output.
+    consts:
+        Mapping of data-port number to literal operand value.
+    gated:
+        Whether the cell has a gate control operand (port ``GATE_PORT``).
+    params:
+        Opcode-specific parameters: ``depth`` for FIFO, ``stream`` for
+        SOURCE/SINK/AM cells, ``values`` for pattern sources, ``value``
+        for CONST, ``limit`` for bounded sources.
+    """
+
+    cid: int
+    op: Op
+    name: str = ""
+    consts: dict[int, Any] = field(default_factory=dict)
+    gated: bool = False
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_data_ports(self) -> int:
+        """Number of data operand ports this cell requires."""
+        return arity(self.op)
+
+    @property
+    def label(self) -> str:
+        return self.name or f"c{self.cid}"
+
+    def data_ports(self) -> range:
+        return range(self.n_data_ports)
+
+    def all_ports(self) -> list[int]:
+        ports = list(self.data_ports())
+        if self.gated:
+            ports.append(GATE_PORT)
+        return ports
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.consts:
+            extra += f" consts={self.consts}"
+        if self.gated:
+            extra += " gated"
+        if self.params:
+            extra += f" params={self.params}"
+        return f"<Cell {self.cid} {self.op.value} {self.name!r}{extra}>"
+
+
+@dataclass
+class Arc:
+    """A destination field: carries result packets src -> (dst, dst_port).
+
+    ``tag`` is ``None`` for an unconditional destination, or ``True`` /
+    ``False`` for a destination selected by the source cell's gate
+    control operand.
+
+    ``initial`` optionally pre-loads one data token on the arc before the
+    program starts (used for loop initialization in feedback graphs and
+    by the static rate analysis).
+
+    ``weight`` is the arc's latency weight for the balancing pass: 1 for
+    an ordinary destination, ``1 + 2*shift`` for a source-to-window-gate
+    arc whose selection window starts ``shift`` positions into the
+    stream (the skew the paper's Figure 4 FIFOs absorb).  The simulator
+    ignores it.
+    """
+
+    aid: int
+    src: int
+    dst: int
+    dst_port: int
+    tag: Optional[bool] = None
+    initial: Any = _NO_TOKEN
+    weight: int = 1
+
+    @property
+    def has_initial(self) -> bool:
+        return self.initial is not _NO_TOKEN
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        t = "" if self.tag is None else (" [T]" if self.tag else " [F]")
+        i = f" init={self.initial!r}" if self.has_initial else ""
+        return f"<Arc {self.aid} {self.src}->{self.dst}:{self.dst_port}{t}{i}>"

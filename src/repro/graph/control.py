@@ -1,0 +1,149 @@
+"""Boolean control sequences for gated cells and merges.
+
+The machine-code graphs of Figures 4-8 are steered by finite boolean
+sequences such as ``T..TFF`` (select the first m of m+2 array elements)
+or ``FT..T`` (merge: take the initial value first, then the computed
+stream).  The paper cites Todd's work for generating these sequences
+with "straightforward arrangements of data flow instructions"; here we
+provide both:
+
+* compile-time pattern construction (:func:`window_pattern`,
+  :func:`merge_boundary_pattern`, ...), emitted as pattern SOURCE cells;
+* :func:`build_todd_counter`, a dataflow subgraph that *computes* the
+  same sequence with a counter loop, demonstrating that control
+  sequences are themselves ordinary dataflow code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import GraphError
+from .graph import DataflowGraph
+from .opcodes import (
+    MERGE_CONTROL_PORT,
+    MERGE_FALSE_PORT,
+    MERGE_TRUE_PORT,
+    Op,
+)
+
+
+def window_pattern(stream_lo: int, stream_hi: int, use_lo: int, use_hi: int) -> list[bool]:
+    """Selection pattern for a stream indexed ``[stream_lo, stream_hi]``
+    of which only the window ``[use_lo, use_hi]`` is consumed.
+
+    For the paper's ``C[i-1]`` access with ``i in [1, m]`` and ``C``
+    indexed ``[0, m+1]``, the window is ``[0, m-1]`` and the pattern is
+    ``T..TFF``::
+
+        >>> window_pattern(0, 5, 0, 3)
+        [True, True, True, True, False, False]
+    """
+    if not (stream_lo <= use_lo and use_hi <= stream_hi):
+        raise GraphError(
+            f"window [{use_lo},{use_hi}] outside stream [{stream_lo},{stream_hi}]"
+        )
+    if use_lo > use_hi:
+        raise GraphError(f"empty selection window [{use_lo},{use_hi}]")
+    return [use_lo <= i <= use_hi for i in range(stream_lo, stream_hi + 1)]
+
+
+def predicate_pattern(lo: int, hi: int, pred: Callable[[int], bool]) -> list[bool]:
+    """Pattern obtained by evaluating a predicate over an index range.
+
+    Used for forall bodies whose conditional tests only the index
+    variable (Example 1's ``(i = 0) | (i = m+1)``): the control sequence
+    is known at compile time.
+    """
+    return [bool(pred(i)) for i in range(lo, hi + 1)]
+
+
+def first_k_pattern(n: int, k: int, value: bool = False) -> list[bool]:
+    """``value`` for the first ``k`` positions of ``n``, negated after.
+
+    ``first_k_pattern(m+1, s)`` with ``value=False`` is the merge control
+    ``F..FT..T`` that injects ``s`` initial values before switching to
+    the computed stream (Figure 8's ``FFT...T``).
+    """
+    if not 0 <= k <= n:
+        raise GraphError(f"k={k} outside [0,{n}]")
+    return [value] * k + [not value] * (n - k)
+
+
+def last_k_pattern(n: int, k: int, value: bool = False) -> list[bool]:
+    """``not value`` until the last ``k`` positions (Figure 7's ``T..TF``
+    feedback switch that drops the final element(s))."""
+    if not 0 <= k <= n:
+        raise GraphError(f"k={k} outside [0,{n}]")
+    return [not value] * (n - k) + [value] * k
+
+
+def pattern_to_str(pattern: list[bool]) -> str:
+    """Render a pattern in the paper's notation, e.g. ``T..TFF``."""
+    return "".join("T" if b else "F" for b in pattern)
+
+
+def str_to_pattern(text: str) -> list[bool]:
+    """Parse the paper's ``T``/``F`` notation (no ellipses)."""
+    out = []
+    for ch in text:
+        if ch == "T":
+            out.append(True)
+        elif ch == "F":
+            out.append(False)
+        else:
+            raise GraphError(f"bad pattern character {ch!r}")
+    return out
+
+
+def add_pattern_source(g: DataflowGraph, pattern: list[bool], name: str = "") -> int:
+    """Emit a compile-time control pattern as a SOURCE cell."""
+    label = name or f"ctl_{pattern_to_str(pattern[:6])}{'~' if len(pattern) > 6 else ''}"
+    return g.add_pattern_source(label, pattern)
+
+
+def build_todd_counter(
+    g: DataflowGraph,
+    lo: int,
+    hi: int,
+    cmp_op: Op,
+    bound: int,
+    name: str = "todd",
+) -> int:
+    """Build a counter subgraph that *computes* a control sequence.
+
+    Emits, for ``i = lo .. hi``, the boolean value ``i <cmp_op> bound``.
+    The counter is the classic static-dataflow loop: an ADD cell with a
+    constant increment, a MERGE that injects the initial index, and a
+    gated feedback destination that stops after ``hi``.
+
+    Returns the cell id whose output carries the boolean sequence.  The
+    subgraph is self-contained except for two pattern sources of length
+    ``hi - lo + 1`` that steer the loop itself (initial injection and
+    termination); in Todd's full construction those are tiny two-cell
+    loops -- we use pattern sources to keep the demonstration focused on
+    the computed comparison stream.
+    """
+    n = hi - lo + 1
+    if n <= 0:
+        raise GraphError(f"empty counter range [{lo},{hi}]")
+    merge = g.add_merge(name=f"{name}_merge")
+    inc = g.add_cell(Op.ADD, name=f"{name}_inc", consts={1: 1})
+    cmp_cell = g.add_cell(cmp_op, name=f"{name}_cmp", consts={1: bound})
+    # First value comes from the constant I2 operand (the initial index);
+    # afterwards the incremented index is taken from I1.
+    init_ctl = add_pattern_source(
+        g, first_k_pattern(n, 1, value=False), name=f"{name}_initctl"
+    )
+    g.connect(init_ctl, merge, MERGE_CONTROL_PORT)
+    g.set_const(merge, MERGE_FALSE_PORT, lo)
+    g.connect(inc, merge, MERGE_TRUE_PORT)
+    # The merge result feeds the comparison (the control consumer) and is
+    # fed back through the increment, gated so the loop halts after hi.
+    g.connect(merge, cmp_cell, 0)
+    fb_ctl = add_pattern_source(
+        g, last_k_pattern(n, 1, value=False), name=f"{name}_fbctl"
+    )
+    g.connect(fb_ctl, merge, -1)  # gate control on the merge itself
+    g.connect(merge, inc, 0, tag=True)
+    return cmp_cell

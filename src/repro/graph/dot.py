@@ -1,0 +1,79 @@
+"""Graphviz dot export for instruction graphs (debugging / documentation).
+
+The rendering mirrors the paper's figures: boxes for instruction cells,
+labels with the opcode and any constant operands, ``T``/``F`` edge
+labels for gated destinations, and a dot on arcs carrying an initial
+token.
+"""
+
+from __future__ import annotations
+
+from .cell import GATE_PORT
+from .graph import DataflowGraph
+from .opcodes import Op
+
+_SHAPE = {
+    Op.SOURCE: "invhouse",
+    Op.SINK: "house",
+    Op.MERGE: "trapezium",
+    Op.FIFO: "cds",
+    Op.CONST: "plaintext",
+    Op.AM_READ: "invhouse",
+    Op.AM_WRITE: "house",
+}
+
+
+def _cell_label(cell) -> str:
+    parts = [cell.op.value.upper()]
+    if cell.op is Op.FIFO:
+        parts = [f"FIFO({cell.params['depth']})"]
+    if cell.op is Op.SOURCE and "values" in cell.params:
+        vals = cell.params["values"]
+        if all(isinstance(v, bool) for v in vals):
+            text = "".join("T" if v else "F" for v in vals[:8])
+            if len(vals) > 8:
+                text += ".."
+            parts = [f"ctl<{text}>"]
+    for port, value in sorted(cell.consts.items()):
+        parts.append(f"#{port}={value}")
+    if cell.name:
+        parts.append(cell.name)
+    return "\\n".join(parts)
+
+
+def to_dot(g: DataflowGraph, title: str = "") -> str:
+    """Render ``g`` as Graphviz dot text."""
+    lines = ["digraph dataflow {", "  rankdir=LR;", "  node [fontsize=10];"]
+    if title or g.name:
+        lines.append(f'  label="{title or g.name}";')
+    for cell in g:
+        shape = _SHAPE.get(cell.op, "box")
+        lines.append(
+            f'  n{cell.cid} [shape={shape}, label="{_cell_label(cell)}"];'
+        )
+    for arc in g.arcs.values():
+        attrs = []
+        label = ""
+        if arc.tag is True:
+            label = "T"
+        elif arc.tag is False:
+            label = "F"
+        if arc.dst_port == GATE_PORT:
+            attrs.append("style=dashed")
+            label = (label + " gate").strip()
+        elif g.cells[arc.dst].n_data_ports > 1:
+            label = (label + f" :{arc.dst_port}").strip()
+        if label:
+            attrs.append(f'label="{label}"')
+        if arc.has_initial:
+            attrs.append('color=red')
+            attrs.append(f'xlabel="({arc.initial})"')
+        attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  n{arc.src} -> n{arc.dst}{attr_text};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(g: DataflowGraph, path: str, title: str = "") -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_dot(g, title))

@@ -1,0 +1,117 @@
+"""Well-formedness checks for dataflow instruction graphs.
+
+The simulators assume the invariants enforced here; the compiler
+validates every graph it emits (and the test suite validates every
+hand-built graph).
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from .cell import GATE_PORT
+from .graph import DataflowGraph
+from .opcodes import Op
+
+
+def validate(g: DataflowGraph) -> None:
+    """Raise :class:`GraphError` if ``g`` is malformed.
+
+    Checks:
+
+    * every data operand port of every cell is driven by exactly one arc
+      or bound to a constant operand (SOURCE/CONST cells take none);
+    * cells marked ``gated`` have their gate port driven; non-gated cells
+      have no tagged destination arcs;
+    * MERGE control ports are driven by a boolean-producing arc or const;
+    * FIFO depths are positive; SOURCE cells carry a stream key or a
+      value pattern; SINK cells carry a stream key;
+    * arc endpoints exist and port bookkeeping is internally consistent.
+    """
+    for arc in g.arcs.values():
+        if arc.src not in g.cells or arc.dst not in g.cells:
+            raise GraphError(f"dangling arc {arc!r}")
+        if g.in_arc.get((arc.dst, arc.dst_port)) is not arc:
+            raise GraphError(f"in_arc index inconsistent for {arc!r}")
+        if arc not in g.out_arcs[arc.src]:
+            raise GraphError(f"out_arcs index inconsistent for {arc!r}")
+
+    for cell in g:
+        n_out = len(g.out_arcs[cell.cid])
+        if cell.op is Op.SINK:
+            if n_out:
+                raise GraphError(f"SINK {cell.label} has destinations")
+            if "stream" not in cell.params:
+                raise GraphError(f"SINK {cell.label} lacks a stream key")
+        if cell.op is Op.AM_WRITE and "stream" not in cell.params:
+            raise GraphError(f"AM_WRITE {cell.label} lacks a stream key")
+        if cell.op is Op.SOURCE:
+            if ("stream" in cell.params) == ("values" in cell.params):
+                raise GraphError(
+                    f"SOURCE {cell.label} needs exactly one of stream=/values="
+                )
+        if cell.op is Op.AM_READ and "stream" not in cell.params:
+            raise GraphError(f"AM_READ {cell.label} lacks a stream key")
+        if cell.op is Op.CONST and "value" not in cell.params:
+            raise GraphError(f"CONST {cell.label} lacks a value")
+        if cell.op is Op.FIFO:
+            depth = cell.params.get("depth", 0)
+            if not isinstance(depth, int) or depth < 1:
+                raise GraphError(f"FIFO {cell.label} has bad depth {depth!r}")
+            if cell.gated:
+                raise GraphError(
+                    f"FIFO {cell.label} cannot be gated (gate the cell "
+                    f"feeding it instead)"
+                )
+
+        # Operand coverage ------------------------------------------------
+        for port in cell.data_ports():
+            driven = (cell.cid, port) in g.in_arc
+            has_const = port in cell.consts
+            if driven and has_const:
+                raise GraphError(
+                    f"port {port} of {cell.label} both driven and constant"
+                )
+            if not driven and not has_const:
+                raise GraphError(
+                    f"port {port} of {cell.label} ({cell.op.value}) undriven"
+                )
+        for port in cell.consts:
+            if port != GATE_PORT and port >= cell.n_data_ports:
+                raise GraphError(
+                    f"constant on nonexistent port {port} of {cell.label}"
+                )
+
+        # Gating ----------------------------------------------------------
+        tagged = [a for a in g.out_arcs[cell.cid] if a.tag is not None]
+        if cell.gated:
+            if (cell.cid, GATE_PORT) not in g.in_arc and GATE_PORT not in cell.consts:
+                raise GraphError(f"gated cell {cell.label} has undriven gate port")
+        elif tagged:
+            raise GraphError(
+                f"cell {cell.label} has tagged destinations but no gate operand"
+            )
+        if cell.op in (Op.SOURCE, Op.CONST) and cell.gated:
+            raise GraphError(f"{cell.op.value} cell {cell.label} cannot be gated")
+
+    # every non-sink cell should have at least one destination; a result
+    # with nowhere to go indicates a compiler bug (dead code).
+    for cell in g:
+        if cell.op in (Op.SINK, Op.AM_WRITE):
+            continue
+        if not g.out_arcs[cell.cid]:
+            raise GraphError(f"cell {cell.label} ({cell.op.value}) has no destinations")
+
+
+def check_stream_inputs(g: DataflowGraph, inputs: dict[str, list]) -> None:
+    """Verify that ``inputs`` covers every SOURCE stream key of ``g``."""
+    missing = []
+    for cell in g.sources():
+        key = cell.params.get("stream")
+        if key is not None and key not in inputs:
+            missing.append(key)
+    for cell in g.cells_by_op(Op.AM_READ):
+        key = cell.params["stream"]
+        if key not in inputs:
+            missing.append(key)
+    if missing:
+        raise GraphError(f"missing input streams: {sorted(set(missing))}")

@@ -1,0 +1,45 @@
+"""Event-driven model of the static dataflow machine of Figure 1.
+
+Processing elements with instruction-cell memories and bounded dispatch
+bandwidth, pipelined function units, array memory units and
+packet-switched routing networks, executing the same machine-level
+instruction graphs as :mod:`repro.sim` with configurable latencies.
+"""
+
+from .assign import (
+    POLICIES,
+    assign_by_stage,
+    assign_round_robin,
+    assign_single,
+    make_assignment,
+)
+from .config import DEFAULT_FU_LATENCY, MachineConfig
+from .machine import Machine, run_machine
+from .packets import (
+    AckPacket,
+    OperationPacket,
+    PacketCounters,
+    ResultPacket,
+    UnitClass,
+    classify_unit,
+)
+from .stats import MachineStats
+
+__all__ = [
+    "AckPacket",
+    "DEFAULT_FU_LATENCY",
+    "Machine",
+    "MachineConfig",
+    "MachineStats",
+    "OperationPacket",
+    "POLICIES",
+    "PacketCounters",
+    "ResultPacket",
+    "UnitClass",
+    "assign_by_stage",
+    "assign_round_robin",
+    "assign_single",
+    "classify_unit",
+    "make_assignment",
+    "run_machine",
+]

@@ -1,0 +1,65 @@
+"""Assignment of instruction cells to processing elements.
+
+The static architecture loads every instruction into a fixed memory
+location before the computation starts; the assignment policy decides
+which PE's instruction memory holds each cell.  Policies matter for the
+dispatch-bandwidth experiments (a PE dispatches a bounded number of
+enabled instructions per cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import SimulationError
+from ..graph.graph import DataflowGraph
+
+Assignment = dict[int, int]  # cell id -> pe index
+
+
+def assign_round_robin(g: DataflowGraph, n_pes: int) -> Assignment:
+    """Cells distributed cyclically in id order (the default)."""
+    return {cid: k % n_pes for k, cid in enumerate(sorted(g.cells))}
+
+
+def assign_single(g: DataflowGraph, n_pes: int) -> Assignment:
+    """Everything on PE 0 (dispatch-bottleneck baseline)."""
+    return {cid: 0 for cid in g.cells}
+
+
+def assign_by_stage(g: DataflowGraph, n_pes: int) -> Assignment:
+    """Consecutive pipeline stages spread across PEs, so neighbouring
+    cells usually sit in different PEs (good dispatch overlap)."""
+    from ..analysis.paths import longest_path_levels
+
+    try:
+        levels = longest_path_levels(
+            g, ignore_arcs=tuple(g.meta.get("feedback_arcs", ()))
+        )
+    except Exception:
+        return assign_round_robin(g, n_pes)
+    return {cid: level % n_pes for cid, level in levels.items()}
+
+
+POLICIES: dict[str, Callable[[DataflowGraph, int], Assignment]] = {
+    "round_robin": assign_round_robin,
+    "single": assign_single,
+    "by_stage": assign_by_stage,
+}
+
+
+def make_assignment(
+    g: DataflowGraph, n_pes: int, policy: str = "round_robin"
+) -> Assignment:
+    try:
+        fn = POLICIES[policy]
+    except KeyError:
+        raise SimulationError(
+            f"unknown assignment policy {policy!r}; "
+            f"choose from {sorted(POLICIES)}"
+        ) from None
+    assignment = fn(g, n_pes)
+    bad = [cid for cid, pe in assignment.items() if not 0 <= pe < n_pes]
+    if bad:
+        raise SimulationError(f"assignment maps cells {bad} outside PE range")
+    return assignment

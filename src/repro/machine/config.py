@@ -1,0 +1,85 @@
+"""Configuration of the static dataflow machine model (Figure 1).
+
+The machine is built from processing elements (PE) holding instruction
+cells, pipelined function units (FU) for arithmetic, array memory units
+(AM), and packet-switched routing networks (RN) carrying operation,
+result and acknowledge packets.  All times are in machine cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.opcodes import Op
+
+#: Default function-unit latencies per opcode (cycles), loosely modeled
+#: on early-1980s pipelined floating-point units.
+DEFAULT_FU_LATENCY: dict[Op, int] = {
+    Op.ADD: 2,
+    Op.SUB: 2,
+    Op.MUL: 3,
+    Op.DIV: 8,
+    Op.NEG: 1,
+    Op.ABS: 1,
+    Op.MIN: 2,
+    Op.MAX: 2,
+    Op.LT: 1,
+    Op.LE: 1,
+    Op.GT: 1,
+    Op.GE: 1,
+    Op.EQ: 1,
+    Op.NE: 1,
+    Op.AND: 1,
+    Op.OR: 1,
+    Op.NOT: 1,
+}
+
+
+@dataclass
+class MachineConfig:
+    """Sizing and timing of one machine instance.
+
+    The ``unit_time()`` preset reproduces the abstract "instruction
+    time" model of the unit-delay simulator: every operation takes one
+    cycle, packets are delivered in zero extra time, and dispatch is
+    unlimited -- used by the fidelity cross-check tests.
+    """
+
+    n_pes: int = 4
+    n_fus: int = 4
+    n_ams: int = 1
+    #: cycles for a packet to cross a routing network
+    rn_delay: int = 2
+    #: cycles a PE needs to dispatch one enabled instruction (its issue
+    #: interval; 0 = unlimited dispatch bandwidth)
+    pe_issue_interval: int = 1
+    #: cycles to execute a local (ID/MERGE/gate) instruction in the PE
+    local_latency: int = 1
+    #: per-opcode FU latencies; FUs accept one operation per cycle
+    fu_latency: dict[Op, int] = field(
+        default_factory=lambda: dict(DEFAULT_FU_LATENCY)
+    )
+    #: array memory access latency
+    am_latency: int = 4
+    #: FU issue interval (pipelined FUs accept one op per cycle)
+    fu_issue_interval: int = 1
+    #: routing network bandwidth in packets/cycle (0 = unlimited)
+    rn_bandwidth: int = 0
+
+    @staticmethod
+    def unit_time() -> "MachineConfig":
+        return MachineConfig(
+            n_pes=1,
+            n_fus=1,
+            n_ams=1,
+            rn_delay=0,
+            pe_issue_interval=0,
+            local_latency=1,
+            fu_latency={op: 1 for op in DEFAULT_FU_LATENCY},
+            am_latency=1,
+            fu_issue_interval=0,
+            rn_bandwidth=0,
+        )
+
+    def latency_of(self, op: Op) -> int:
+        return self.fu_latency.get(op, 1)

@@ -1,0 +1,461 @@
+"""Event-driven simulator of the static dataflow machine (Figure 1).
+
+The model executes a machine-level instruction graph on the full
+architecture: instruction cells live in processing elements with
+bounded dispatch bandwidth; arithmetic operation packets travel through
+a routing network to pipelined function units; array build/select
+operations go to array memory units; result and acknowledge packets
+return through the distribution network.
+
+Timing rules (all in machine cycles):
+
+* an instruction becomes *enabled* when its operand registers are full
+  and all acknowledge packets from its previous firing have returned;
+* its PE dispatches one enabled instruction every ``pe_issue_interval``
+  cycles; dispatch consumes the operands and sends the acknowledge
+  packets to their producers (arrival after ``max(1, rn_delay)``);
+* local instructions (moves, gates, merges) complete in
+  ``local_latency``; FU/AM instructions travel ``rn_delay``, wait for
+  the unit's pipelined issue slot, and take the unit latency;
+* result packets reach the destination cells ``rn_delay`` after
+  completion.
+
+With :meth:`MachineConfig.unit_time` (all latencies one cycle, free
+dispatch) the firing schedule coincides exactly with the unit-delay
+simulator's -- the fidelity tests assert sink-arrival equality.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..errors import DeadlockError, SimulationError
+from ..graph.cell import _NO_TOKEN, GATE_PORT, Cell
+from ..graph.graph import DataflowGraph
+from ..graph.lower import lower_fifos
+from ..graph.opcodes import (
+    BINARY_OPS,
+    MERGE_CONTROL_PORT,
+    MERGE_FALSE_PORT,
+    MERGE_TRUE_PORT,
+    UNARY_OPS,
+    Op,
+    apply_scalar,
+)
+from ..graph.validate import check_stream_inputs, validate
+from .assign import Assignment, make_assignment
+from .config import MachineConfig
+from .packets import PacketCounters, UnitClass, classify_unit
+from .stats import MachineStats
+
+_ABSENT = _NO_TOKEN
+
+
+@dataclass
+class _CellState:
+    operands: dict[int, Any] = field(default_factory=dict)
+    acks_pending: int = 0
+    queued: bool = False       # sitting in its PE's ready queue
+    source_pos: int = 0
+    fire_count: int = 0
+
+
+@dataclass
+class _UnitState:
+    next_free: int = 0
+    busy_cycles: int = 0
+    ops: int = 0
+
+
+class Machine:
+    """One machine instance executing one instruction graph."""
+
+    def __init__(
+        self,
+        graph: DataflowGraph,
+        config: Optional[MachineConfig] = None,
+        inputs: Optional[dict[str, list[Any]]] = None,
+        assignment: Optional[Assignment] = None,
+        policy: str = "round_robin",
+    ) -> None:
+        self.config = config or MachineConfig()
+        if graph.cells_by_op(Op.FIFO):
+            graph = lower_fifos(graph)
+        validate(graph)
+        self.graph = graph
+        self.inputs = {k: list(v) for k, v in (inputs or {}).items()}
+        check_stream_inputs(graph, self.inputs)
+        self.assignment = assignment or make_assignment(
+            graph, self.config.n_pes, policy
+        )
+
+        self.cell_state: dict[int, _CellState] = {}
+        self.sink_values: dict[int, list[Any]] = {}
+        self.sink_times: dict[int, list[int]] = {}
+        self.am_arrays: dict[str, list[Any]] = {}
+        for cell in graph:
+            st = _CellState()
+            self.cell_state[cell.cid] = st
+            if cell.op in (Op.SINK, Op.AM_WRITE):
+                self.sink_values[cell.cid] = []
+                self.sink_times[cell.cid] = []
+            if cell.op is Op.AM_WRITE:
+                self.am_arrays.setdefault(cell.params["stream"], [])
+
+        self.pes = [_UnitState() for _ in range(self.config.n_pes)]
+        self.fus = [_UnitState() for _ in range(self.config.n_fus)]
+        self.ams = [_UnitState() for _ in range(self.config.n_ams)]
+        self._pe_queues: list[list[int]] = [[] for _ in self.pes]
+        self._rn_next_free = 0
+
+        self.packets = PacketCounters()
+        self.now = 0
+        self._events: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._fu_rr = 0
+        self._am_rr = 0
+
+        for cell in graph:
+            self._maybe_ready(cell.cid)
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+    def _at(self, time: int, fn: Callable[[], None]) -> None:
+        heapq.heappush(self._events, (time, self._seq, fn))
+        self._seq += 1
+
+    def _route_delay(self, n_packets: int = 1) -> int:
+        """Routing network delay, with optional bandwidth contention."""
+        delay = self.config.rn_delay
+        if self.config.rn_bandwidth:
+            start = max(self.now, self._rn_next_free)
+            self._rn_next_free = start + (
+                n_packets + self.config.rn_bandwidth - 1
+            ) // self.config.rn_bandwidth
+            delay += start - self.now
+        return delay
+
+    # ------------------------------------------------------------------
+    # enabling
+    # ------------------------------------------------------------------
+    def _peek(self, cell: Cell, port: int) -> Any:
+        if port in cell.consts:
+            return cell.consts[port]
+        st = self.cell_state[cell.cid]
+        return st.operands.get(port, _ABSENT)
+
+    def _is_enabled(self, cell: Cell) -> bool:
+        st = self.cell_state[cell.cid]
+        if st.acks_pending:
+            return False
+        if cell.gated and self._peek(cell, GATE_PORT) is _ABSENT:
+            return False
+        op = cell.op
+        if op in (Op.SOURCE, Op.AM_READ):
+            seq = self._source_seq(cell)
+            return st.source_pos < len(seq)
+        if op is Op.CONST:
+            return True
+        if op is Op.MERGE:
+            ctl = self._peek(cell, MERGE_CONTROL_PORT)
+            if ctl is _ABSENT:
+                return False
+            sel = MERGE_TRUE_PORT if bool(ctl) else MERGE_FALSE_PORT
+            return self._peek(cell, sel) is not _ABSENT
+        for port in cell.data_ports():
+            if self._peek(cell, port) is _ABSENT:
+                return False
+        return True
+
+    def _source_seq(self, cell: Cell) -> list[Any]:
+        if "values" in cell.params:
+            return cell.params["values"]
+        return self.inputs[cell.params["stream"]]
+
+    def _maybe_ready(self, cid: int) -> None:
+        cell = self.graph.cells[cid]
+        st = self.cell_state[cid]
+        if st.queued or not self._is_enabled(cell):
+            return
+        st.queued = True
+        pe_idx = self.assignment[cid]
+        self._pe_queues[pe_idx].append(cid)
+        self._schedule_dispatch(pe_idx)
+
+    def _schedule_dispatch(self, pe_idx: int) -> None:
+        pe = self.pes[pe_idx]
+        when = max(self.now, pe.next_free)
+        self._at(when, lambda: self._dispatch(pe_idx))
+
+    # ------------------------------------------------------------------
+    # firing
+    # ------------------------------------------------------------------
+    def _dispatch(self, pe_idx: int) -> None:
+        pe = self.pes[pe_idx]
+        queue = self._pe_queues[pe_idx]
+        if not queue:
+            return
+        if self.now < pe.next_free:
+            # the PE is still issuing an earlier instruction; retry when
+            # its dispatch slot frees up
+            self._at(pe.next_free, lambda: self._dispatch(pe_idx))
+            return
+        cid = queue.pop(0)
+        cell = self.graph.cells[cid]
+        st = self.cell_state[cid]
+        st.queued = False
+        if not self._is_enabled(cell):
+            # state changed while queued (merge control flipped, etc.)
+            self._maybe_ready(cid)
+            if queue:
+                self._schedule_dispatch(pe_idx)
+            return
+        if self.config.pe_issue_interval:
+            pe.next_free = self.now + self.config.pe_issue_interval
+            pe.busy_cycles += self.config.pe_issue_interval
+        pe.ops += 1
+        self._fire(cell)
+        if queue:
+            self._schedule_dispatch(pe_idx)
+
+    def _fire(self, cell: Cell) -> None:
+        st = self.cell_state[cell.cid]
+        st.fire_count += 1
+        g = self.graph
+        gate_val: Any = None
+        consumed_ports: list[int] = []
+        if cell.gated:
+            gate_val = self._peek(cell, GATE_PORT)
+            if GATE_PORT not in cell.consts:
+                consumed_ports.append(GATE_PORT)
+
+        op = cell.op
+        result: Any = None
+        if op in (Op.SOURCE, Op.AM_READ):
+            result = self._source_seq(cell)[st.source_pos]
+            st.source_pos += 1
+        elif op is Op.CONST:
+            result = cell.params["value"]
+        elif op in (Op.SINK, Op.AM_WRITE):
+            result = self._peek(cell, 0)
+            consumed_ports.append(0)
+        elif op is Op.MERGE:
+            ctl = self._peek(cell, MERGE_CONTROL_PORT)
+            sel = MERGE_TRUE_PORT if bool(ctl) else MERGE_FALSE_PORT
+            result = self._peek(cell, sel)
+            for port in (MERGE_CONTROL_PORT, sel):
+                if port not in cell.consts:
+                    consumed_ports.append(port)
+        else:
+            args = [self._peek(cell, p) for p in cell.data_ports()]
+            consumed_ports.extend(
+                p for p in cell.data_ports() if p not in cell.consts
+            )
+            if op is Op.ID:
+                result = args[0]
+            elif op in BINARY_OPS or op in UNARY_OPS:
+                try:
+                    result = apply_scalar(op, args)
+                except ZeroDivisionError as exc:
+                    raise SimulationError(
+                        f"division by zero in {cell.label} at cycle {self.now}"
+                    ) from exc
+            else:
+                raise SimulationError(f"cannot execute {op!r}")
+
+        # acknowledge the producers of every consumed operand
+        ack_delay = max(1, self.config.rn_delay)
+        for port in consumed_ports:
+            arc = g.in_arc.get((cell.cid, port))
+            st.operands.pop(port, None)
+            if arc is None:
+                continue
+            self.packets.acks += 1
+            self._at(
+                self.now + ack_delay,
+                lambda src=arc.src: self._deliver_ack(src),
+            )
+
+        # destinations this firing writes
+        out = [
+            a
+            for a in g.out_arcs[cell.cid]
+            if a.tag is None or a.tag == bool(gate_val)
+        ]
+        st.acks_pending = len(out)
+
+        unit = classify_unit(op.value)
+        self.packets.count_op(unit)
+        if op in (Op.SINK, Op.AM_WRITE):
+            if op is Op.AM_WRITE:
+                unit_state = self._pick_unit(self.ams, "am")
+                arrival = self.now + self._route_delay()
+                start = max(arrival, unit_state.next_free)
+                if self.config.fu_issue_interval:
+                    unit_state.next_free = start + self.config.fu_issue_interval
+                unit_state.busy_cycles += self.config.am_latency
+                unit_state.ops += 1
+                done = start + self.config.am_latency
+            else:
+                done = self.now + self.config.local_latency
+            value = result
+            self._at(done, lambda: self._record_sink(cell, value))
+            self._maybe_ready(cell.cid)
+            return
+
+        if unit is UnitClass.LOCAL:
+            done = self.now + self.config.local_latency
+        else:
+            pool = self.fus if unit is UnitClass.FUNCTION_UNIT else self.ams
+            unit_state = self._pick_unit(
+                pool, "fu" if unit is UnitClass.FUNCTION_UNIT else "am"
+            )
+            arrival = self.now + self._route_delay()
+            start = max(arrival, unit_state.next_free)
+            if self.config.fu_issue_interval:
+                unit_state.next_free = start + self.config.fu_issue_interval
+            latency = (
+                self.config.am_latency
+                if unit is UnitClass.ARRAY_MEMORY
+                else self.config.latency_of(op)
+            )
+            unit_state.busy_cycles += latency
+            unit_state.ops += 1
+            done = start + latency
+
+        deliver = done + self._route_delay(len(out))
+        deliver = max(deliver, self.now + 1)
+        value = result
+        self._at(deliver, lambda: self._deliver_results(cell.cid, out, value))
+        # the cell itself may refire once operands/acks return
+        self._maybe_ready(cell.cid)
+
+    def _pick_unit(self, pool: list[_UnitState], kind: str) -> _UnitState:
+        if kind == "fu":
+            self._fu_rr = (self._fu_rr + 1) % len(pool)
+            return pool[self._fu_rr]
+        self._am_rr = (self._am_rr + 1) % len(pool)
+        return pool[self._am_rr]
+
+    # ------------------------------------------------------------------
+    # deliveries
+    # ------------------------------------------------------------------
+    def _deliver_results(self, src: int, arcs: list, value: Any) -> None:
+        for arc in arcs:
+            self.packets.results += 1
+            st = self.cell_state[arc.dst]
+            if arc.dst_port in st.operands:
+                raise SimulationError(
+                    f"operand overrun at cell {arc.dst} port {arc.dst_port} "
+                    f"(acknowledge discipline violated)"
+                )
+            st.operands[arc.dst_port] = value
+            self._maybe_ready(arc.dst)
+
+    def _deliver_ack(self, producer: int) -> None:
+        st = self.cell_state[producer]
+        if st.acks_pending > 0:
+            st.acks_pending -= 1
+        if st.acks_pending == 0:
+            self._maybe_ready(producer)
+
+    def _record_sink(self, cell: Cell, value: Any) -> None:
+        self.sink_values[cell.cid].append(value)
+        self.sink_times[cell.cid].append(self.now)
+        if cell.op is Op.AM_WRITE:
+            self.am_arrays[cell.params["stream"]].append(value)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 50_000_000) -> MachineStats:
+        # Pre-load initial tokens.  The producing cell of a pre-loaded
+        # arc owes an acknowledge before its own first firing may write
+        # that arc (single-token discipline), so it starts with a
+        # pending acknowledge per initial token.
+        for arc in self.graph.arcs.values():
+            if arc.has_initial:
+                self.cell_state[arc.dst].operands[arc.dst_port] = arc.initial
+                self.cell_state[arc.src].acks_pending += 1
+        for cid in self.graph.cells:
+            self._maybe_ready(cid)
+
+        while self._events:
+            time, _seq, fn = heapq.heappop(self._events)
+            if time > max_cycles:
+                raise SimulationError(
+                    f"machine simulation exceeded {max_cycles} cycles"
+                )
+            self.now = time
+            fn()
+        self._check_complete()
+        return self.stats()
+
+    def _check_complete(self) -> None:
+        pending = 0
+        for cid, values in self.sink_values.items():
+            limit = self.graph.cells[cid].params.get("limit")
+            if limit is not None and len(values) < limit:
+                pending += limit - len(values)
+        if pending:
+            raise DeadlockError(
+                f"machine quiescent at cycle {self.now} with {pending} "
+                f"expected outputs missing",
+                step=self.now,
+                pending=pending,
+            )
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def outputs(self) -> dict[str, list[Any]]:
+        out: dict[str, list[Any]] = {}
+        for cid, values in self.sink_values.items():
+            stream = self.graph.cells[cid].params["stream"]
+            out[stream] = values
+        return out
+
+    def sink_arrival_times(self, stream: str) -> list[int]:
+        for cid in self.sink_values:
+            if self.graph.cells[cid].params["stream"] == stream:
+                return self.sink_times[cid]
+        raise SimulationError(f"no sink for stream {stream!r}")
+
+    def initiation_interval(self, stream: str) -> float:
+        times = self.sink_arrival_times(stream)
+        if len(times) < 3:
+            return float("nan")
+        skip = max(1, len(times) // 2)
+        window = times[skip:]
+        return (window[-1] - window[0]) / (len(window) - 1)
+
+    def stats(self) -> MachineStats:
+        return MachineStats(
+            cycles=self.now,
+            packets=self.packets,
+            pe_ops=[u.ops for u in self.pes],
+            fu_ops=[u.ops for u in self.fus],
+            am_ops=[u.ops for u in self.ams],
+            pe_busy=[u.busy_cycles for u in self.pes],
+            fu_busy=[u.busy_cycles for u in self.fus],
+            am_busy=[u.busy_cycles for u in self.ams],
+            fire_counts={
+                cid: st.fire_count for cid, st in self.cell_state.items()
+            },
+        )
+
+
+def run_machine(
+    graph: DataflowGraph,
+    inputs: Optional[dict[str, list[Any]]] = None,
+    config: Optional[MachineConfig] = None,
+    policy: str = "round_robin",
+    max_cycles: int = 50_000_000,
+) -> tuple[dict[str, list[Any]], MachineStats, Machine]:
+    """Convenience wrapper: build, run, and collect outputs + stats."""
+    machine = Machine(graph, config=config, inputs=inputs, policy=policy)
+    stats = machine.run(max_cycles=max_cycles)
+    return machine.outputs(), stats, machine

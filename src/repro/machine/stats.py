@@ -1,0 +1,44 @@
+"""Aggregate statistics of a machine-level simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .packets import PacketCounters
+
+
+@dataclass
+class MachineStats:
+    """Cycle counts, packet traffic and per-unit load of one run."""
+
+    cycles: int
+    packets: PacketCounters
+    pe_ops: list[int] = field(default_factory=list)
+    fu_ops: list[int] = field(default_factory=list)
+    am_ops: list[int] = field(default_factory=list)
+    pe_busy: list[int] = field(default_factory=list)
+    fu_busy: list[int] = field(default_factory=list)
+    am_busy: list[int] = field(default_factory=list)
+    fire_counts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_firings(self) -> int:
+        return sum(self.fire_counts.values())
+
+    def pe_utilization(self) -> list[float]:
+        if self.cycles == 0:
+            return [0.0] * len(self.pe_busy)
+        return [b / self.cycles for b in self.pe_busy]
+
+    def fu_utilization(self) -> list[float]:
+        if self.cycles == 0:
+            return [0.0] * len(self.fu_busy)
+        return [b / self.cycles for b in self.fu_busy]
+
+    def summary(self) -> str:
+        pe_u = ", ".join(f"{u:.0%}" for u in self.pe_utilization())
+        fu_u = ", ".join(f"{u:.0%}" for u in self.fu_utilization())
+        return (
+            f"{self.cycles} cycles, {self.total_firings} firings; "
+            f"{self.packets.summary()}; PE util [{pe_u}]; FU util [{fu_u}]"
+        )

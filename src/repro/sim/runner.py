@@ -1,0 +1,77 @@
+"""Convenience front end for running compiled graphs.
+
+:func:`run_graph` wraps :class:`~repro.sim.sync.SyncSimulator` with the
+common protocol used by tests, examples and benchmarks: feed finite
+input streams, run to quiescence, collect output streams, and report
+throughput figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..graph.graph import DataflowGraph
+from .sync import SimStats, SinkRecord, SyncSimulator
+
+
+@dataclass
+class RunResult:
+    """Outcome of one end-to-end run."""
+
+    outputs: dict[str, list[Any]]
+    stats: SimStats
+    sink_records: dict[str, SinkRecord] = field(default_factory=dict)
+
+    def initiation_interval(self, stream: Optional[str] = None) -> float:
+        """Steady-state steps between successive outputs of ``stream``
+        (the only output stream when omitted).  2.0 == fully pipelined."""
+        rec = self._record(stream)
+        return rec.initiation_interval()
+
+    def throughput(self, stream: Optional[str] = None) -> float:
+        """Results per instruction time for ``stream`` (max 0.5)."""
+        ii = self.initiation_interval(stream)
+        return 1.0 / ii if ii and ii == ii else 0.0
+
+    def latency(self, stream: Optional[str] = None) -> int:
+        """Step at which the first output of ``stream`` arrived."""
+        rec = self._record(stream)
+        return rec.times[0] if rec.times else -1
+
+    def _record(self, stream: Optional[str]) -> SinkRecord:
+        if stream is None:
+            if len(self.sink_records) != 1:
+                raise ValueError(
+                    f"stream must be named; outputs: {sorted(self.sink_records)}"
+                )
+            return next(iter(self.sink_records.values()))
+        return self.sink_records[stream]
+
+
+def run_graph(
+    graph: DataflowGraph,
+    inputs: Optional[dict[str, list[Any]]] = None,
+    max_steps: int = 1_000_000,
+    raise_on_deadlock: bool = True,
+    record_trace: bool = False,
+) -> RunResult:
+    """Simulate ``graph`` on ``inputs`` until quiescent and collect results."""
+    sim = SyncSimulator(graph, inputs, record_trace=record_trace)
+    sim.run(max_steps=max_steps, raise_on_deadlock=raise_on_deadlock)
+    by_stream = {rec.stream: rec for rec in sim.sink_records.values()}
+    return RunResult(
+        outputs=sim.outputs(),
+        stats=sim.stats,
+        sink_records=by_stream,
+    )
+
+
+def measure_initiation_interval(
+    graph: DataflowGraph,
+    inputs: dict[str, list[Any]],
+    stream: Optional[str] = None,
+    max_steps: int = 1_000_000,
+) -> float:
+    """Shorthand: run and return the steady-state initiation interval."""
+    return run_graph(graph, inputs, max_steps=max_steps).initiation_interval(stream)

@@ -1,0 +1,480 @@
+"""Synchronous ("instruction time") simulator of the static dataflow machine.
+
+This simulator implements exactly the timing discipline the paper's rate
+arguments rest on (Section 3):
+
+* every arc (destination field + its reverse acknowledge path) holds at
+  most **one** data token;
+* an instruction cell is **enabled** when all its required operand
+  tokens are present *and* every destination arc it would write is free
+  (i.e. all acknowledge packets from the previous firing have arrived);
+* each simulation step, **all** enabled cells fire simultaneously; their
+  results and the freeing of their input arcs become visible at the next
+  step.
+
+Consequences (all verified by the test suite):
+
+* an isolated producer/consumer pair refires every **2 steps** -- the
+  paper's "about two instruction times";
+* a feedback cycle of ``L`` cells holding ``k`` tokens produces at rate
+  ``k/L`` (Todd's 3-cell loop: 1/3; the companion scheme's 4-cell loop
+  with 2 circulating values: 1/2);
+* a fork/join with unequal path lengths throttles below 1/2 until FIFO
+  buffers balance it;
+* a loop sustaining two tokens at full rate must have an **even** number
+  of stages (the paper's inserted ID cell).
+
+A graph is *fully pipelined* when its steady-state initiation interval
+is 2 steps per output element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import DeadlockError, GraphError, SimulationError
+from ..graph.cell import _NO_TOKEN, GATE_PORT, Cell
+from ..graph.graph import DataflowGraph
+from ..graph.opcodes import (
+    BINARY_OPS,
+    MERGE_CONTROL_PORT,
+    MERGE_FALSE_PORT,
+    MERGE_TRUE_PORT,
+    UNARY_OPS,
+    Op,
+    apply_scalar,
+)
+from ..graph.validate import check_stream_inputs, validate
+
+_ABSENT = _NO_TOKEN  # reuse the cell module's sentinel
+
+
+@dataclass
+class SinkRecord:
+    """Values received by one SINK cell, with their arrival steps."""
+
+    stream: str
+    values: list[Any] = field(default_factory=list)
+    times: list[int] = field(default_factory=list)
+
+    def initiation_interval(self, skip: Optional[int] = None) -> float:
+        """Steady-state initiation interval (steps between outputs).
+
+        Computed as the mean inter-arrival gap after discarding the first
+        ``skip`` arrivals (default: the first half, to exclude pipeline
+        fill).  A fully pipelined graph reports 2.0.
+        """
+        times = self.times
+        if len(times) < 3:
+            return float("nan")
+        if skip is None:
+            skip = max(1, len(times) // 2)
+        skip = min(skip, len(times) - 2)
+        window = times[skip:]
+        return (window[-1] - window[0]) / (len(window) - 1)
+
+
+@dataclass
+class SimStats:
+    """Aggregate statistics of one simulation run."""
+
+    steps: int = 0
+    total_firings: int = 0
+    fire_counts: dict[int, int] = field(default_factory=dict)
+
+    def utilization(self, cid: int) -> float:
+        """Fraction of the maximum firing rate (1 per 2 steps) achieved."""
+        if self.steps == 0:
+            return 0.0
+        return self.fire_counts.get(cid, 0) / (self.steps / 2.0)
+
+
+class _FifoState:
+    """Shift-register state of an unexpanded FIFO(d) cell.
+
+    Timing-equivalent to a chain of ``d`` identity cells.  The chain has
+    ``d - 1`` *internal* arcs (the input and output arcs belong to the
+    surrounding graph), so the state keeps ``d - 1`` slots; tokens
+    advance one slot per step when the next slot was free at the start
+    of the step, adding exactly ``d`` steps of latency end to end.
+    """
+
+    __slots__ = ("slots",)
+
+    def __init__(self, depth: int) -> None:
+        self.slots: list[Any] = [_ABSENT] * (depth - 1)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(1 for s in self.slots if s is not _ABSENT)
+
+
+class SyncSimulator:
+    """Run a :class:`DataflowGraph` under the unit-delay acknowledge model.
+
+    Parameters
+    ----------
+    graph:
+        The program to run.  Validated on construction.
+    inputs:
+        Mapping from stream key to the finite list of values each SOURCE
+        (or AM_READ) cell with that key emits, in order.
+    record_trace:
+        Keep a per-step list of fired cell ids (memory-heavy; debugging).
+    """
+
+    def __init__(
+        self,
+        graph: DataflowGraph,
+        inputs: Optional[dict[str, list[Any]]] = None,
+        record_trace: bool = False,
+    ) -> None:
+        validate(graph)
+        self.graph = graph
+        self.inputs = {k: list(v) for k, v in (inputs or {}).items()}
+        check_stream_inputs(graph, self.inputs)
+
+        self.arc_value: dict[int, Any] = {}
+        for arc in graph.arcs.values():
+            self.arc_value[arc.aid] = arc.initial if arc.has_initial else _ABSENT
+
+        self.source_pos: dict[int, int] = {}
+        self.source_seq: dict[int, list[Any]] = {}
+        self.sink_records: dict[int, SinkRecord] = {}
+        self.fifo_state: dict[int, _FifoState] = {}
+        for cell in graph:
+            if cell.op in (Op.SOURCE, Op.AM_READ):
+                seq = (
+                    cell.params["values"]
+                    if "values" in cell.params
+                    else self.inputs[cell.params["stream"]]
+                )
+                self.source_seq[cell.cid] = seq
+                self.source_pos[cell.cid] = 0
+            elif cell.op in (Op.SINK, Op.AM_WRITE):
+                self.sink_records[cell.cid] = SinkRecord(cell.params["stream"])
+            elif cell.op is Op.FIFO:
+                self.fifo_state[cell.cid] = _FifoState(cell.params["depth"])
+
+        self.stats = SimStats(fire_counts={cid: 0 for cid in graph.cells})
+        self.trace: Optional[list[list[int]]] = [] if record_trace else None
+        self.step_count = 0
+        self._candidates: set[int] = set(graph.cells)
+
+    # ------------------------------------------------------------------
+    # firing rules
+    # ------------------------------------------------------------------
+    def _peek(self, cid: int, port: int) -> Any:
+        """Pre-state value on an operand port (const or arc token)."""
+        cell = self.graph.cells[cid]
+        if port in cell.consts:
+            return cell.consts[port]
+        arc = self.graph.in_arc.get((cid, port))
+        if arc is None:
+            return _ABSENT
+        return self.arc_value[arc.aid]
+
+    def _required_out_arcs(self, cell: Cell, gate_val: Any) -> list:
+        """Destination arcs this firing would write (tag-matched)."""
+        out = []
+        for arc in self.graph.out_arcs[cell.cid]:
+            if arc.tag is None or arc.tag == bool(gate_val):
+                out.append(arc)
+        return out
+
+    def _try_fire(self, cell: Cell) -> Optional[tuple[list, list, Any]]:
+        """Decide, from pre-state only, whether ``cell`` fires this step.
+
+        Returns ``(consumed_arcs, written_arcs, result)`` or ``None``.
+        ``result`` is the value routed to ``written_arcs`` (ignored for
+        sinks).
+        """
+        op = cell.op
+        g = self.graph
+
+        # gate control ---------------------------------------------------
+        gate_val: Any = None
+        if cell.gated:
+            gate_val = self._peek(cell.cid, GATE_PORT)
+            if gate_val is _ABSENT:
+                return None
+
+        consumed = []
+        if cell.gated and GATE_PORT not in cell.consts:
+            consumed.append(g.in_arc[(cell.cid, GATE_PORT)])
+
+        if op in (Op.SOURCE, Op.AM_READ):
+            pos = self.source_pos[cell.cid]
+            seq = self.source_seq[cell.cid]
+            if pos >= len(seq):
+                return None
+            writes = self._required_out_arcs(cell, gate_val)
+            if any(self.arc_value[a.aid] is not _ABSENT for a in writes):
+                return None
+            return (consumed, writes, seq[pos])
+
+        if op is Op.CONST:
+            writes = self._required_out_arcs(cell, gate_val)
+            if any(self.arc_value[a.aid] is not _ABSENT for a in writes):
+                return None
+            return (consumed, writes, cell.params["value"])
+
+        if op in (Op.SINK, Op.AM_WRITE):
+            val = self._peek(cell.cid, 0)
+            if val is _ABSENT:
+                return None
+            arc = g.in_arc.get((cell.cid, 0))
+            if arc is not None:
+                consumed.append(arc)
+            return (consumed, [], val)
+
+        if op is Op.MERGE:
+            ctl = self._peek(cell.cid, MERGE_CONTROL_PORT)
+            if ctl is _ABSENT:
+                return None
+            sel_port = MERGE_TRUE_PORT if bool(ctl) else MERGE_FALSE_PORT
+            val = self._peek(cell.cid, sel_port)
+            if val is _ABSENT:
+                return None
+            writes = self._required_out_arcs(cell, gate_val)
+            if any(self.arc_value[a.aid] is not _ABSENT for a in writes):
+                return None
+            for port in (MERGE_CONTROL_PORT, sel_port):
+                arc = g.in_arc.get((cell.cid, port))
+                if arc is not None:
+                    consumed.append(arc)
+            return (consumed, writes, val)
+
+        if op is Op.FIFO:
+            # handled by _advance_fifo; never reaches here
+            raise SimulationError("FIFO cells are advanced, not fired")
+
+        # ordinary scalar operator / ID -----------------------------------
+        args = []
+        for port in cell.data_ports():
+            val = self._peek(cell.cid, port)
+            if val is _ABSENT:
+                return None
+            args.append(val)
+        writes = self._required_out_arcs(cell, gate_val)
+        if any(self.arc_value[a.aid] is not _ABSENT for a in writes):
+            return None
+        for port in cell.data_ports():
+            arc = g.in_arc.get((cell.cid, port))
+            if arc is not None:
+                consumed.append(arc)
+        if op is Op.ID:
+            result = args[0]
+        elif op in BINARY_OPS or op in UNARY_OPS:
+            try:
+                result = apply_scalar(op, args)
+            except ZeroDivisionError as exc:
+                raise SimulationError(
+                    f"division by zero in cell {cell.label} at step "
+                    f"{self.step_count}"
+                ) from exc
+        else:
+            raise SimulationError(f"cannot execute opcode {op!r}")
+        return (consumed, writes, result)
+
+    def _advance_fifo(self, cell: Cell) -> tuple[list, list, list[tuple[int, Any]]]:
+        """Plan one step of a FIFO shift register from pre-state.
+
+        Returns (consumed_arcs, written_arc_values, slot_updates) where
+        ``written_arc_values`` is a list of (arc, value) pairs and
+        ``slot_updates`` of (slot index, new value | _ABSENT).
+        """
+        st = self.fifo_state[cell.cid]
+        g = self.graph
+        consumed: list = []
+        writes: list[tuple[Any, Any]] = []
+        updates: list[tuple[int, Any]] = []
+        n_slots = len(st.slots)
+        out = g.out_arcs[cell.cid]
+        in_arc = g.in_arc.get((cell.cid, 0))
+        out_free = all(self.arc_value[a.aid] is _ABSENT for a in out)
+
+        if n_slots == 0:
+            # depth 1: a single identity cell, input arc straight to output.
+            if in_arc is not None:
+                val = self.arc_value[in_arc.aid]
+                if val is not _ABSENT and out_free:
+                    consumed.append(in_arc)
+                    for a in out:
+                        writes.append((a, val))
+            return (consumed, writes, updates)
+
+        # Tail slot -> output arcs (the last ID cell of the chain firing).
+        tail = st.slots[n_slots - 1]
+        if tail is not _ABSENT and out_free:
+            for a in out:
+                writes.append((a, tail))
+            updates.append((n_slots - 1, _ABSENT))
+
+        # Interior shifts, decided on pre-state occupancy only.
+        for j in range(n_slots - 2, -1, -1):
+            here = st.slots[j]
+            if here is not _ABSENT and st.slots[j + 1] is _ABSENT:
+                updates.append((j + 1, here))
+                updates.append((j, _ABSENT))
+
+        # Input arc -> head slot (the first ID cell firing).
+        if in_arc is not None:
+            val = self.arc_value[in_arc.aid]
+            if val is not _ABSENT and st.slots[0] is _ABSENT:
+                consumed.append(in_arc)
+                updates.append((0, val))
+        return (consumed, writes, updates)
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self) -> int:
+        """Advance one instruction time.  Returns the number of firings."""
+        g = self.graph
+        firings: list[tuple[Cell, list, list, Any]] = []
+        fifo_plans: list[tuple[Cell, list, list, list]] = []
+
+        candidates = self._candidates
+        for cid in sorted(candidates):
+            cell = g.cells.get(cid)
+            if cell is None:
+                continue
+            if cell.op is Op.FIFO:
+                consumed, writes, updates = self._advance_fifo(cell)
+                if consumed or writes or updates:
+                    fifo_plans.append((cell, consumed, writes, updates))
+            else:
+                plan = self._try_fire(cell)
+                if plan is not None:
+                    firings.append((cell, plan[0], plan[1], plan[2]))
+
+        changed_arcs: set[int] = set()
+        n_fired = 0
+
+        # Apply phase: consumptions first, then productions.  No conflicts
+        # are possible (an arc written must have been empty at pre-state,
+        # so it is not simultaneously consumed).
+        for cell, consumed, writes, result in firings:
+            n_fired += 1
+            self.stats.fire_counts[cell.cid] += 1
+            for arc in consumed:
+                self.arc_value[arc.aid] = _ABSENT
+                changed_arcs.add(arc.aid)
+            if cell.op in (Op.SOURCE, Op.AM_READ):
+                self.source_pos[cell.cid] += 1
+            elif cell.op in (Op.SINK, Op.AM_WRITE):
+                rec = self.sink_records[cell.cid]
+                rec.values.append(result)
+                rec.times.append(self.step_count)
+            for arc in writes:
+                self.arc_value[arc.aid] = result
+                changed_arcs.add(arc.aid)
+
+        active_fifos: set[int] = set()
+        for cell, consumed, writes, updates in fifo_plans:
+            st = self.fifo_state[cell.cid]
+            moved = bool(consumed or writes or updates)
+            if moved:
+                n_fired += 1
+                self.stats.fire_counts[cell.cid] += 1
+            for arc in consumed:
+                self.arc_value[arc.aid] = _ABSENT
+                changed_arcs.add(arc.aid)
+            for arc, value in writes:
+                self.arc_value[arc.aid] = value
+                changed_arcs.add(arc.aid)
+            for slot, value in updates:
+                st.slots[slot] = value
+            if st.occupancy:
+                active_fifos.add(cell.cid)
+
+        # Next-step candidates: cells adjacent to any changed arc, plus
+        # FIFOs still holding tokens (they advance without arc activity),
+        # plus sources that fired (they self-retrigger when arcs free --
+        # covered by arc changes) -- see DESIGN.md.
+        nxt: set[int] = set(active_fifos)
+        for cid, fs in self.fifo_state.items():
+            if fs.occupancy:
+                nxt.add(cid)
+        for aid in changed_arcs:
+            arc = g.arcs[aid]
+            nxt.add(arc.src)
+            nxt.add(arc.dst)
+        self._candidates = nxt
+
+        if self.trace is not None:
+            self.trace.append([c.cid for c, *_ in firings])
+        self.step_count += 1
+        self.stats.steps = self.step_count
+        self.stats.total_firings += n_fired
+        return n_fired
+
+    def run(
+        self,
+        max_steps: int = 1_000_000,
+        raise_on_deadlock: bool = True,
+    ) -> SimStats:
+        """Run to quiescence (no enabled cells) or until ``max_steps``.
+
+        Raises :class:`DeadlockError` if the graph quiesces while some
+        SINK with a declared ``limit`` is still short of tokens -- the
+        paper's "jam" condition.
+        """
+        while self.step_count < max_steps:
+            if self.step() == 0:
+                break
+        else:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_steps} steps"
+            )
+        if raise_on_deadlock:
+            self._check_complete()
+        return self.stats
+
+    def _check_complete(self) -> None:
+        pending = 0
+        for cid, rec in self.sink_records.items():
+            limit = self.graph.cells[cid].params.get("limit")
+            if limit is not None and len(rec.values) < limit:
+                pending += limit - len(rec.values)
+        if pending:
+            raise DeadlockError(
+                f"quiescent at step {self.step_count} with {pending} expected "
+                f"output tokens missing (jammed or starved pipeline); "
+                f"blocked cells: {self._blocked_report()}",
+                step=self.step_count,
+                pending=pending,
+            )
+
+    def _blocked_report(self, limit: int = 5) -> str:
+        """Short description of cells holding unconsumed inputs (debugging)."""
+        blocked = []
+        for cell in self.graph:
+            for port in cell.all_ports():
+                arc = self.graph.in_arc.get((cell.cid, port))
+                if arc is not None and self.arc_value[arc.aid] is not _ABSENT:
+                    blocked.append(cell.label)
+                    break
+        head = blocked[:limit]
+        more = f" (+{len(blocked) - limit} more)" if len(blocked) > limit else ""
+        return ", ".join(head) + more if head else "none"
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def outputs(self) -> dict[str, list[Any]]:
+        """Collected sink streams keyed by stream name."""
+        out: dict[str, list[Any]] = {}
+        for rec in self.sink_records.values():
+            if rec.stream in out:
+                raise GraphError(f"duplicate sink stream {rec.stream!r}")
+            out[rec.stream] = rec.values
+        return out
+
+    def sink_record(self, stream: str) -> SinkRecord:
+        for rec in self.sink_records.values():
+            if rec.stream == stream:
+                return rec
+        raise GraphError(f"no sink records stream {stream!r}")

@@ -1,0 +1,528 @@
+"""Classification of Val constructs per the paper's definitions.
+
+Section 5 defines *primitive expressions* (PEs) on an index variable i
+by six formation rules; Sections 6 and 7 define *primitive forall*
+expressions and *primitive for-iter* constructs on top of them.  The
+compiler's mapping schemes apply exactly to these classes, so the
+classifier both gates compilation and extracts the structural facts
+(array-access offsets, loop ranges, the recurrence element expression)
+the schemes need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..errors import ClassificationError
+from . import ast_nodes as A
+from .interpreter import const_eval
+
+_ARITH_REL_BOOL = {"+", "-", "*", "/", "<", "<=", ">", ">=", "=", "~=", "&", "|"}
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """One ``A[i+offset]`` occurrence inside a primitive expression."""
+
+    array: str
+    offset: int
+
+
+@dataclass
+class PEInfo:
+    """Facts about a verified primitive expression."""
+
+    accesses: list[ArrayAccess] = field(default_factory=list)
+
+    @property
+    def is_scalar(self) -> bool:
+        """Rule (4) unused: a *scalar* primitive expression."""
+        return not self.accesses
+
+    def arrays(self) -> set[str]:
+        return {a.array for a in self.accesses}
+
+
+def index_offset(
+    expr: A.Expr, index_var: str, params: Mapping[str, int]
+) -> Optional[int]:
+    """Offset ``m`` when ``expr`` is ``i``, ``i + m`` or ``i - m`` with a
+    compile-time constant ``m``; None otherwise."""
+    if isinstance(expr, A.Ident) and expr.name == index_var:
+        return 0
+    if isinstance(expr, A.BinOp) and expr.op in ("+", "-"):
+        left, right = expr.left, expr.right
+        sign = 1 if expr.op == "+" else -1
+        if isinstance(left, A.Ident) and left.name == index_var:
+            try:
+                return sign * const_eval(right, params)
+            except Exception:
+                return None
+        if (
+            expr.op == "+"
+            and isinstance(right, A.Ident)
+            and right.name == index_var
+        ):
+            try:
+                return const_eval(left, params)
+            except Exception:
+                return None
+    return None
+
+
+def classify_primitive(
+    expr: A.Expr,
+    index_var: Optional[str],
+    array_names: set[str],
+    params: Mapping[str, int],
+    scalar_locals: frozenset[str] = frozenset(),
+) -> PEInfo:
+    """Verify ``expr`` is a primitive expression on ``index_var``.
+
+    ``array_names`` are the identifiers denoting arrays in scope (their
+    appearance is only legal under rule 4); everything else identifiers
+    may denote scalars (rule 2).  Raises :class:`ClassificationError`
+    with the violated rule otherwise.
+    """
+    info = PEInfo()
+
+    def visit(node: A.Expr, locals_: frozenset[str]) -> None:
+        # rule (1): scalar literal
+        if isinstance(node, A.Literal):
+            return
+        # rule (2): identifier of a scalar value
+        if isinstance(node, A.Ident):
+            if node.name in array_names and node.name not in locals_:
+                raise ClassificationError(
+                    f"array {node.name!r} used without selection at line "
+                    f"{node.line} (rule 4 requires A[i+m])"
+                )
+            return
+        # rule (3): (E1 op E2)
+        if isinstance(node, A.BinOp):
+            if node.op not in _ARITH_REL_BOOL:
+                raise ClassificationError(
+                    f"operator {node.op!r} not allowed in a primitive "
+                    f"expression (line {node.line})"
+                )
+            visit(node.left, locals_)
+            visit(node.right, locals_)
+            return
+        if isinstance(node, A.UnOp):
+            visit(node.operand, locals_)
+            return
+        # max/min count as arithmetic operators (rule 3)
+        if isinstance(node, A.Builtin):
+            for arg in node.args:
+                visit(arg, locals_)
+            return
+        # rule (4): A[i+m]
+        if isinstance(node, A.Index):
+            if not isinstance(node.base, A.Ident):
+                raise ClassificationError(
+                    f"array selection on a computed array at line {node.line}"
+                )
+            name = node.base.name
+            if name in locals_:
+                raise ClassificationError(
+                    f"indexing let-bound scalar {name!r} at line {node.line}"
+                )
+            if index_var is None:
+                raise ClassificationError(
+                    f"array selection {name}[...] in a scalar-only context "
+                    f"(line {node.line})"
+                )
+            offset = index_offset(node.index, index_var, params)
+            if offset is None:
+                raise ClassificationError(
+                    f"selection index at line {node.line} is not of the form "
+                    f"{index_var}+m with constant m (rule 4)"
+                )
+            info.accesses.append(ArrayAccess(name, offset))
+            return
+        # rule (5): let-in of PEs
+        if isinstance(node, A.Let):
+            inner = locals_
+            for d in node.defs:
+                if isinstance(d.type, A.ArrayType):
+                    raise ClassificationError(
+                        f"let binds array {d.name!r} at line {d.line}; "
+                        f"primitive expressions bind scalars only"
+                    )
+                visit(d.expr, inner)
+                inner = inner | {d.name}
+            visit(node.body, inner)
+            return
+        # rule (6): if-then-else of PEs
+        if isinstance(node, A.If):
+            visit(node.cond, locals_)
+            visit(node.then, locals_)
+            visit(node.els, locals_)
+            return
+        raise ClassificationError(
+            f"{type(node).__name__} at line {node.line} is not allowed in a "
+            f"primitive expression (no nested forall/for-iter or array "
+            f"constructors)"
+        )
+
+    visit(expr, scalar_locals)
+    return info
+
+
+def is_primitive_expr(
+    expr: A.Expr,
+    index_var: Optional[str],
+    array_names: set[str],
+    params: Mapping[str, int],
+) -> bool:
+    try:
+        classify_primitive(expr, index_var, array_names, params)
+        return True
+    except ClassificationError:
+        return False
+
+
+def is_scalar_primitive_expr(
+    expr: A.Expr, array_names: set[str], params: Mapping[str, int]
+) -> bool:
+    """Rules 1,2,3,5 only (no array selection)."""
+    try:
+        info = classify_primitive(expr, None, array_names, params)
+        return info.is_scalar
+    except ClassificationError:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# primitive forall (Section 6)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ForallInfo:
+    """A verified primitive forall expression."""
+
+    var: str
+    lo: int
+    hi: int
+    defs: list[A.Definition]
+    accum: A.Expr
+    accesses: list[ArrayAccess]
+
+    @property
+    def length(self) -> int:
+        return self.hi - self.lo + 1
+
+
+def classify_forall(
+    node: A.Forall, array_names: set[str], params: Mapping[str, int]
+) -> ForallInfo:
+    """Check the Section 6 definition: constant index range; definition
+    right-hand sides and the accumulation part all PEs on the index
+    variable."""
+    try:
+        lo = const_eval(node.lo, params)
+        hi = const_eval(node.hi, params)
+    except Exception as exc:
+        raise ClassificationError(
+            f"forall range at line {node.line} is not compile-time constant: "
+            f"{exc}"
+        ) from None
+    if lo > hi:
+        raise ClassificationError(
+            f"empty forall range [{lo},{hi}] at line {node.line}"
+        )
+    accesses: list[ArrayAccess] = []
+    locals_: frozenset[str] = frozenset()
+    for d in node.defs:
+        if isinstance(d.type, A.ArrayType):
+            raise ClassificationError(
+                f"forall definition {d.name!r} binds an array at line {d.line}"
+            )
+        info = classify_primitive(d.expr, node.var, array_names, params, locals_)
+        accesses.extend(info.accesses)
+        locals_ = locals_ | {d.name}
+    info = classify_primitive(node.accum, node.var, array_names, params, locals_)
+    accesses.extend(info.accesses)
+    return ForallInfo(node.var, lo, hi, list(node.defs), node.accum, accesses)
+
+
+# ---------------------------------------------------------------------------
+# primitive for-iter (Section 7)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ForIterInfo:
+    """A verified primitive for-iter construct.
+
+    The construct denotes: ``X[r] = init``, and for ``i = lo .. hi``:
+    ``X[i] = element_expr`` (which may reference ``X[i-1]`` and input
+    arrays at offsets of ``i``).  ``final_append`` records whether the
+    terminating arm also appends (paper Example 2 as written returns
+    ``T`` without the last element; both forms are accepted).
+    """
+
+    counter: str
+    counter_lo: int
+    acc: str
+    init_index: int
+    init_expr: A.Expr
+    element_expr: A.Expr
+    elem_lo: int
+    elem_hi: int
+    final_append: bool
+    let_defs: list[A.Definition]
+    accesses: list[ArrayAccess]
+    #: last counter value for which the loop *body* (and hence the
+    #: definition part) is evaluated; equals elem_hi when the final arm
+    #: appends, elem_hi + 1 for the paper-literal form whose last body
+    #: evaluation computes definitions it never uses
+    body_hi: int = 0
+
+    @property
+    def result_lo(self) -> int:
+        return self.init_index
+
+    @property
+    def result_hi(self) -> int:
+        return self.elem_hi
+
+    @property
+    def n_elements(self) -> int:
+        """Computed (non-initial) elements."""
+        return self.elem_hi - self.elem_lo + 1
+
+
+def _ast_equal(a: A.Node, b: A.Node) -> bool:
+    """Structural AST equality ignoring source positions."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, A.Literal):
+        return a.value == b.value and a.type == b.type  # type: ignore[union-attr]
+    if isinstance(a, A.Ident):
+        return a.name == b.name  # type: ignore[union-attr]
+    if isinstance(a, A.BinOp):
+        return a.op == b.op and _ast_equal(a.left, b.left) and _ast_equal(
+            a.right, b.right
+        )  # type: ignore[union-attr]
+    if isinstance(a, A.UnOp):
+        return a.op == b.op and _ast_equal(a.operand, b.operand)  # type: ignore[union-attr]
+    ca, cb = A.children(a), A.children(b)
+    if len(ca) != len(cb):
+        return False
+    if isinstance(a, A.Definition) and (
+        a.name != b.name or a.type != b.type  # type: ignore[union-attr]
+    ):
+        return False
+    if isinstance(a, (A.Assign, A.Builtin)) and a.name != b.name:  # type: ignore[union-attr]
+        return False
+    return all(_ast_equal(x, y) for x, y in zip(ca, cb))
+
+
+def classify_foriter(
+    node: A.ForIter, array_names: set[str], params: Mapping[str, int]
+) -> ForIterInfo:
+    """Check the Section 7 definition of a *primitive for-iter*.
+
+    Required shape (Example 2)::
+
+        for i : integer := p;  X : array[real] := [r: E0]
+        do  [ let <scalar PE defs> in ]
+            if i < q  then iter X := X[i: E]; i := i + 1 enditer
+            else  X  |  X[i: E]
+            endif
+        [ endlet ]
+        endfor
+
+    with E0 a scalar PE and E a PE on i (it may reference X[i-1]).
+    """
+    # -- loop initialization -------------------------------------------------
+    if len(node.inits) != 2:
+        raise ClassificationError(
+            f"primitive for-iter needs exactly two loop names (index and "
+            f"accumulator), found {len(node.inits)} at line {node.line}"
+        )
+    counter_def = acc_def = None
+    for d in node.inits:
+        if isinstance(d.type, A.ArrayType):
+            acc_def = d
+        else:
+            counter_def = d
+    if counter_def is None or acc_def is None:
+        raise ClassificationError(
+            f"for-iter at line {node.line} must bind one integer index and "
+            f"one array accumulator"
+        )
+    try:
+        counter_lo = const_eval(counter_def.expr, params)
+    except Exception:
+        raise ClassificationError(
+            f"loop index initial value at line {counter_def.line} is not a "
+            f"compile-time constant"
+        ) from None
+    if not isinstance(acc_def.expr, A.ArrayLit):
+        raise ClassificationError(
+            f"accumulator {acc_def.name!r} must be initialized with [r: E] "
+            f"at line {acc_def.line}"
+        )
+    try:
+        init_index = const_eval(acc_def.expr.index, params)
+    except Exception:
+        raise ClassificationError(
+            f"accumulator initial index at line {acc_def.line} is not a "
+            f"compile-time constant"
+        ) from None
+    init_expr = acc_def.expr.value
+    init_info = classify_primitive(init_expr, None, array_names, params)
+    if not init_info.is_scalar:
+        raise ClassificationError(
+            f"accumulator initial value at line {acc_def.line} must be a "
+            f"scalar primitive expression"
+        )
+    counter = counter_def.name
+    acc = acc_def.name
+
+    # -- body ---------------------------------------------------------------
+    body = node.body
+    let_defs: list[A.Definition] = []
+    if isinstance(body, A.Let):
+        let_defs = list(body.defs)
+        body = body.body
+    if not isinstance(body, A.If):
+        raise ClassificationError(
+            f"for-iter body at line {node.line} must be a conditional"
+        )
+    cond, then, els = body.cond, body.then, body.els
+
+    # termination condition: counter < q or counter <= q
+    if not (
+        isinstance(cond, A.BinOp)
+        and cond.op in ("<", "<=")
+        and isinstance(cond.left, A.Ident)
+        and cond.left.name == counter
+    ):
+        raise ClassificationError(
+            f"loop condition at line {cond.line} must be "
+            f"'{counter} < q' or '{counter} <= q' with constant q"
+        )
+    try:
+        bound = const_eval(cond.right, params)
+    except Exception:
+        raise ClassificationError(
+            f"loop bound at line {cond.line} is not a compile-time constant"
+        ) from None
+    # first counter value for which the condition is false:
+    last = bound if cond.op == "<" else bound + 1
+
+    if not isinstance(then, A.Iter):
+        raise ClassificationError(
+            f"the true arm of the loop conditional at line {body.line} must "
+            f"be an iter clause"
+        )
+    # iter assigns: acc := acc[counter: E]; counter := counter + 1
+    elem_expr: Optional[A.Expr] = None
+    counter_ok = False
+    for assign in then.assigns:
+        if assign.name == acc:
+            e = assign.expr
+            if not (
+                isinstance(e, A.ArrayAppend)
+                and isinstance(e.base, A.Ident)
+                and e.base.name == acc
+                and index_offset(e.index, counter, params) == 0
+            ):
+                raise ClassificationError(
+                    f"iter must append with {acc} := {acc}[{counter}: E] "
+                    f"at line {assign.line}"
+                )
+            elem_expr = e.value
+        elif assign.name == counter:
+            e = assign.expr
+            if index_offset(e, counter, params) != 1:
+                raise ClassificationError(
+                    f"iter must advance with {counter} := {counter} + 1 "
+                    f"at line {assign.line}"
+                )
+            counter_ok = True
+        else:
+            raise ClassificationError(
+                f"iter rebinds unknown name {assign.name!r} at line "
+                f"{assign.line}"
+            )
+    if elem_expr is None or not counter_ok:
+        raise ClassificationError(
+            f"iter clause at line {then.line} must rebind both {acc!r} "
+            f"and {counter!r}"
+        )
+
+    # terminating arm: X (no final append) or X[counter: E] (final append)
+    if isinstance(els, A.Ident) and els.name == acc:
+        final_append = False
+    elif (
+        isinstance(els, A.ArrayAppend)
+        and isinstance(els.base, A.Ident)
+        and els.base.name == acc
+        and index_offset(els.index, counter, params) == 0
+        and _ast_equal(els.value, elem_expr)
+    ):
+        final_append = True
+    else:
+        raise ClassificationError(
+            f"terminating arm at line {els.line} must be {acc} or "
+            f"{acc}[{counter}: E] with the same E as the iter arm"
+        )
+
+    elem_lo = counter_lo
+    elem_hi = last if final_append else last - 1
+    if elem_hi < elem_lo:
+        raise ClassificationError(
+            f"for-iter at line {node.line} computes no elements "
+            f"(range [{elem_lo},{elem_hi}])"
+        )
+    if init_index != counter_lo - 1:
+        raise ClassificationError(
+            f"accumulator initial index {init_index} must be {counter_lo - 1} "
+            f"so the result array is contiguous (line {acc_def.line})"
+        )
+
+    # The element expression must be a PE on the counter; the accumulator
+    # X counts as an array name there (X[i-1] is a rule-4 access).
+    locals_ = frozenset()
+    accesses: list[ArrayAccess] = []
+    for d in let_defs:
+        if isinstance(d.type, A.ArrayType):
+            raise ClassificationError(
+                f"for-iter definition {d.name!r} binds an array at line {d.line}"
+            )
+        info = classify_primitive(
+            d.expr, counter, array_names | {acc}, params, locals_
+        )
+        accesses.extend(info.accesses)
+        locals_ = locals_ | {d.name}
+    info = classify_primitive(
+        elem_expr, counter, array_names | {acc}, params, locals_
+    )
+    accesses.extend(info.accesses)
+    for access in accesses:
+        if access.array == acc and access.offset != -1:
+            raise ClassificationError(
+                f"accumulator access {acc}[{counter}{access.offset:+d}] is "
+                f"not first-order; only {acc}[{counter}-1] is allowed"
+            )
+
+    return ForIterInfo(
+        counter=counter,
+        counter_lo=counter_lo,
+        acc=acc,
+        init_index=init_index,
+        init_expr=init_expr,
+        element_expr=elem_expr,
+        elem_lo=elem_lo,
+        elem_hi=elem_hi,
+        final_append=final_append,
+        let_defs=let_defs,
+        accesses=accesses,
+        body_hi=last,
+    )

@@ -1,0 +1,220 @@
+"""Reference interpreter for the Val subset.
+
+The interpreter defines the *semantics* every compiled machine-level
+program is checked against: the integration tests compile each program
+block with the paper's mapping schemes, simulate the instruction graph,
+and require the streamed results to equal what this interpreter
+computes directly from the source.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from ..errors import SimulationError, ValTypeError
+from . import ast_nodes as A
+from .values import IterSignal, ValArray
+
+#: Guard against runaway for-iter loops in malformed programs.
+MAX_ITERATIONS = 10_000_000
+
+
+def _binop(op: str, left: Any, right: Any, node: A.BinOp) -> Any:
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise SimulationError(f"division by zero at line {node.line}")
+        if isinstance(left, int) and isinstance(right, int):
+            q = abs(left) // abs(right)
+            return q if (left >= 0) == (right >= 0) else -q
+        return left / right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "=":
+        return left == right
+    if op == "~=":
+        return left != right
+    if op == "&":
+        return bool(left) and bool(right)
+    if op == "|":
+        return bool(left) or bool(right)
+    raise ValTypeError(f"unknown operator {op!r}")
+
+
+def eval_expr(node: A.Expr, env: Mapping[str, Any]) -> Any:
+    """Evaluate an expression in an environment of name -> value."""
+    if isinstance(node, A.Literal):
+        return node.value
+    if isinstance(node, A.Ident):
+        try:
+            return env[node.name]
+        except KeyError:
+            raise SimulationError(
+                f"unbound identifier {node.name!r} at line {node.line}"
+            ) from None
+    if isinstance(node, A.BinOp):
+        return _binop(
+            node.op, eval_expr(node.left, env), eval_expr(node.right, env), node
+        )
+    if isinstance(node, A.UnOp):
+        val = eval_expr(node.operand, env)
+        return -val if node.op == "-" else (not bool(val))
+    if isinstance(node, A.Builtin):
+        args = [eval_expr(a, env) for a in node.args]
+        return max(args) if node.name == "max" else min(args)
+    if isinstance(node, A.Index):
+        arr = eval_expr(node.base, env)
+        idx = eval_expr(node.index, env)
+        if not isinstance(arr, ValArray):
+            raise ValTypeError(f"indexing a non-array at line {node.line}")
+        return arr.get(idx)
+    if isinstance(node, A.ArrayLit):
+        return ValArray.singleton(
+            eval_expr(node.index, env), eval_expr(node.value, env)
+        )
+    if isinstance(node, A.ArrayAppend):
+        arr = eval_expr(node.base, env)
+        if not isinstance(arr, ValArray):
+            raise ValTypeError(f"appending to a non-array at line {node.line}")
+        return arr.append(eval_expr(node.index, env), eval_expr(node.value, env))
+    if isinstance(node, A.Let):
+        inner = dict(env)
+        for d in node.defs:
+            inner[d.name] = eval_expr(d.expr, inner)
+        return eval_expr(node.body, inner)
+    if isinstance(node, A.If):
+        if eval_expr(node.cond, env):
+            return eval_expr(node.then, env)
+        return eval_expr(node.els, env)
+    if isinstance(node, A.Forall):
+        return _eval_forall(node, env)
+    if isinstance(node, A.ForIter):
+        return _eval_foriter(node, env)
+    if isinstance(node, A.Iter):
+        bindings = {}
+        for assign in node.assigns:
+            bindings[assign.name] = eval_expr(assign.expr, env)
+        return IterSignal(bindings)
+    raise ValTypeError(f"cannot evaluate {type(node).__name__}")
+
+
+def _eval_forall(node: A.Forall, env: Mapping[str, Any]) -> ValArray:
+    lo = eval_expr(node.lo, env)
+    hi = eval_expr(node.hi, env)
+    if not isinstance(lo, int) or not isinstance(hi, int):
+        raise ValTypeError(f"forall range bounds must be integers (line {node.line})")
+    elements = []
+    for i in range(lo, hi + 1):
+        inner = dict(env)
+        inner[node.var] = i
+        for d in node.defs:
+            inner[d.name] = eval_expr(d.expr, inner)
+        elements.append(eval_expr(node.accum, inner))
+    return ValArray(lo, tuple(elements))
+
+
+def _eval_foriter(node: A.ForIter, env: Mapping[str, Any]) -> Any:
+    loop_env = dict(env)
+    loop_names = []
+    for d in node.inits:
+        loop_env[d.name] = eval_expr(d.expr, loop_env)
+        loop_names.append(d.name)
+    for _ in range(MAX_ITERATIONS):
+        result = eval_expr(node.body, loop_env)
+        if isinstance(result, IterSignal):
+            unknown = set(result.bindings) - set(loop_names)
+            if unknown:
+                raise ValTypeError(
+                    f"iter rebinds non-loop names {sorted(unknown)} "
+                    f"(line {node.line})"
+                )
+            loop_env.update(result.bindings)
+            continue
+        return result
+    raise SimulationError(
+        f"for-iter exceeded {MAX_ITERATIONS} iterations (line {node.line})"
+    )
+
+
+def run_program(
+    program: A.Program,
+    inputs: Optional[Mapping[str, Any]] = None,
+    params: Optional[Mapping[str, int]] = None,
+) -> dict[str, Any]:
+    """Evaluate every block of a program in order.
+
+    ``inputs`` supplies free array (or scalar) identifiers; plain lists
+    are promoted to :class:`ValArray` starting at index 0 unless given
+    as ``(lo, list)`` pairs.  ``params`` supplies compile-time integer
+    constants such as the ``m`` of the paper's examples.  Returns the
+    value of every block by name (arrays as :class:`ValArray`).
+    """
+    env: dict[str, Any] = {}
+    for key, value in (params or {}).items():
+        env[key] = value
+    for key, value in (inputs or {}).items():
+        env[key] = _promote(value)
+    results: dict[str, Any] = {}
+    for block in program.blocks:
+        if block.name in env:
+            raise ValTypeError(f"block {block.name!r} shadows an input/param")
+        value = eval_expr(block.expr, env)
+        env[block.name] = value
+        results[block.name] = value
+    return results
+
+
+def _promote(value: Any) -> Any:
+    if isinstance(value, ValArray):
+        return value
+    if isinstance(value, tuple) and len(value) == 2 and isinstance(value[1], (list, tuple)):
+        lo, items = value
+        return ValArray(int(lo), tuple(items))
+    if isinstance(value, (list,)):
+        return ValArray(0, tuple(value))
+    return value
+
+
+def const_eval(node: A.Expr, params: Mapping[str, int]) -> int:
+    """Evaluate a compile-time integer expression (range bounds, index
+    offsets).  Raises :class:`ValTypeError` when not constant."""
+    if isinstance(node, A.Literal):
+        if isinstance(node.value, bool) or not isinstance(node.value, int):
+            raise ValTypeError(f"expected integer constant at line {node.line}")
+        return node.value
+    if isinstance(node, A.Ident):
+        if node.name in params:
+            return int(params[node.name])
+        raise ValTypeError(
+            f"{node.name!r} is not a compile-time constant (line {node.line}); "
+            f"pass it in params="
+        )
+    if isinstance(node, A.UnOp) and node.op == "-":
+        return -const_eval(node.operand, params)
+    if isinstance(node, A.BinOp) and node.op in ("+", "-", "*", "/"):
+        left = const_eval(node.left, params)
+        right = const_eval(node.right, params)
+        if node.op == "+":
+            return left + right
+        if node.op == "-":
+            return left - right
+        if node.op == "*":
+            return left * right
+        if right == 0:
+            raise ValTypeError(f"constant division by zero at line {node.line}")
+        q = abs(left) // abs(right)
+        return q if (left >= 0) == (right >= 0) else -q
+    raise ValTypeError(
+        f"expression at line {node.line} is not a compile-time integer constant"
+    )

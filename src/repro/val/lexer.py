@@ -1,0 +1,148 @@
+"""Lexer for the Val subset.
+
+Tokenizes the concrete syntax used in the paper's examples: keywords,
+identifiers, integer/real literals, the operator set, brackets, and
+``%``-to-end-of-line comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ValSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "let",
+        "in",
+        "endlet",
+        "if",
+        "then",
+        "elseif",
+        "else",
+        "endif",
+        "forall",
+        "construct",
+        "endall",
+        "for",
+        "do",
+        "iter",
+        "enditer",
+        "endfor",
+        "array",
+        "real",
+        "integer",
+        "boolean",
+        "true",
+        "false",
+    }
+)
+
+#: Multi-character operators, longest first.
+_OPERATORS = [":=", "<=", ">=", "~=", "<", ">", "=", "+", "-", "*", "/", "&", "|", "~"]
+
+_PUNCT = {"(": "LPAREN", ")": "RPAREN", "[": "LBRACK", "]": "RBRACK",
+          ",": "COMMA", ";": "SEMI", ":": "COLON"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # 'IDENT', 'INT', 'REAL', 'OP', keyword name, punct name, 'EOF'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind},{self.text!r}@{self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn Val source text into a token list ending with an EOF token."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def tok(kind: str, text: str) -> Token:
+        return Token(kind, text, line, col)
+
+    while i < n:
+        ch = source[i]
+        # whitespace ------------------------------------------------------
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # comments ---------------------------------------------------------
+        if ch == "%":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        # numbers -----------------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = source[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # A trailing '.' (as in "2.") is part of the literal.
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i > start:
+                    nxt = source[i + 1] if i + 1 < n else ""
+                    if nxt.isdigit() or (
+                        nxt in "+-" and i + 2 < n and source[i + 2].isdigit()
+                    ):
+                        seen_exp = True
+                        i += 2 if nxt in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            text = source[start:i]
+            kind = "REAL" if (seen_dot or seen_exp) else "INT"
+            yield tok(kind, text)
+            col += i - start
+            continue
+        # identifiers / keywords ---------------------------------------------
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = text if text in KEYWORDS else "IDENT"
+            yield tok(kind, text)
+            col += i - start
+            continue
+        # operators (':=' before ':') ----------------------------------------
+        matched = False
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                yield tok("OP", op)
+                i += len(op)
+                col += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        # punctuation ----------------------------------------------------------
+        if ch in _PUNCT:
+            yield tok(_PUNCT[ch], ch)
+            i += 1
+            col += 1
+            continue
+        raise ValSyntaxError(f"unexpected character {ch!r}", line, col)
+    yield Token("EOF", "", line, col)

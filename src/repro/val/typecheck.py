@@ -1,0 +1,337 @@
+"""Type checking for the Val subset.
+
+Val is statically typed; the checker validates block programs against
+an environment of input types and compile-time parameters, inferring
+the type of every expression.  One convenience divergence from strict
+Val (documented in DESIGN.md): integer values coerce to real where a
+real is expected, so the paper's ``0.25 * (C[i-1] + 2.*C[i] + C[i+1])``
+style mixing is accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..errors import ValTypeError
+from . import ast_nodes as A
+from .ast_nodes import (
+    ArrayType,
+    BOOLEAN,
+    INTEGER,
+    REAL,
+    ScalarType,
+    ValType,
+)
+
+#: Pseudo-type of an ``iter`` clause (unified away by the enclosing if).
+ITER = ScalarType("iter")
+
+_ARITH_OPS = {"+", "-", "*", "/"}
+_REL_OPS = {"<", "<=", ">", ">=", "=", "~="}
+_BOOL_OPS = {"&", "|"}
+
+
+def assignable(src: ValType, dst: ValType) -> bool:
+    """May a value of type ``src`` bind a name declared ``dst``?"""
+    if src == dst:
+        return True
+    if src == INTEGER and dst == REAL:
+        return True
+    if isinstance(src, ArrayType) and isinstance(dst, ArrayType):
+        return assignable(src.elem, dst.elem)
+    return False
+
+
+def unify(a: ValType, b: ValType, node: A.Node) -> ValType:
+    """Join of two conditional-arm types."""
+    if a == ITER:
+        return b
+    if b == ITER:
+        return a
+    if a == b:
+        return a
+    if {a, b} == {INTEGER, REAL}:
+        return REAL
+    if isinstance(a, ArrayType) and isinstance(b, ArrayType):
+        return ArrayType(unify(a.elem, b.elem, node))  # type: ignore[arg-type]
+    raise ValTypeError(
+        f"incompatible branch types {a} and {b} at line {node.line}"
+    )
+
+
+class TypeChecker:
+    """Checks one expression tree; ``env`` maps names to types."""
+
+    def __init__(self, env: Mapping[str, ValType]) -> None:
+        self.env = dict(env)
+
+    # ------------------------------------------------------------------
+    def check(self, node: A.Expr) -> ValType:
+        method = getattr(self, f"_check_{type(node).__name__.lower()}", None)
+        if method is None:
+            raise ValTypeError(f"cannot type {type(node).__name__}")
+        return method(node)
+
+    def _expect_scalar(self, t: ValType, node: A.Node, what: str) -> ScalarType:
+        if not isinstance(t, ScalarType) or t == ITER:
+            raise ValTypeError(f"{what} must be scalar, got {t} at line {node.line}")
+        return t
+
+    def _expect_numeric(self, t: ValType, node: A.Node, what: str) -> ScalarType:
+        if t not in (INTEGER, REAL):
+            raise ValTypeError(
+                f"{what} must be numeric, got {t} at line {node.line}"
+            )
+        return t  # type: ignore[return-value]
+
+    # -- leaves -----------------------------------------------------------
+    def _check_literal(self, node: A.Literal) -> ValType:
+        return node.type
+
+    def _check_ident(self, node: A.Ident) -> ValType:
+        try:
+            return self.env[node.name]
+        except KeyError:
+            raise ValTypeError(
+                f"unbound identifier {node.name!r} at line {node.line}"
+            ) from None
+
+    # -- operators -----------------------------------------------------------
+    def _check_binop(self, node: A.BinOp) -> ValType:
+        lt = self.check(node.left)
+        rt = self.check(node.right)
+        if node.op in _ARITH_OPS:
+            l = self._expect_numeric(lt, node, f"left operand of {node.op!r}")
+            r = self._expect_numeric(rt, node, f"right operand of {node.op!r}")
+            return REAL if REAL in (l, r) else INTEGER
+        if node.op in _REL_OPS:
+            if node.op in ("=", "~="):
+                if not (
+                    isinstance(lt, ScalarType)
+                    and isinstance(rt, ScalarType)
+                    and (lt == rt or {lt, rt} == {INTEGER, REAL})
+                ):
+                    raise ValTypeError(
+                        f"cannot compare {lt} with {rt} at line {node.line}"
+                    )
+            else:
+                self._expect_numeric(lt, node, f"left operand of {node.op!r}")
+                self._expect_numeric(rt, node, f"right operand of {node.op!r}")
+            return BOOLEAN
+        if node.op in _BOOL_OPS:
+            for side, t in (("left", lt), ("right", rt)):
+                if t != BOOLEAN:
+                    raise ValTypeError(
+                        f"{side} operand of {node.op!r} must be boolean, got {t} "
+                        f"at line {node.line}"
+                    )
+            return BOOLEAN
+        raise ValTypeError(f"unknown operator {node.op!r} at line {node.line}")
+
+    def _check_builtin(self, node: A.Builtin) -> ValType:
+        result = INTEGER
+        for arg in node.args:
+            t = self._expect_numeric(
+                self.check(arg), node, f"argument of {node.name}"
+            )
+            if t == REAL:
+                result = REAL
+        return result
+
+    def _check_unop(self, node: A.UnOp) -> ValType:
+        t = self.check(node.operand)
+        if node.op == "-":
+            return self._expect_numeric(t, node, "operand of unary '-'")
+        if t != BOOLEAN:
+            raise ValTypeError(
+                f"operand of '~' must be boolean, got {t} at line {node.line}"
+            )
+        return BOOLEAN
+
+    # -- arrays -----------------------------------------------------------
+    def _check_index(self, node: A.Index) -> ValType:
+        base = self.check(node.base)
+        if not isinstance(base, ArrayType):
+            raise ValTypeError(f"indexing a {base} at line {node.line}")
+        idx = self.check(node.index)
+        if idx != INTEGER:
+            raise ValTypeError(f"array index must be integer, got {idx} "
+                               f"at line {node.line}")
+        return base.elem
+
+    def _check_arraylit(self, node: A.ArrayLit) -> ValType:
+        idx = self.check(node.index)
+        if idx != INTEGER:
+            raise ValTypeError(
+                f"array constructor index must be integer at line {node.line}"
+            )
+        elem = self._expect_scalar(
+            self.check(node.value), node, "array constructor value"
+        )
+        return ArrayType(elem)
+
+    def _check_arrayappend(self, node: A.ArrayAppend) -> ValType:
+        base = self.check(node.base)
+        if not isinstance(base, ArrayType):
+            raise ValTypeError(f"appending to a {base} at line {node.line}")
+        idx = self.check(node.index)
+        if idx != INTEGER:
+            raise ValTypeError(
+                f"array update index must be integer at line {node.line}"
+            )
+        val = self.check(node.value)
+        if not assignable(val, base.elem):
+            raise ValTypeError(
+                f"cannot store {val} in {base} at line {node.line}"
+            )
+        return base
+
+    # -- binding constructs -------------------------------------------------
+    def _check_let(self, node: A.Let) -> ValType:
+        saved = dict(self.env)
+        try:
+            for d in node.defs:
+                self._check_definition(d)
+            return self.check(node.body)
+        finally:
+            self.env = saved
+
+    def _check_definition(self, d: A.Definition) -> None:
+        t = self.check(d.expr)
+        if d.type is not None and not assignable(t, d.type):
+            raise ValTypeError(
+                f"definition of {d.name!r}: cannot assign {t} to {d.type} "
+                f"at line {d.line}"
+            )
+        self.env[d.name] = d.type if d.type is not None else t
+
+    def _check_if(self, node: A.If) -> ValType:
+        cond = self.check(node.cond)
+        if cond != BOOLEAN:
+            raise ValTypeError(
+                f"if condition must be boolean, got {cond} at line {node.line}"
+            )
+        return unify(self.check(node.then), self.check(node.els), node)
+
+    def _check_forall(self, node: A.Forall) -> ValType:
+        for bound in (node.lo, node.hi):
+            t = self.check(bound)
+            if t != INTEGER:
+                raise ValTypeError(
+                    f"forall range bound must be integer, got {t} "
+                    f"at line {node.line}"
+                )
+        saved = dict(self.env)
+        try:
+            self.env[node.var] = INTEGER
+            for d in node.defs:
+                self._check_definition(d)
+            elem = self._expect_scalar(
+                self.check(node.accum), node, "forall accumulation"
+            )
+            return ArrayType(elem)
+        finally:
+            self.env = saved
+
+    def _check_foriter(self, node: A.ForIter) -> ValType:
+        saved = dict(self.env)
+        saved_loop = getattr(self, "_loop_names", None)
+        try:
+            for d in node.inits:
+                self._check_definition(d)
+            self._loop_names = {d.name: self.env[d.name] for d in node.inits}
+            body = self.check(node.body)
+            if body == ITER:
+                raise ValTypeError(
+                    f"for-iter body never terminates (all arms iterate) "
+                    f"at line {node.line}"
+                )
+            return body
+        finally:
+            self.env = saved
+            self._loop_names = saved_loop
+
+    def _check_iter(self, node: A.Iter) -> ValType:
+        loop_names = getattr(self, "_loop_names", None)
+        if loop_names is None:
+            raise ValTypeError(
+                f"iter clause outside a for-iter body at line {node.line}"
+            )
+        for assign in node.assigns:
+            if assign.name not in loop_names:
+                raise ValTypeError(
+                    f"iter rebinds {assign.name!r}, not a loop name, "
+                    f"at line {assign.line}"
+                )
+            t = self.check(assign.expr)
+            if not assignable(t, loop_names[assign.name]):
+                raise ValTypeError(
+                    f"iter assigns {t} to {assign.name!r} of type "
+                    f"{loop_names[assign.name]} at line {assign.line}"
+                )
+        return ITER
+
+
+def check_expression(expr: A.Expr, env: Mapping[str, ValType]) -> ValType:
+    """Type of ``expr`` under ``env`` (raises :class:`ValTypeError`)."""
+    return TypeChecker(env).check(expr)
+
+
+def infer_input_types(
+    program: A.Program, params: Mapping[str, int]
+) -> dict[str, ValType]:
+    """Guess types for free identifiers of a block program.
+
+    Heuristics (sufficient for the paper's program class): a free
+    identifier used as an array (indexed / appended) is ``array[real]``
+    unless its elements are used directly as booleans (Figure 5's
+    ``if C[i]``), then ``array[boolean]``; parameters are integers.
+    """
+    from .ast_nodes import free_identifiers, walk
+
+    inferred: dict[str, ValType] = {}
+    array_names: set[str] = set()
+    bool_arrays: set[str] = set()
+    for block in program.blocks:
+        for node in walk(block.expr):
+            if isinstance(node, (A.Index, A.ArrayAppend)) and isinstance(
+                node.base, A.Ident
+            ):
+                array_names.add(node.base.name)
+            if isinstance(node, A.If) and isinstance(node.cond, A.Index) and \
+                    isinstance(node.cond.base, A.Ident):
+                bool_arrays.add(node.cond.base.name)
+
+    block_names = {b.name for b in program.blocks}
+    for block in program.blocks:
+        for name in free_identifiers(block.expr):
+            if name in params or name in block_names or name in inferred:
+                continue
+            if name in array_names:
+                elem = BOOLEAN if name in bool_arrays else REAL
+                inferred[name] = ArrayType(elem)
+            else:
+                inferred[name] = INTEGER
+    return inferred
+
+
+def check_program(
+    program: A.Program,
+    input_types: Optional[Mapping[str, ValType]] = None,
+    params: Optional[Mapping[str, int]] = None,
+) -> dict[str, ValType]:
+    """Type-check all blocks; returns each block's type by name."""
+    params = params or {}
+    env: dict[str, ValType] = {name: INTEGER for name in params}
+    env.update(input_types or infer_input_types(program, params))
+    out: dict[str, ValType] = {}
+    for block in program.blocks:
+        t = check_expression(block.expr, env)
+        if not assignable(t, block.type):
+            raise ValTypeError(
+                f"block {block.name!r} declared {block.type} but computes {t} "
+                f"at line {block.line}"
+            )
+        env[block.name] = block.type
+        out[block.name] = block.type
+    return out

@@ -1,0 +1,95 @@
+"""Runtime values for the Val reference interpreter.
+
+Val arrays have an explicit lower index bound; :class:`ValArray` keeps
+``lo`` plus a dense element list, supports the applicative constructor
+operations the paper uses (``[r: E]`` and ``X[i: E]``), and converts to
+and from the plain Python lists the simulators stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ValArray:
+    """An immutable Val array value with index range ``[lo, hi]``."""
+
+    lo: int
+    elements: tuple[Any, ...] = field(default_factory=tuple)
+
+    # -- construction ----------------------------------------------------
+    @staticmethod
+    def singleton(index: int, value: Any) -> "ValArray":
+        """The ``[index: value]`` array constructor."""
+        return ValArray(index, (value,))
+
+    @staticmethod
+    def from_list(values: Sequence[Any], lo: int = 0) -> "ValArray":
+        return ValArray(lo, tuple(values))
+
+    # -- bounds ------------------------------------------------------------
+    @property
+    def hi(self) -> int:
+        return self.lo + len(self.elements) - 1
+
+    @property
+    def bounds(self) -> tuple[int, int]:
+        return (self.lo, self.hi)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    # -- access --------------------------------------------------------------
+    def get(self, index: int) -> Any:
+        if not self.lo <= index <= self.hi:
+            raise SimulationError(
+                f"array index {index} outside bounds [{self.lo},{self.hi}]"
+            )
+        return self.elements[index - self.lo]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.elements)
+
+    def to_list(self) -> list[Any]:
+        return list(self.elements)
+
+    def indices(self) -> range:
+        return range(self.lo, self.hi + 1)
+
+    # -- applicative update ----------------------------------------------------
+    def append(self, index: int, value: Any) -> "ValArray":
+        """The ``X[i: v]`` constructor: replace element ``i`` or extend
+        the range by exactly one at either end."""
+        if len(self.elements) == 0:
+            return ValArray.singleton(index, value)
+        if self.lo <= index <= self.hi:
+            pos = index - self.lo
+            elems = self.elements[:pos] + (value,) + self.elements[pos + 1:]
+            return ValArray(self.lo, elems)
+        if index == self.hi + 1:
+            return ValArray(self.lo, self.elements + (value,))
+        if index == self.lo - 1:
+            return ValArray(index, (value,) + self.elements)
+        raise SimulationError(
+            f"array extension at {index} not adjacent to [{self.lo},{self.hi}]"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(repr(e) for e in self.elements[:6])
+        if len(self.elements) > 6:
+            inner += ", ..."
+        return f"ValArray[{self.lo}..{self.hi}]({inner})"
+
+
+class IterSignal:
+    """Interpreter-internal value of an ``iter`` clause: new bindings
+    for the loop names (drives the for-iter loop)."""
+
+    __slots__ = ("bindings",)
+
+    def __init__(self, bindings: dict[str, Any]) -> None:
+        self.bindings = bindings

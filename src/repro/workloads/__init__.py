@@ -1,0 +1,54 @@
+"""Workloads: the paper's example programs, application-style physics
+pipelines, and random generators for benchmarks and fuzz tests."""
+
+from .generators import (
+    random_forall_program,
+    random_layered_graph,
+    random_pe_source,
+    random_pipe_program,
+    random_recurrence_program,
+)
+from .physics import (
+    WEATHER_STEP_SOURCE,
+    am_backed,
+    compile_weather_step,
+    initial_weather_state,
+    run_timesteps,
+    weather_state_map,
+)
+from .programs import (
+    DIAMOND_PIPE_SOURCE,
+    EXAMPLE1_SOURCE,
+    EXAMPLE2_PAPER_LITERAL_SOURCE,
+    EXAMPLE2_SOURCE,
+    FIG2_SOURCE,
+    FIG3_SOURCE,
+    FIG4_SOURCE,
+    FIG5_SOURCE,
+    PREFIX_SUM_SOURCE,
+    SOURCES,
+)
+
+__all__ = [
+    "DIAMOND_PIPE_SOURCE",
+    "EXAMPLE1_SOURCE",
+    "EXAMPLE2_PAPER_LITERAL_SOURCE",
+    "EXAMPLE2_SOURCE",
+    "FIG2_SOURCE",
+    "FIG3_SOURCE",
+    "FIG4_SOURCE",
+    "FIG5_SOURCE",
+    "PREFIX_SUM_SOURCE",
+    "SOURCES",
+    "WEATHER_STEP_SOURCE",
+    "am_backed",
+    "compile_weather_step",
+    "initial_weather_state",
+    "random_forall_program",
+    "random_layered_graph",
+    "random_pe_source",
+    "random_pipe_program",
+    "random_recurrence_program",
+    "run_timesteps",
+    "weather_state_map",
+]

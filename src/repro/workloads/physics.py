@@ -1,0 +1,156 @@
+"""Application-style workloads: time-stepped physics pipelines.
+
+Section 2 of the paper: arrays are streams between blocks; the array
+memories hold only *long-lived* data, "for example, the data produced
+by one time step of a physics simulation which will not be used until
+the computation for the next time step begins", and on analyzed
+application codes one eighth or less of the operation packets go to the
+array memories.
+
+This module builds such workloads: a pipe-structured program per time
+step (several forall/for-iter blocks chained as streams), with the
+state array read from array memory at the start of the step and the new
+state written back at the end.  :func:`am_backed` converts a compiled
+program's external sources/sink into AM instructions;
+:func:`run_timesteps` drives the host loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..compiler import CompiledProgram, compile_program
+from ..errors import SimulationError
+from ..graph.graph import DataflowGraph
+from ..graph.opcodes import Op
+from ..machine import Machine, MachineConfig, MachineStats
+
+#: One time step of a 1-D "weather-like" model: smooth the state with a
+#: boundary-preserving stencil, form an energy-like quadratic, damp it
+#: against the previous state, and integrate with a first-order
+#: recurrence.  Four blocks -> the state flows as a stream between them
+#: and touches array memory only at the step boundary.
+WEATHER_STEP_SOURCE = """
+S1 : array[real] :=
+  forall i in [0, m + 1]
+    P : real :=
+      if (i = 0) | (i = m + 1) then U[i]
+      else
+        0.25 * (U[i-1] + 2. * U[i] + U[i+1])
+      endif
+  construct
+    P
+  endall;
+
+S2 : array[real] :=
+  forall i in [1, m + 1]
+  construct
+    S1[i] * S1[i] - 0.5 * S1[i]
+  endall;
+
+S3 : array[real] :=
+  forall i in [1, m + 1]
+  construct
+    0.9 * S2[i] + 0.1 * U[i]
+  endall;
+
+V : array[real] :=
+  for
+    i : integer := 1;
+    T : array[real] := [0: 0.5]
+  do
+    if i < m + 1 then
+      iter T := T[i: 0.5 * T[i-1] + S3[i]]; i := i + 1 enditer
+    else T[i: 0.5 * T[i-1] + S3[i]]
+    endif
+  endfor
+"""
+
+
+def compile_weather_step(m: int, **opts: Any) -> CompiledProgram:
+    """Compile one time step of the weather-like model."""
+    return compile_program(WEATHER_STEP_SOURCE, params={"m": m}, **opts)
+
+
+def am_backed(
+    cp: CompiledProgram,
+    arrays: Optional[set[str]] = None,
+) -> DataflowGraph:
+    """A copy of the compiled graph with its external input sources and
+    output sinks turned into array memory instructions.
+
+    ``arrays`` restricts the conversion (default: every external input
+    and every output) -- modeling which data is long-lived state.
+    """
+    g = cp.graph.copy()
+    g.meta["feedback_arcs"] = list(cp.graph.meta.get("feedback_arcs", ()))
+    # copy() renumbers; recompute feedback arcs structurally
+    from ..compiler.foriter import _mark_feedback
+
+    _mark_feedback(g)
+    targets = arrays
+    for cell in list(g.cells.values()):
+        if cell.op is Op.SOURCE and "stream" in cell.params:
+            name = cell.params["stream"]
+            if targets is None or name in targets:
+                cell.op = Op.AM_READ
+        elif cell.op is Op.SINK:
+            name = cell.params["stream"]
+            if targets is None or name in targets:
+                cell.op = Op.AM_WRITE
+    return g
+
+
+def run_timesteps(
+    cp: CompiledProgram,
+    state: dict[str, list[float]],
+    state_map: dict[str, str],
+    n_steps: int,
+    config: Optional[MachineConfig] = None,
+    am_arrays: Optional[set[str]] = None,
+) -> tuple[dict[str, list[float]], list[MachineStats]]:
+    """Drive ``n_steps`` time steps on the machine-level model.
+
+    ``state`` holds the long-lived arrays (keyed by input name);
+    ``state_map`` says which program output feeds which input at the
+    next step (e.g. ``{"V": "U"}``).  Returns the final state and the
+    per-step machine statistics.
+    """
+    g = am_backed(cp, arrays=am_arrays)
+    stats_log: list[MachineStats] = []
+    state = {k: list(v) for k, v in state.items()}
+    for _step in range(n_steps):
+        for name, spec in cp.input_specs.items():
+            if len(state.get(name, [])) != spec.length:
+                raise SimulationError(
+                    f"state array {name!r} has {len(state.get(name, []))} "
+                    f"elements; the step needs {spec.length}"
+                )
+        machine = Machine(g, config=config, inputs=state)
+        stats_log.append(machine.run())
+        outputs = machine.outputs()
+        for out_name, in_name in state_map.items():
+            new = outputs[out_name]
+            spec = cp.input_specs[in_name]
+            out_lo, _ = cp.output_specs[out_name]
+            # align the produced range onto the consumed range
+            offset = spec.lo - out_lo
+            if offset < 0 or offset + spec.length > len(new):
+                raise SimulationError(
+                    f"output {out_name!r} ({len(new)} elements from "
+                    f"{out_lo}) cannot cover input {in_name!r} "
+                    f"[{spec.lo},{spec.hi}]"
+                )
+            state[in_name] = new[offset: offset + spec.length]
+    return state, stats_log
+
+
+def weather_state_map() -> dict[str, str]:
+    return {"V": "U"}
+
+
+def initial_weather_state(m: int, seed: int = 0) -> dict[str, list[float]]:
+    import random
+
+    rng = random.Random(seed)
+    return {"U": [rng.uniform(0.0, 1.0) for _ in range(m + 2)]}

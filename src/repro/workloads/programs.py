@@ -1,0 +1,187 @@
+"""The paper's example programs as canonical Val sources.
+
+These strings are the single source of truth used by tests, examples
+and benchmarks.  ``m`` is the symbolic array-size parameter; pass it as
+``params={'m': ...}`` to the interpreter/compiler.
+"""
+
+from __future__ import annotations
+
+#: Section 3 / Figure 2 code fragment, wrapped in a forall so it forms a
+#: block program operating element-wise on streams a and b:
+#: ``let y : real := a*b in (y+2.)*(y-3.) endlet``.
+FIG2_SOURCE = """
+Y : array[real] :=
+  forall i in [0, m - 1]
+    y : real := a[i] * b[i]
+  construct
+    (y + 2.) * (y - 3.)
+  endall
+"""
+
+#: Example 1 (Section 4): the primitive forall with boundary handling.
+#: Builds A[0..m+1] from B[0..m+1] and C[0..m+1].
+EXAMPLE1_SOURCE = """
+A : array[real] :=
+  forall i in [0, m + 1]        % range specification
+    P : real :=                 % definition part
+      if (i = 0) | (i = m + 1) then C[i]
+      else
+        0.25 * (C[i-1] + 2. * C[i] + C[i+1])
+      endif
+  construct
+    B[i] * (P * P)              % accumulation
+  endall
+"""
+
+#: Example 2 (Section 4): the primitive for-iter expressing the first
+#: order recurrence x_i = A[i] * x_{i-1} + B[i], x_0 = 0.
+#: The terminating arm appends the final element (see DESIGN.md: the
+#: paper's listing omits it, which would silently drop x_m).
+EXAMPLE2_SOURCE = """
+X : array[real] :=
+  for
+    i : integer := 1;           % loop initialization
+    T : array[real] := [0: 0.]
+  do
+    let P : real := A[i] * T[i-1] + B[i]   % definition part
+    in
+      if i < m then             % loop body
+        iter
+          T := T[i: P];
+          i := i + 1
+        enditer
+      else T[i: P]
+      endif
+    endlet
+  endfor
+"""
+
+#: Example 2 exactly as printed in the paper (no final append): the
+#: result then covers indices 0..m-1 only.
+EXAMPLE2_PAPER_LITERAL_SOURCE = """
+X : array[real] :=
+  for
+    i : integer := 1;
+    T : array[real] := [0: 0.]
+  do
+    let P : real := A[i] * T[i-1] + B[i]
+    in
+      if i < m then
+        iter T := T[i: P]; i := i + 1 enditer
+      else T
+      endif
+    endlet
+  endfor
+"""
+
+#: Figure 3: the pipe-structured program combining Examples 1 and 2 --
+#: the forall feeds the for-iter.  Inputs B, C of [0, m+1]; D supplies
+#: the recurrence's additive term.
+FIG3_SOURCE = """
+A : array[real] :=
+  forall i in [0, m + 1]
+    P : real :=
+      if (i = 0) | (i = m + 1) then C[i]
+      else
+        0.25 * (C[i-1] + 2. * C[i] + C[i+1])
+      endif
+  construct
+    B[i] * (P * P)
+  endall;
+
+X : array[real] :=
+  for
+    i : integer := 1;
+    T : array[real] := [0: 0.]
+  do
+    let P : real := A[i] * T[i-1] + D[i]
+    in
+      if i < m then
+        iter T := T[i: P]; i := i + 1 enditer
+      else T[i: P]
+      endif
+    endlet
+  endfor
+"""
+
+#: Figure 5 (Section 5): the conditional primitive expression with a
+#: runtime (data-dependent) control stream C.
+FIG5_SOURCE = """
+Y : array[real] :=
+  forall i in [0, m - 1]
+  construct
+    if C[i] then
+      -(A[i] + B[i])
+    else
+      5. * (A[i] * B[i] + 2.)
+    endif
+  endall
+"""
+
+#: Figure 4 (Section 5): the array-selection expression from Example
+#: 1's interior rule, on its own: 0.25*(C[i-1] + 2*C[i] + C[i+1]) for
+#: i in [1, m], C indexed [0, m+1].
+FIG4_SOURCE = """
+S : array[real] :=
+  forall i in [1, m]
+  construct
+    0.25 * (C[i-1] + 2. * C[i] + C[i+1])
+  endall
+"""
+
+#: A pure first-order *additive* recurrence (prefix sums): x_i = x_{i-1}
+#: + A[i].  Companion function exists with multiplicative part == 1.
+PREFIX_SUM_SOURCE = """
+S : array[real] :=
+  for
+    i : integer := 1;
+    T : array[real] := [0: 0.]
+  do
+    if i < m then
+      iter T := T[i: T[i-1] + A[i]]; i := i + 1 enditer
+    else T[i: T[i-1] + A[i]]
+    endif
+  endfor
+"""
+
+#: A deeper pipe-structured program: four blocks in a diamond-shaped
+#: flow dependency graph (used by the Theorem 4 and balancing benches).
+DIAMOND_PIPE_SOURCE = """
+U : array[real] :=
+  forall i in [0, m + 1]
+  construct
+    0.5 * (C[i] + B[i])
+  endall;
+
+V : array[real] :=
+  forall i in [1, m]
+  construct
+    U[i-1] + 2. * U[i] + U[i+1]
+  endall;
+
+W : array[real] :=
+  forall i in [1, m]
+  construct
+    U[i] * U[i]
+  endall;
+
+Z : array[real] :=
+  forall i in [1, m]
+  construct
+    V[i] - W[i]
+  endall
+"""
+
+#: All canonical sources by short name (used by tests and the docs).
+SOURCES = {
+    "fig2": FIG2_SOURCE,
+    "example1": EXAMPLE1_SOURCE,
+    "example2": EXAMPLE2_SOURCE,
+    "example2_paper": EXAMPLE2_PAPER_LITERAL_SOURCE,
+    "fig3": FIG3_SOURCE,
+    "fig4": FIG4_SOURCE,
+    "fig5": FIG5_SOURCE,
+    "prefix_sum": PREFIX_SUM_SOURCE,
+    "diamond": DIAMOND_PIPE_SOURCE,
+}

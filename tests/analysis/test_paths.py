@@ -1,0 +1,103 @@
+"""Tests for path-balance checking and traffic accounting."""
+
+import pytest
+
+from repro.analysis import (
+    check_balance,
+    count_buffer_cells,
+    longest_path_levels,
+    pipeline_depth,
+    static_traffic_estimate,
+    traffic_breakdown,
+)
+from repro.graph import DataflowGraph, Op
+from repro.sim import SyncSimulator
+
+
+def diamond(buffered: bool) -> DataflowGraph:
+    g = DataflowGraph()
+    s = g.add_source("src", stream="x")
+    v = g.add_cell(Op.ID, name="v")
+    x = g.add_cell(Op.ID, name="x")
+    w = g.add_cell(Op.ADD, name="w")
+    sink = g.add_sink("out", stream="y")
+    g.connect(s, v, 0)
+    g.connect(v, x, 0)
+    g.connect(x, w, 0)
+    if buffered:
+        f = g.add_fifo(1)
+        g.connect(v, f, 0)
+        g.connect(f, w, 1)
+    else:
+        g.connect(v, w, 1)
+    g.connect(w, sink, 0)
+    return g
+
+
+class TestBalanceChecking:
+    def test_unbalanced_diamond_detected(self):
+        rep = check_balance(diamond(False))
+        assert not rep.balanced
+        assert rep.violation is not None
+        assert rep.total_slack == 1
+
+    def test_buffered_diamond_balanced(self):
+        rep = check_balance(diamond(True))
+        assert rep.balanced
+        assert rep.total_slack == 0
+
+    def test_fifo_weight_counts_depth(self):
+        g = DataflowGraph()
+        s = g.add_source("src", stream="x")
+        f = g.add_fifo(4)
+        sink = g.add_sink("out", stream="y")
+        g.connect(s, f, 0)
+        g.connect(f, sink, 0)
+        levels = longest_path_levels(g)
+        assert levels[f] == 4
+        assert pipeline_depth(g) == 5
+
+    def test_levels_anchor_sources_at_zero(self):
+        g = diamond(True)
+        levels = longest_path_levels(g)
+        assert levels[g.find("v").cid] == 1
+        assert levels[g.find("w").cid] == 3
+
+    def test_count_buffer_cells(self):
+        assert count_buffer_cells(diamond(True)) == 3  # v, x, FIFO(1)
+        g = DataflowGraph()
+        s = g.add_source("s", stream="x")
+        f = g.add_fifo(7)
+        k = g.add_sink("k", stream="y")
+        g.connect(s, f, 0)
+        g.connect(f, k, 0)
+        assert count_buffer_cells(g) == 7
+
+
+class TestTraffic:
+    def test_static_estimate_classifies_ops(self):
+        g = diamond(True)
+        rep = static_traffic_estimate(g)
+        # one ADD -> FU; v, x IDs and FIFO are local; source/sink excluded
+        assert rep.to_function_units == 1
+        assert rep.local == 3
+        assert rep.to_array_memories == 0
+
+    def test_breakdown_uses_fire_counts(self):
+        g = diamond(True)
+        sim = SyncSimulator(g, {"x": list(range(10))})
+        sim.run()
+        rep = traffic_breakdown(g, sim.stats.fire_counts)
+        assert rep.to_function_units == 10  # the ADD fired 10 times
+        assert rep.am_fraction == 0.0
+
+    def test_am_fraction(self):
+        g = DataflowGraph()
+        r = g.add_cell(Op.AM_READ, stream="arr")
+        a1 = g.add_cell(Op.ADD, consts={1: 1.0})
+        sink = g.add_sink("out", stream="y")
+        g.connect(r, a1, 0)
+        g.connect(a1, sink, 0)
+        rep = static_traffic_estimate(g)
+        assert rep.to_array_memories == 1
+        assert rep.am_fraction == pytest.approx(0.5)

@@ -1,0 +1,60 @@
+"""Tests for the whole-program analysis report."""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.compiler import compile_program
+from repro.workloads import SOURCES
+
+
+class TestProgramReport:
+    def test_fig3_report(self):
+        cp = compile_program(SOURCES["fig3"], params={"m": 12})
+        rep = analyze_program(cp)
+        assert rep.fully_pipelined
+        assert rep.initiation_interval_bound == 2
+        assert {b.name for b in rep.blocks} == {"A", "X"}
+        x = next(b for b in rep.blocks if b.name == "X")
+        assert (x.loop_length, x.loop_tokens) == (4, 2)
+        assert rep.balanced
+        assert rep.buffer_stages > 0
+        assert rep.traffic is not None and rep.traffic.am_fraction == 0.0
+
+    def test_todd_bound_is_three(self):
+        cp = compile_program(
+            SOURCES["fig3"], params={"m": 12}, foriter_scheme="todd"
+        )
+        rep = analyze_program(cp)
+        assert not rep.fully_pipelined
+        assert rep.initiation_interval_bound == 3
+
+    def test_bound_matches_measurement(self):
+        for scheme, expected in (("companion", 2.0), ("todd", 3.0)):
+            cp = compile_program(
+                SOURCES["example2"], params={"m": 120},
+                foriter_scheme=scheme,
+            )
+            rep = analyze_program(cp)
+            res = cp.run(
+                {k: [1.0] * v.length for k, v in cp.input_specs.items()}
+            )
+            assert res.initiation_interval("X") == pytest.approx(
+                float(rep.initiation_interval_bound), abs=0.05
+            )
+            assert float(rep.initiation_interval_bound) == expected
+
+    def test_summary_readable(self):
+        cp = compile_program(SOURCES["example1"], params={"m": 6})
+        text = analyze_program(cp).summary()
+        assert "fully pipelined" in text
+        assert "A:" in text
+
+    def test_cells_expanded_counts_fifos(self):
+        cp = compile_program(SOURCES["fig4"], params={"m": 8})
+        rep = analyze_program(cp)
+        assert rep.cells_expanded >= rep.cells
+        assert rep.cells_expanded - rep.cells == rep.buffer_stages - sum(
+            1 for c in cp.graph.cells_by_op(
+                __import__("repro.graph", fromlist=["Op"]).Op.FIFO
+            )
+        )

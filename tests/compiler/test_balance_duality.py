@@ -1,0 +1,45 @@
+"""Section 8 conclusion (3), made literal: the optimal balancing LP and
+its min-cost-flow dual (networkx network simplex) agree exactly."""
+
+import random
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.compiler.balance import balance_graph, min_buffer_stages_via_flow
+from repro.workloads import SOURCES, random_layered_graph
+
+
+class TestMinCostFlowDuality:
+    @pytest.mark.parametrize("name", ["example1", "fig4", "fig5", "fig3", "fig2"])
+    def test_canonical_graphs(self, name):
+        cp = compile_program(SOURCES[name], params={"m": 9}, balance="none")
+        flow_opt = min_buffer_stages_via_flow(cp.graph)
+        lp = balance_graph(cp.graph, method="optimal")
+        assert flow_opt == lp.inserted_stages
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        g = random_layered_graph(
+            random.Random(seed), n_layers=5, width=4
+        )
+        flow_opt = min_buffer_stages_via_flow(g)
+        lp = balance_graph(g, method="optimal")
+        assert flow_opt == lp.inserted_stages
+
+    def test_empty_ignoreset_graph(self):
+        from repro.graph import DataflowGraph
+
+        g = DataflowGraph()
+        g.add_source("s", stream="x")
+        assert min_buffer_stages_via_flow(g) == 0
+
+    def test_feedback_arcs_excluded(self):
+        cp = compile_program(
+            SOURCES["example2"], params={"m": 8},
+            foriter_scheme="todd", balance="none",
+        )
+        # must not raise despite the loop (loop arcs are skipped)
+        flow_opt = min_buffer_stages_via_flow(cp.graph)
+        lp = balance_graph(cp.graph, method="optimal")
+        assert flow_opt == lp.inserted_stages

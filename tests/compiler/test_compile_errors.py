@@ -1,0 +1,108 @@
+"""Error-path tests: the compiler rejects what the paper's class
+excludes, with actionable messages."""
+
+import pytest
+
+from repro.compiler import ArraySpec, ExprBuilder, ROOT, compile_program
+from repro.compiler.context import Filter, Split, Uniform
+from repro.errors import ClassificationError, CompileError
+from repro.graph import DataflowGraph
+from repro.val import parse_expression
+
+
+def builder(m=6, arrays=()):
+    g = DataflowGraph()
+    specs = {n: ArraySpec(n, lo, hi) for n, lo, hi in arrays}
+    return g, ExprBuilder(g, "i", 0, m - 1, {"m": m}, specs)
+
+
+class TestExpressionErrors:
+    def test_unbound_identifier(self):
+        _, b = builder()
+        with pytest.raises(CompileError, match="params= or as an array"):
+            b.compile(parse_expression("zz + 1"), ROOT)
+
+    def test_bare_array(self):
+        _, b = builder(arrays=[("A", 0, 5)])
+        with pytest.raises(CompileError, match="without selection"):
+            b.compile(parse_expression("A + 1."), ROOT)
+
+    def test_nonaffine_index(self):
+        _, b = builder(arrays=[("A", 0, 11)])
+        with pytest.raises(CompileError, match="rule 4"):
+            b.compile(parse_expression("A[2 * i]"), ROOT)
+
+    def test_indexing_scalar(self):
+        _, b = builder(arrays=[("A", 0, 5)])
+        with pytest.raises(CompileError, match="indexing scalar"):
+            b.compile(
+                parse_expression("let y : real := 1. in y[i] endlet"), ROOT
+            )
+
+    def test_nested_forall_inside_pe(self):
+        _, b = builder()
+        with pytest.raises(CompileError, match="Theorem 1"):
+            b.compile(
+                parse_expression("forall j in [0, 1] construct 1. endall"),
+                ROOT,
+            )
+
+    def test_constant_stream_under_runtime_conditional(self):
+        g, b = builder(arrays=[("A", 0, 5)])
+        runtime = ROOT.extend(Filter(Split.from_control(
+            b.materialize(b.compile(parse_expression("A[i] > 0."), ROOT), ROOT).cell
+        ), True))
+        with pytest.raises(CompileError, match="constant stream"):
+            b.materialize(Uniform(1.0), runtime)
+
+
+class TestProgramErrors:
+    def test_scalar_block_rejected(self):
+        with pytest.raises(CompileError, match="forall nor"):
+            compile_program("Y : real := 1.", typecheck=False)
+
+    def test_nonconstant_range(self):
+        src = "Y : array[real] := forall i in [0, n] construct 1. endall"
+        with pytest.raises(ClassificationError, match="constant"):
+            compile_program(src, params={"m": 4}, typecheck=False)
+
+    def test_unguarded_out_of_bounds(self):
+        src = (
+            "Y : array[real] := forall i in [0, m - 1] construct "
+            "A[i + 1] endall"
+        )
+        with pytest.raises(CompileError, match="outside the input range"):
+            compile_program(
+                src, params={"m": 5}, input_ranges={"A": (0, 4)}
+            )
+
+    def test_interleaved_via_driver_rejected(self):
+        from repro.workloads import EXAMPLE2_SOURCE
+
+        with pytest.raises(CompileError, match="per block"):
+            compile_program(
+                EXAMPLE2_SOURCE, params={"m": 4},
+                foriter_scheme="interleaved",
+            )
+
+    def test_unknown_schemes(self):
+        from repro.workloads import EXAMPLE1_SOURCE, EXAMPLE2_SOURCE
+
+        with pytest.raises(CompileError, match="unknown forall scheme"):
+            compile_program(
+                EXAMPLE1_SOURCE, params={"m": 4}, forall_scheme="quantum"
+            )
+        with pytest.raises(CompileError, match="unknown for-iter scheme"):
+            compile_program(
+                EXAMPLE2_SOURCE, params={"m": 4}, foriter_scheme="quantum"
+            )
+
+    def test_message_cites_guard_fix(self):
+        """The out-of-bounds message tells the user the paper's fix:
+        guard with a compile-time conditional."""
+        src = (
+            "Y : array[real] := forall i in [0, m - 1] construct "
+            "A[i - 1] endall"
+        )
+        with pytest.raises(CompileError, match="guard it with a compile"):
+            compile_program(src, params={"m": 5}, input_ranges={"A": (0, 4)})

@@ -1,0 +1,200 @@
+"""Tests for recurrence analysis and companion functions (Section 7)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import (
+    companion_apply,
+    companion_fold,
+    extract_linear_form,
+    has_companion,
+    shift_index,
+)
+from repro.errors import RecurrenceError
+from repro.val import classify_foriter, parse_expression, parse_program
+from repro.val.interpreter import eval_expr
+from repro.workloads.programs import SOURCES
+
+
+def foriter_info(src: str, arrays=("A", "B"), m=6):
+    node = parse_program(src).blocks[0].expr
+    return classify_foriter(node, set(arrays), {"m": m}), {"m": m}
+
+
+def make_foriter(element: str, let: str = "") -> str:
+    """A minimal for-iter template around an element expression."""
+    let_open = f"let {let} in" if let else ""
+    let_close = "endlet" if let else ""
+    return f"""
+X : array[real] :=
+  for i : integer := 1; T : array[real] := [0: 0.] do
+    {let_open}
+    if i < m then
+      iter T := T[i: {element}]; i := i + 1 enditer
+    else T[i: {element}]
+    endif
+    {let_close}
+  endfor
+"""
+
+
+class TestLinearFormExtraction:
+    def eval_form(self, form, env):
+        return (eval_expr(form.coeff, env), eval_expr(form.offset, env))
+
+    def test_example2(self):
+        info, params = foriter_info(SOURCES["example2"])
+        form = extract_linear_form(info, params)
+        from repro.val.values import ValArray
+
+        env = {
+            "i": 3,
+            "A": ValArray(1, (2.0,) * 6),
+            "B": ValArray(1, (5.0,) * 6),
+            "m": 6,
+        }
+        assert self.eval_form(form, env) == (2.0, 5.0)
+
+    def test_prefix_sum_coeff_is_one(self):
+        info, params = foriter_info(SOURCES["prefix_sum"], arrays=("A",))
+        form = extract_linear_form(info, params)
+        assert form.is_pure_sum
+
+    @pytest.mark.parametrize(
+        "element,coeff,offset",
+        [
+            ("T[i-1] + 1.", 1.0, 1.0),
+            ("2. * T[i-1]", 2.0, 0.0),
+            ("T[i-1] - 3.", 1.0, -3.0),
+            ("-(T[i-1])", -1.0, 0.0),
+            ("(T[i-1] + 1.) * 2.", 2.0, 2.0),
+            ("T[i-1] / 2. + 1.", 0.5, 1.0),
+            ("3. - T[i-1]", -1.0, 3.0),
+        ],
+    )
+    def test_algebra(self, element, coeff, offset):
+        info, params = foriter_info(make_foriter(element), arrays=())
+        form = extract_linear_form(info, params)
+        env = {"i": 2, "m": 6}
+        assert self.eval_form(form, env) == (coeff, offset)
+
+    def test_let_definition_carries_x(self):
+        src = make_foriter("P + 1.", let="P : real := 2. * T[i-1]")
+        info, params = foriter_info(src, arrays=())
+        form = extract_linear_form(info, params)
+        env = {"i": 2, "m": 6}
+        assert self.eval_form(form, env) == (2.0, 1.0)
+
+    def test_conditional_coefficients(self):
+        src = make_foriter("if i < 3 then 2. * T[i-1] else T[i-1] + 1. endif")
+        info, params = foriter_info(src, arrays=())
+        form = extract_linear_form(info, params)
+        assert self.eval_form(form, {"i": 2, "m": 6}) == (2.0, 0.0)
+        assert self.eval_form(form, {"i": 4, "m": 6}) == (1.0, 1.0)
+
+    @pytest.mark.parametrize(
+        "element,message",
+        [
+            ("T[i-1] * T[i-1]", "quadratic"),
+            ("A[i]", "does not reference"),
+            ("if T[i-1] > 0. then 1. else 0. endif", "condition"),
+        ],
+    )
+    def test_nonlinear_rejected(self, element, message):
+        arrays = ("A",) if "A[" in element else ()
+        info, params = foriter_info(make_foriter(element), arrays=arrays)
+        with pytest.raises(RecurrenceError, match=message):
+            extract_linear_form(info, params)
+        assert not has_companion(info, params)
+
+    def test_reciprocal_is_mobius_not_affine(self):
+        """1/x escapes the affine class but IS a linear fractional
+        transform -- the Moebius extension finds its companion."""
+        from repro.compiler.recurrence import MobiusForm, extract_recurrence
+
+        info, params = foriter_info(make_foriter("1. / T[i-1]"), arrays=())
+        with pytest.raises(RecurrenceError, match="division by the accumulator"):
+            extract_linear_form(info, params)
+        assert isinstance(extract_recurrence(info, params), MobiusForm)
+        assert has_companion(info, params)
+
+    def test_has_companion_true_for_simple(self):
+        info, params = foriter_info(SOURCES["example2"])
+        assert has_companion(info, params)
+
+
+class TestCompanionProperties:
+    """The algebraic facts the scheme relies on (host-level checks)."""
+
+    pairs = st.tuples(
+        st.floats(-3, 3, allow_nan=False),
+        st.floats(-3, 3, allow_nan=False),
+    )
+
+    @given(pairs, pairs, st.floats(-3, 3, allow_nan=False))
+    @settings(max_examples=200)
+    def test_companion_identity(self, a, b, x):
+        """F(a, F(b, x)) == F(G(a, b), x) -- the defining property."""
+        def F(p, x):
+            return p[0] * x + p[1]
+
+        g = companion_apply(a, b)
+        assert F(a, F(b, x)) == pytest.approx(F(g, x), rel=1e-9, abs=1e-9)
+
+    @given(pairs, pairs, pairs)
+    @settings(max_examples=200)
+    def test_companion_associative(self, a, b, c):
+        left = companion_apply(companion_apply(a, b), c)
+        right = companion_apply(a, companion_apply(b, c))
+        assert left[0] == pytest.approx(right[0], rel=1e-9, abs=1e-9)
+        assert left[1] == pytest.approx(right[1], rel=1e-9, abs=1e-9)
+
+    def test_fold_matches_sequential(self):
+        rng = random.Random(7)
+        pairs = [(rng.uniform(-2, 2), rng.uniform(-2, 2)) for _ in range(6)]
+        x = 0.25
+        # sequential application oldest-first
+        val = x
+        for p in reversed(pairs):
+            val = p[0] * val + p[1]
+        g = companion_fold(pairs)
+        assert g[0] * x + g[1] == pytest.approx(val, rel=1e-9)
+
+
+class TestShiftIndex:
+    def test_shifts_array_offsets(self):
+        e = parse_expression("A[i] * T[i-1] + B[i+2]")
+        shifted = shift_index(e, "i", 2, {})
+        # evaluate both on a concrete environment to compare
+        from repro.val.values import ValArray
+
+        arrays = {
+            "A": ValArray(-5, tuple(float(k) for k in range(20))),
+            "B": ValArray(-5, tuple(float(k) * 2 for k in range(20))),
+            "T": ValArray(-5, tuple(float(k) * 3 for k in range(20))),
+        }
+        v_orig = eval_expr(e, {"i": 3, **arrays})
+        v_shift = eval_expr(shifted, {"i": 5, **arrays})
+        assert v_orig == v_shift
+
+    def test_shifts_value_uses(self):
+        e = parse_expression("i * 2 + 1")
+        shifted = shift_index(e, "i", 3, {})
+        assert eval_expr(shifted, {"i": 10}) == eval_expr(e, {"i": 7})
+
+    def test_zero_shift_is_identity(self):
+        e = parse_expression("A[i]")
+        assert shift_index(e, "i", 0, {}) is e
+
+    def test_shift_with_params(self):
+        e = parse_expression("A[i + m]")
+        shifted = shift_index(e, "i", 1, {"m": 4})
+        from repro.val.values import ValArray
+
+        arr = ValArray(0, tuple(float(k) for k in range(20)))
+        assert eval_expr(shifted, {"i": 3, "A": arr, "m": 4}) == eval_expr(
+            e, {"i": 2, "A": arr, "m": 4}
+        )

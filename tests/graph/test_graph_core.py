@@ -1,0 +1,221 @@
+"""Unit tests for the instruction-graph IR container."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    GATE_PORT,
+    DataflowGraph,
+    Op,
+    validate,
+)
+
+
+def small_pipeline() -> DataflowGraph:
+    g = DataflowGraph("fig2")
+    a = g.add_source("a", stream="a")
+    b = g.add_source("b", stream="b")
+    mult = g.add_cell(Op.MUL, name="cell1")
+    add = g.add_cell(Op.ADD, name="cell2", consts={1: 2.0})
+    sub = g.add_cell(Op.SUB, name="cell3", consts={1: 3.0})
+    mult2 = g.add_cell(Op.MUL, name="cell4")
+    sink = g.add_sink("out", stream="y")
+    g.connect(a, mult, 0)
+    g.connect(b, mult, 1)
+    g.connect(mult, add, 0)
+    g.connect(mult, sub, 0)
+    g.connect(add, mult2, 0)
+    g.connect(sub, mult2, 1)
+    g.connect(mult2, sink, 0)
+    return g
+
+
+class TestConstruction:
+    def test_build_and_validate(self):
+        g = small_pipeline()
+        validate(g)
+        assert len(g) == 7
+        assert len(g.arcs) == 7
+
+    def test_cell_lookup_by_name(self):
+        g = small_pipeline()
+        assert g.find("cell1").op is Op.MUL
+        with pytest.raises(GraphError):
+            g.find("nonexistent")
+
+    def test_sources_and_sinks(self):
+        g = small_pipeline()
+        assert {c.name for c in g.sources()} == {"a", "b"}
+        assert [c.name for c in g.sinks()] == ["out"]
+
+    def test_double_drive_rejected(self):
+        g = small_pipeline()
+        extra = g.add_source("x", stream="x")
+        with pytest.raises(GraphError, match="already driven"):
+            g.connect(extra, g.find("cell1").cid, 0)
+
+    def test_const_port_cannot_be_driven(self):
+        g = small_pipeline()
+        extra = g.add_source("x", stream="x")
+        with pytest.raises(GraphError, match="constant operand"):
+            g.connect(extra, g.find("cell2").cid, 1)
+
+    def test_bad_port_rejected(self):
+        g = DataflowGraph()
+        a = g.add_source("a", stream="a")
+        neg = g.add_cell(Op.NEG)
+        with pytest.raises(GraphError, match="no port"):
+            g.connect(a, neg, 1)
+
+    def test_unknown_cells_rejected(self):
+        g = DataflowGraph()
+        a = g.add_source("a", stream="a")
+        with pytest.raises(GraphError):
+            g.connect(a, 999, 0)
+        with pytest.raises(GraphError):
+            g.connect(999, a, 0)
+
+    def test_fifo_depth_must_be_positive(self):
+        g = DataflowGraph()
+        with pytest.raises(GraphError):
+            g.add_fifo(0)
+
+    def test_summary_mentions_ops(self):
+        g = small_pipeline()
+        text = g.summary()
+        assert "mul:2" in text and "source:2" in text
+
+
+class TestValidation:
+    def test_undriven_port_rejected(self):
+        g = DataflowGraph()
+        add = g.add_cell(Op.ADD)
+        sink = g.add_sink("out", stream="y")
+        g.connect(add, sink, 0)
+        with pytest.raises(GraphError, match="undriven"):
+            validate(g)
+
+    def test_tagged_arc_needs_gate(self):
+        g = DataflowGraph()
+        a = g.add_source("a", stream="a")
+        i = g.add_cell(Op.ID, name="gate")
+        sink = g.add_sink("out", stream="y")
+        g.connect(a, i, 0)
+        g.connect(i, sink, 0, tag=True)
+        # connect() marks the cell gated; gate port is still undriven.
+        with pytest.raises(GraphError, match="gate"):
+            validate(g)
+
+    def test_dead_cell_rejected(self):
+        g = DataflowGraph()
+        a = g.add_source("a", stream="a")
+        i = g.add_cell(Op.ID)
+        g.connect(a, i, 0)
+        with pytest.raises(GraphError, match="no destinations"):
+            validate(g)
+
+    def test_sink_with_destination_rejected(self):
+        g = DataflowGraph()
+        a = g.add_source("a", stream="a")
+        s = g.add_sink("out", stream="y")
+        i = g.add_cell(Op.ID, name="after")
+        g.connect(a, s, 0)
+        g.connect(s, i, 0)  # a sink must not drive anything
+        with pytest.raises(GraphError):
+            validate(g)
+
+    def test_gated_source_rejected(self):
+        g = DataflowGraph()
+        a = g.add_source("a", stream="a")
+        ctl = g.add_pattern_source("ctl", [True])
+        sink = g.add_sink("out", stream="y")
+        g.connect(ctl, a, GATE_PORT)
+        g.connect(a, sink, 0)
+        with pytest.raises(GraphError, match="cannot be gated"):
+            validate(g)
+
+    def test_gated_fifo_rejected(self):
+        g = DataflowGraph()
+        a = g.add_source("a", stream="a")
+        f = g.add_fifo(2)
+        ctl = g.add_pattern_source("ctl", [True])
+        sink = g.add_sink("out", stream="y")
+        g.connect(a, f, 0)
+        g.connect(ctl, f, GATE_PORT)
+        g.connect(f, sink, 0)
+        with pytest.raises(GraphError, match="FIFO"):
+            validate(g)
+
+    def test_source_needs_stream_or_values(self):
+        g = DataflowGraph()
+        s = g.add_cell(Op.SOURCE, name="bad")
+        sink = g.add_sink("out", stream="y")
+        g.connect(s, sink, 0)
+        with pytest.raises(GraphError, match="SOURCE"):
+            validate(g)
+
+
+class TestEditing:
+    def test_splice_fifo(self):
+        g = small_pipeline()
+        arc = next(
+            a for a in g.arcs.values()
+            if g.cells[a.src].name == "cell1" and g.cells[a.dst].name == "cell2"
+        )
+        fifo = g.splice_fifo(arc.aid, 3)
+        validate(g)
+        assert g.cells[fifo].op is Op.FIFO
+        assert g.cells[fifo].params["depth"] == 3
+        # path cell1 -> fifo -> cell2 exists
+        assert fifo in g.successors(g.find("cell1").cid)
+        assert g.find("cell2").cid in g.successors(fifo)
+
+    def test_remove_cell_cleans_arcs(self):
+        g = small_pipeline()
+        cid = g.find("cell2").cid
+        g.remove_cell(cid)
+        assert cid not in g.cells
+        assert all(a.src != cid and a.dst != cid for a in g.arcs.values())
+
+    def test_absorb_offsets_ids(self):
+        g1 = small_pipeline()
+        g2 = small_pipeline()
+        n1 = len(g1)
+        mapping = g1.absorb(g2)
+        assert len(g1) == 2 * n1
+        assert set(mapping.keys()) == set(g2.cells.keys())
+        validate(g1)
+
+    def test_copy_is_deep(self):
+        g = small_pipeline()
+        g2 = g.copy()
+        g2.find("cell1").consts[0] = 42
+        assert 0 not in g.find("cell1").consts
+
+
+class TestTopoOrder:
+    def test_acyclic_order(self):
+        g = small_pipeline()
+        order = g.topo_order()
+        pos = {cid: i for i, cid in enumerate(order)}
+        for arc in g.arcs.values():
+            assert pos[arc.src] < pos[arc.dst]
+
+    def test_cycle_detected(self):
+        g = DataflowGraph()
+        a = g.add_cell(Op.ID, name="a")
+        b = g.add_cell(Op.ID, name="b")
+        g.connect(a, b, 0)
+        g.connect(b, a, 0)
+        assert not g.is_acyclic()
+        with pytest.raises(GraphError, match="cycle"):
+            g.topo_order()
+
+    def test_cycle_ignored_with_breaks(self):
+        g = DataflowGraph()
+        a = g.add_cell(Op.ID, name="a")
+        b = g.add_cell(Op.ID, name="b")
+        g.connect(a, b, 0)
+        back = g.connect(b, a, 0)
+        order = g.topo_order(ignore_arcs=[back.aid])
+        assert order.index(a) < order.index(b)

@@ -1,0 +1,85 @@
+"""Unit tests for the opcode table."""
+
+import pytest
+
+from repro.graph import Op, apply_scalar, arity
+from repro.graph.opcodes import (
+    ARRAY_MEMORY_OPS,
+    FUNCTION_UNIT_OPS,
+    LOCAL_OPS,
+    _int_div,
+)
+
+
+class TestArity:
+    def test_binary(self):
+        for op in (Op.ADD, Op.MUL, Op.LT, Op.AND, Op.MIN):
+            assert arity(op) == 2
+
+    def test_unary(self):
+        for op in (Op.NEG, Op.NOT, Op.ABS, Op.ID):
+            assert arity(op) == 1
+
+    def test_structural(self):
+        assert arity(Op.MERGE) == 3
+        assert arity(Op.SOURCE) == 0
+        assert arity(Op.SINK) == 1
+        assert arity(Op.FIFO) == 1
+        assert arity(Op.AM_READ) == 0
+        assert arity(Op.AM_WRITE) == 1
+
+
+class TestApplyScalar:
+    @pytest.mark.parametrize(
+        "op,args,expected",
+        [
+            (Op.ADD, [2, 3], 5),
+            (Op.SUB, [2.0, 3.0], -1.0),
+            (Op.MUL, [4, 5], 20),
+            (Op.MIN, [4, 5], 4),
+            (Op.MAX, [4, 5], 5),
+            (Op.LT, [1, 2], True),
+            (Op.GE, [1, 2], False),
+            (Op.EQ, [3, 3], True),
+            (Op.NE, [3, 3], False),
+            (Op.AND, [True, False], False),
+            (Op.OR, [True, False], True),
+            (Op.NEG, [7], -7),
+            (Op.NOT, [False], True),
+            (Op.ABS, [-4.5], 4.5),
+            (Op.ID, ["token"], "token"),
+        ],
+    )
+    def test_values(self, op, args, expected):
+        assert apply_scalar(op, args) == expected
+
+    def test_float_division(self):
+        assert apply_scalar(Op.DIV, [7.0, 2.0]) == 3.5
+
+    def test_integer_division_truncates_toward_zero(self):
+        """Val integer division, matching the interpreter exactly."""
+        assert apply_scalar(Op.DIV, [7, 2]) == 3
+        assert apply_scalar(Op.DIV, [-7, 2]) == -3
+        assert apply_scalar(Op.DIV, [7, -2]) == -3
+        assert _int_div(-9, 3) == -3
+
+    def test_mixed_division_is_float(self):
+        assert apply_scalar(Op.DIV, [7, 2.0]) == 3.5
+
+    def test_non_scalar_rejected(self):
+        with pytest.raises(ValueError, match="not a scalar"):
+            apply_scalar(Op.MERGE, [1, 2, 3])
+
+
+class TestUnitClassPartition:
+    def test_partition_is_disjoint_where_it_matters(self):
+        assert not (ARRAY_MEMORY_OPS & FUNCTION_UNIT_OPS)
+        assert not (ARRAY_MEMORY_OPS & LOCAL_OPS)
+
+    def test_every_executable_op_is_classified(self):
+        for op in Op:
+            assert (
+                op in FUNCTION_UNIT_OPS
+                or op in LOCAL_OPS
+                or op in ARRAY_MEMORY_OPS
+            ), op

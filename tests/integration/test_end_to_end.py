@@ -1,0 +1,97 @@
+"""End-to-end integration: compiled machine code vs the interpreter.
+
+Every canonical program is compiled with every scheme combination and
+simulated on random inputs; the streamed results must equal the Val
+interpreter bit for bit (identical float arithmetic on both paths).
+"""
+
+import pytest
+
+from repro.workloads.programs import SOURCES
+from tests.util import compile_and_compare
+
+BOOL = frozenset({"C"})
+
+
+class TestCanonicalPrograms:
+    @pytest.mark.parametrize("name", ["fig2", "fig4", "example1", "diamond"])
+    @pytest.mark.parametrize("m", [1, 2, 3, 8, 17])
+    def test_forall_programs(self, name, m):
+        compile_and_compare(SOURCES[name], {"m": m}, seed=m)
+
+    @pytest.mark.parametrize("m", [2, 3, 8, 17])
+    def test_fig5_runtime_conditional(self, m):
+        compile_and_compare(SOURCES["fig5"], {"m": m}, seed=m, bool_arrays=BOOL)
+
+    @pytest.mark.parametrize("name", ["example2", "example2_paper", "prefix_sum"])
+    @pytest.mark.parametrize("scheme", ["todd", "companion", "auto"])
+    @pytest.mark.parametrize("m", [2, 3, 9])
+    def test_foriter_programs(self, name, scheme, m):
+        if name == "example2_paper" and m == 2:
+            m = 3  # the literal variant needs at least two iterations
+        compile_and_compare(
+            SOURCES[name], {"m": m}, seed=m, foriter_scheme=scheme
+        )
+
+    @pytest.mark.parametrize("scheme", ["todd", "companion"])
+    @pytest.mark.parametrize("m", [3, 9, 16])
+    def test_fig3_multiblock(self, scheme, m):
+        compile_and_compare(
+            SOURCES["fig3"], {"m": m}, seed=m, foriter_scheme=scheme
+        )
+
+    @pytest.mark.parametrize("balance", ["naive", "reduce", "optimal"])
+    def test_balancing_methods_preserve_semantics(self, balance):
+        compile_and_compare(
+            SOURCES["example1"], {"m": 7}, seed=1, balance=balance
+        )
+
+    def test_forall_parallel_scheme(self):
+        compile_and_compare(
+            SOURCES["example1"], {"m": 5}, seed=2, forall_scheme="parallel"
+        )
+
+    def test_gtree_distances(self):
+        for distance in (2, 3, 5):
+            compile_and_compare(
+                SOURCES["example2"],
+                {"m": 12},
+                seed=distance,
+                foriter_scheme="companion",
+                distance=distance,
+            )
+
+
+class TestThroughputHeadline:
+    """The quantitative claims, measured on one shared configuration."""
+
+    @pytest.fixture(scope="class")
+    def measurements(self):
+        from repro.compiler import compile_program
+
+        m = 240
+        out = {}
+        for scheme in ("todd", "companion"):
+            cp = compile_program(
+                SOURCES["example2"], params={"m": m}, foriter_scheme=scheme
+            )
+            res = cp.run({"A": [1.0] * m, "B": [0.5] * m})
+            out[scheme] = res
+        return out
+
+    def test_todd_initiation_interval(self, measurements):
+        assert measurements["todd"].initiation_interval("X") == pytest.approx(
+            3.0, abs=0.03
+        )
+
+    def test_companion_initiation_interval(self, measurements):
+        assert measurements[
+            "companion"
+        ].initiation_interval("X") == pytest.approx(2.0, abs=0.03)
+
+    def test_speedup_close_to_three_halves(self, measurements):
+        ratio = (
+            measurements["todd"].stats.steps
+            / measurements["companion"].stats.steps
+        )
+        assert ratio == pytest.approx(1.5, abs=0.08)

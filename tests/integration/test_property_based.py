@@ -1,0 +1,156 @@
+"""Property-based integration tests (hypothesis).
+
+Random primitive expressions and random recurrences are generated as
+Val source, compiled, simulated, and compared against the interpreter;
+structural invariants (validation, balance, full pipelining) are
+asserted along the way.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_program
+from tests.util import assert_outputs_match, reference_outputs
+
+# ---------------------------------------------------------------------------
+# random primitive-expression sources
+# ---------------------------------------------------------------------------
+
+_lit = st.sampled_from(["1.", "2.", "0.5", "-1.", "3."])
+_taps = st.sampled_from(["A[i]", "B[i]", "A[i-1]", "A[i+1]", "B[i+1]"])
+
+
+def _pe(depth: int) -> st.SearchStrategy[str]:
+    if depth == 0:
+        return st.one_of(_lit, _taps, st.just("i * 0.5"))
+    sub = _pe(depth - 1)
+    binary = st.tuples(sub, st.sampled_from(["+", "-", "*"]), sub).map(
+        lambda t: f"({t[0]} {t[1]} {t[2]})"
+    )
+    guarded = st.tuples(sub, sub).map(
+        lambda t: f"(if i < m / 2 then {t[0]} else {t[1]} endif)"
+    )
+    runtime = st.tuples(sub, sub).map(
+        lambda t: f"(if A[i] > 0. then {t[0]} else {t[1]} endif)"
+    )
+    letform = st.tuples(sub, sub).map(
+        lambda t: f"(let v : real := {t[0]} in (v + {t[1]}) endlet)"
+    )
+    return st.one_of(binary, guarded, runtime, letform, sub)
+
+
+def _clean(values):
+    return all(
+        not (isinstance(v, float) and (math.isnan(v) or math.isinf(v) or abs(v) > 1e12))
+        for v in values
+    )
+
+
+@st.composite
+def forall_programs(draw):
+    body = draw(_pe(2))
+    m = draw(st.integers(min_value=3, max_value=9))
+    src = f"Y : array[real] := forall i in [1, m] construct {body} endall"
+    return src, m
+
+
+@st.composite
+def recurrence_programs(draw):
+    coeff = draw(st.sampled_from(["0.5", "A[i]", "(A[i] * 0.5)", "-0.25", "1."]))
+    offset = draw(st.sampled_from(["B[i]", "1.", "(B[i] + 1.)", "(A[i] - B[i])"]))
+    m = draw(st.integers(min_value=2, max_value=9))
+    element = f"({coeff}) * T[i-1] + ({offset})"
+    src = f"""
+X : array[real] :=
+  for i : integer := 1; T : array[real] := [0: 0.] do
+    if i < m then
+      iter T := T[i: {element}]; i := i + 1 enditer
+    else T[i: {element}]
+    endif
+  endfor
+"""
+    return src, m
+
+
+def _inputs_for(cp, seed):
+    import random
+
+    rng = random.Random(seed)
+    return {
+        name: [rng.uniform(-1.0, 1.0) for _ in range(spec.length)]
+        for name, spec in cp.input_specs.items()
+    }
+
+
+class TestRandomForall:
+    @given(forall_programs(), st.integers(0, 10_000))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_compiled_matches_interpreter(self, prog, seed):
+        src, m = prog
+        cp = compile_program(src, params={"m": m})
+        inputs = _inputs_for(cp, seed)
+        reference = reference_outputs(src, cp, inputs, {"m": m})
+        if not _clean(reference["Y"].to_list()):
+            return
+        result = cp.run(inputs)
+        assert_outputs_match(result, reference)
+
+
+class TestRandomRecurrences:
+    @given(recurrence_programs(), st.integers(0, 10_000))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_all_schemes_match_interpreter(self, prog, seed):
+        src, m = prog
+        for scheme in ("todd", "companion"):
+            cp = compile_program(src, params={"m": m}, foriter_scheme=scheme)
+            inputs = _inputs_for(cp, seed)
+            reference = reference_outputs(src, cp, inputs, {"m": m})
+            if not _clean(reference["X"].to_list()):
+                return
+            result = cp.run(inputs)
+            assert_outputs_match(result, reference, tol=1e-7)
+
+
+class TestStructuralInvariants:
+    @given(forall_programs())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_compiled_graphs_validate_and_balance(self, prog):
+        from repro.compiler import verify_balanced
+        from repro.graph import validate
+
+        src, m = prog
+        cp = compile_program(src, params={"m": m})
+        validate(cp.graph)
+        assert verify_balanced(cp.graph)
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_length_parametricity(self, m):
+        """Cell count never depends on m; only patterns and FIFO depths
+        could, and for example1 even those are m-independent."""
+        cp = compile_program(
+            "Y : array[real] := forall i in [1, m] construct "
+            "A[i-1] + A[i+1] endall",
+            params={"m": m},
+        )
+        assert cp.cell_count == compile_program(
+            "Y : array[real] := forall i in [1, m] construct "
+            "A[i-1] + A[i+1] endall",
+            params={"m": 40},
+        ).cell_count

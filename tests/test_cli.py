@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import EXAMPLE2_SOURCE
+
+
+@pytest.fixture()
+def prog_file(tmp_path):
+    path = tmp_path / "prog.val"
+    path.write_text(EXAMPLE2_SOURCE, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def inputs_file(tmp_path):
+    path = tmp_path / "inputs.json"
+    data = {"A": [1, [1.0, 1.0, 1.0, 1.0]], "B": [1, [1.0, 2.0, 3.0, 4.0]]}
+    path.write_text(json.dumps(data), encoding="utf-8")
+    return str(path)
+
+
+class TestCompile:
+    def test_describe(self, prog_file, capsys):
+        assert main(["compile", prog_file, "-p", "m=4", "--describe"]) == 0
+        out = capsys.readouterr().out
+        assert "block X" in out and "loop" in out
+
+    def test_write_dfasm_and_dot(self, prog_file, tmp_path, capsys):
+        asm = tmp_path / "out.dfasm"
+        dot = tmp_path / "out.dot"
+        rc = main(
+            ["compile", prog_file, "-p", "m=4",
+             "-o", str(asm), "--dot", str(dot)]
+        )
+        assert rc == 0
+        assert asm.read_text().startswith("graph")
+        assert dot.read_text().startswith("digraph")
+
+    def test_scheme_flags(self, prog_file, capsys):
+        rc = main(
+            ["compile", prog_file, "-p", "m=4",
+             "--foriter-scheme", "todd", "--describe"]
+        )
+        assert rc == 0
+        assert "len=3" in capsys.readouterr().out
+
+    def test_bad_param(self, prog_file):
+        with pytest.raises(SystemExit):
+            main(["compile", prog_file, "-p", "m"])
+
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent.val", "-p", "m=4"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_outputs_json(self, prog_file, inputs_file, capsys):
+        rc = main(
+            ["run", prog_file, "-p", "m=4", "--inputs", inputs_file]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        lo, values = data["X"]
+        assert lo == 0
+        assert values == [0.0, 1.0, 3.0, 6.0, 10.0]
+
+    def test_run_stats(self, prog_file, inputs_file, capsys):
+        rc = main(
+            ["run", prog_file, "-p", "m=4", "--inputs", inputs_file,
+             "--stats"]
+        )
+        assert rc == 0
+        assert "II" in capsys.readouterr().err
+
+    def test_missing_inputs_reported(self, prog_file, capsys):
+        assert main(["run", prog_file, "-p", "m=4"]) == 1
+        assert "missing input" in capsys.readouterr().err
+
+
+class TestInterpretAndSimulate:
+    def test_interpret_matches_run(self, prog_file, inputs_file, capsys):
+        assert main(
+            ["interpret", prog_file, "-p", "m=4", "--inputs", inputs_file]
+        ) == 0
+        interp = json.loads(capsys.readouterr().out)
+        assert main(
+            ["run", prog_file, "-p", "m=4", "--inputs", inputs_file]
+        ) == 0
+        ran = json.loads(capsys.readouterr().out)
+        assert interp["X"] == ran["X"]
+
+    def test_simulate_dfasm(self, prog_file, inputs_file, tmp_path, capsys):
+        asm = tmp_path / "prog.dfasm"
+        assert main(
+            ["compile", prog_file, "-p", "m=4", "-o", str(asm)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["simulate", str(asm), "--inputs", inputs_file]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["X"] == [0.0, 1.0, 3.0, 6.0, 10.0]
+
+
+class TestControlsFlag:
+    def test_dataflow_controls_cli(self, prog_file, inputs_file, capsys):
+        import json
+
+        rc = main(
+            ["run", prog_file, "-p", "m=4", "--inputs", inputs_file,
+             "--controls", "dataflow"]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["X"][1] == [0.0, 1.0, 3.0, 6.0, 10.0]

@@ -1,0 +1,78 @@
+"""Shared helpers for the test suite: compile-and-compare harness."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Mapping, Optional
+
+from repro.compiler import CompiledProgram, compile_program
+from repro.val import parse_program, run_program
+
+
+def random_inputs(
+    cp: CompiledProgram,
+    rng: random.Random,
+    bool_arrays: frozenset[str] = frozenset(),
+    span: float = 1.5,
+) -> dict[str, list[Any]]:
+    """Random input streams matching a compiled program's inferred specs."""
+    inputs: dict[str, list[Any]] = {}
+    for name, spec in cp.input_specs.items():
+        if name in bool_arrays:
+            inputs[name] = [rng.random() < 0.5 for _ in range(spec.length)]
+        else:
+            inputs[name] = [rng.uniform(-span, span) for _ in range(spec.length)]
+    return inputs
+
+
+def reference_outputs(
+    source: str,
+    cp: CompiledProgram,
+    inputs: Mapping[str, list[Any]],
+    params: Mapping[str, int],
+):
+    """Ground-truth outputs from the Val interpreter, aligned to specs."""
+    return run_program(
+        parse_program(source),
+        inputs={k: (cp.input_specs[k].lo, list(v)) for k, v in inputs.items()},
+        params=dict(params),
+    )
+
+
+def assert_outputs_match(result, reference, names=None, tol: float = 1e-9):
+    names = names or list(result.outputs)
+    for name in names:
+        got = result.outputs[name]
+        ref = reference[name]
+        assert got.bounds == ref.bounds, (
+            f"{name}: bounds {got.bounds} != {ref.bounds}"
+        )
+        for k, (a, b) in enumerate(zip(got.to_list(), ref.to_list())):
+            if isinstance(a, float) or isinstance(b, float):
+                assert abs(a - b) <= tol * max(1.0, abs(b)), (
+                    f"{name}[{ref.lo + k}]: {a} != {b}"
+                )
+            else:
+                assert a == b, f"{name}[{ref.lo + k}]: {a} != {b}"
+
+
+def compile_and_compare(
+    source: str,
+    params: Mapping[str, int],
+    seed: int = 0,
+    bool_arrays: frozenset[str] = frozenset(),
+    inputs: Optional[dict[str, list[Any]]] = None,
+    **compile_opts: Any,
+):
+    """Compile, simulate, and check against the interpreter.
+
+    Returns (compiled program, program result) for further assertions.
+    """
+    cp = compile_program(source, params=params, **compile_opts)
+    rng = random.Random(seed)
+    if inputs is None:
+        inputs = random_inputs(cp, rng, bool_arrays=bool_arrays)
+    result = cp.run(inputs)
+    reference = reference_outputs(source, cp, inputs, params)
+    assert_outputs_match(result, reference)
+    return cp, result

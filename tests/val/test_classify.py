@@ -1,0 +1,228 @@
+"""Tests for the paper's program-class definitions (Sections 5-7)."""
+
+import pytest
+
+from repro.errors import ClassificationError
+from repro.val import (
+    classify_forall,
+    classify_foriter,
+    classify_primitive,
+    index_offset,
+    is_primitive_expr,
+    is_scalar_primitive_expr,
+    parse_expression,
+    parse_program,
+)
+from repro.val.classify import ArrayAccess
+from repro.workloads.programs import SOURCES
+
+ARRAYS = {"A", "B", "C"}
+P = {"m": 10}
+
+
+class TestIndexOffset:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("i", 0),
+            ("i + 1", 1),
+            ("i - 1", -1),
+            ("i + m", 10),
+            ("1 + i", 1),
+            ("i + 2 * m", 20),
+            ("j", None),
+            ("i * 2", None),
+            ("i + n", None),   # n not a parameter
+            ("2 - i", None),   # negated index variable unsupported
+        ],
+    )
+    def test_forms(self, src, expected):
+        assert index_offset(parse_expression(src), "i", P) == expected
+
+
+class TestPrimitiveExpressions:
+    def pe(self, src: str) -> bool:
+        return is_primitive_expr(parse_expression(src), "i", ARRAYS, P)
+
+    def test_rule1_literal(self):
+        assert self.pe("42")
+        assert self.pe("0.25")
+
+    def test_rule2_scalar_identifier(self):
+        assert self.pe("x + i")
+
+    def test_rule3_operators(self):
+        assert self.pe("(a + b) * (a - b)")
+        assert self.pe("a < b")
+        assert self.pe("(i = 0) | (i = m + 1)")
+
+    def test_rule4_array_selection(self):
+        assert self.pe("A[i]")
+        assert self.pe("C[i-1] + 2. * C[i] + C[i+1]")
+        assert not self.pe("A[2 * i]")
+        assert not self.pe("A[j]")
+
+    def test_bare_array_reference_rejected(self):
+        assert not self.pe("A + 1")
+
+    def test_rule5_let(self):
+        assert self.pe("let p : real := A[i] in p * p endlet")
+        # let binding an array is not primitive
+        assert not is_primitive_expr(
+            parse_expression("let Q : array[real] := [0: 1.] in Q[i] endlet"),
+            "i",
+            ARRAYS,
+            P,
+        )
+
+    def test_rule6_conditional(self):
+        assert self.pe("if C[i] then A[i] else B[i] endif")
+
+    def test_nested_forall_rejected(self):
+        assert not self.pe("forall j in [0, 1] construct 1. endall")
+
+    def test_array_constructor_rejected(self):
+        assert not self.pe("[0: 1.]")
+        assert not self.pe("A[i: 1.]")
+
+    def test_accesses_collected(self):
+        info = classify_primitive(
+            parse_expression("0.25 * (C[i-1] + 2. * C[i] + C[i+1])"),
+            "i",
+            ARRAYS,
+            P,
+        )
+        assert info.accesses == [
+            ArrayAccess("C", -1),
+            ArrayAccess("C", 0),
+            ArrayAccess("C", 1),
+        ]
+        assert not info.is_scalar
+
+    def test_scalar_pe(self):
+        assert is_scalar_primitive_expr(parse_expression("x * 2 + 1"), ARRAYS, P)
+        assert not is_scalar_primitive_expr(parse_expression("A[i]"), ARRAYS, P)
+
+    def test_let_shadowing_array_name(self):
+        # a let-bound scalar may not be indexed even if it shadows an array
+        expr = parse_expression("let A : real := 1. in A + 1. endlet")
+        assert is_primitive_expr(expr, "i", ARRAYS, P)
+
+
+class TestClassifyForall:
+    def get(self, name: str):
+        prog = parse_program(SOURCES[name])
+        block = prog.blocks[0]
+        return block.expr
+
+    def test_example1(self):
+        info = classify_forall(self.get("example1"), {"B", "C"}, {"m": 6})
+        assert (info.lo, info.hi) == (0, 7)
+        assert info.var == "i"
+        assert len(info.defs) == 1
+        assert {a.array for a in info.accesses} == {"B", "C"}
+        assert info.length == 8
+
+    def test_fig4(self):
+        info = classify_forall(self.get("fig4"), {"C"}, {"m": 6})
+        assert (info.lo, info.hi) == (1, 6)
+        assert [a.offset for a in info.accesses] == [-1, 0, 1]
+
+    def test_non_constant_range_rejected(self):
+        expr = parse_expression("forall i in [0, n] construct 1. endall")
+        with pytest.raises(ClassificationError, match="constant"):
+            classify_forall(expr, set(), {"m": 5})
+
+    def test_empty_range_rejected(self):
+        expr = parse_expression("forall i in [5, 2] construct 1. endall")
+        with pytest.raises(ClassificationError, match="empty"):
+            classify_forall(expr, set(), {})
+
+    def test_non_primitive_body_rejected(self):
+        expr = parse_expression(
+            "forall i in [0, 3] construct "
+            "forall j in [0, 1] construct 1. endall endall"
+        )
+        with pytest.raises(ClassificationError):
+            classify_forall(expr, set(), {})
+
+
+class TestClassifyForIter:
+    def get(self, name: str):
+        return parse_program(SOURCES[name]).blocks[0].expr
+
+    def test_example2(self):
+        info = classify_foriter(self.get("example2"), {"A", "B"}, {"m": 6})
+        assert info.counter == "i"
+        assert info.acc == "T"
+        assert info.counter_lo == 1
+        assert info.init_index == 0
+        assert info.final_append
+        assert (info.elem_lo, info.elem_hi) == (1, 6)
+        assert (info.result_lo, info.result_hi) == (0, 6)
+        assert ArrayAccess("T", -1) in info.accesses
+
+    def test_paper_literal_variant(self):
+        info = classify_foriter(self.get("example2_paper"), {"A", "B"}, {"m": 6})
+        assert not info.final_append
+        assert (info.elem_lo, info.elem_hi) == (1, 5)
+
+    def test_prefix_sum(self):
+        info = classify_foriter(self.get("prefix_sum"), {"A"}, {"m": 6})
+        assert info.let_defs == []
+        assert info.final_append
+
+    def test_wrong_counter_step_rejected(self):
+        src = (
+            "for i : integer := 1; T : array[real] := [0: 0.] do "
+            "if i < 3 then iter T := T[i: 1.]; i := i + 2 enditer "
+            "else T endif endfor"
+        )
+        with pytest.raises(ClassificationError, match="advance"):
+            classify_foriter(parse_expression(src), set(), {})
+
+    def test_second_order_recurrence_rejected(self):
+        src = (
+            "for i : integer := 2; T : array[real] := [1: 0.] do "
+            "if i < 5 then iter T := T[i: T[i-2] + 1.]; i := i + 1 enditer "
+            "else T endif endfor"
+        )
+        with pytest.raises(ClassificationError, match="first-order"):
+            classify_foriter(parse_expression(src), set(), {})
+
+    def test_noncontiguous_init_rejected(self):
+        src = (
+            "for i : integer := 1; T : array[real] := [5: 0.] do "
+            "if i < 3 then iter T := T[i: 1.]; i := i + 1 enditer "
+            "else T endif endfor"
+        )
+        with pytest.raises(ClassificationError, match="contiguous"):
+            classify_foriter(parse_expression(src), set(), {})
+
+    def test_mismatched_final_append_rejected(self):
+        src = (
+            "for i : integer := 1; T : array[real] := [0: 0.] do "
+            "if i < 3 then iter T := T[i: 1.]; i := i + 1 enditer "
+            "else T[i: 2.] endif endfor"
+        )
+        with pytest.raises(ClassificationError, match="same E"):
+            classify_foriter(parse_expression(src), set(), {})
+
+    def test_three_loop_names_rejected(self):
+        src = (
+            "for i : integer := 1; j : integer := 0; "
+            "T : array[real] := [0: 0.] do "
+            "if i < 3 then iter T := T[i: 1.]; i := i + 1 enditer "
+            "else T endif endfor"
+        )
+        with pytest.raises(ClassificationError, match="exactly two"):
+            classify_foriter(parse_expression(src), set(), {})
+
+    def test_le_bound(self):
+        src = (
+            "for i : integer := 1; T : array[real] := [0: 0.] do "
+            "if i <= 4 then iter T := T[i: 1.]; i := i + 1 enditer "
+            "else T endif endfor"
+        )
+        info = classify_foriter(parse_expression(src), set(), {})
+        assert (info.elem_lo, info.elem_hi) == (1, 4)

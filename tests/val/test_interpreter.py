@@ -1,0 +1,221 @@
+"""Tests for the Val reference interpreter (the semantic ground truth)."""
+
+import pytest
+
+from repro.errors import SimulationError, ValTypeError
+from repro.val import ValArray, const_eval, parse_expression, parse_program, run_program
+from repro.val.interpreter import eval_expr
+from repro.workloads.programs import SOURCES
+
+
+def ev(src: str, **env):
+    return eval_expr(parse_expression(src), env)
+
+
+class TestScalarEvaluation:
+    def test_arithmetic(self):
+        assert ev("1 + 2 * 3") == 7
+        assert ev("(1 + 2) * 3") == 9
+        assert ev("7 / 2") == 3          # integer division truncates
+        assert ev("-7 / 2") == -3        # toward zero
+        assert ev("7. / 2.") == 3.5
+
+    def test_relations_and_booleans(self):
+        assert ev("1 < 2") is True
+        assert ev("(1 = 1) & (2 ~= 3)") is True
+        assert ev("true | false") is True
+        assert ev("~true") is False
+
+    def test_unary_minus(self):
+        assert ev("-(2 + 3)") == -5
+
+    def test_let(self):
+        assert ev("let y : real := 2. in (y + 2.) * (y - 3.) endlet") == -4.0
+
+    def test_let_sequential_scoping(self):
+        assert ev(
+            "let x : integer := 2; y : integer := x * 3 in x + y endlet"
+        ) == 8
+
+    def test_if(self):
+        assert ev("if 1 < 2 then 10 else 20 endif") == 10
+        assert ev("if 2 < 1 then 10 else 20 endif") == 20
+
+    def test_division_by_zero(self):
+        with pytest.raises(SimulationError, match="division by zero"):
+            ev("1 / 0")
+
+    def test_unbound_identifier(self):
+        with pytest.raises(SimulationError, match="unbound"):
+            ev("nope + 1")
+
+    def test_env_lookup(self):
+        assert ev("a * b", a=6, b=7) == 42
+
+
+class TestArrays:
+    def test_index(self):
+        arr = ValArray.from_list([10, 20, 30])
+        assert ev("A[1]", A=arr) == 20
+
+    def test_index_with_lower_bound(self):
+        arr = ValArray(5, (1, 2, 3))
+        assert ev("A[6]", A=arr) == 2
+
+    def test_out_of_bounds(self):
+        arr = ValArray.from_list([1])
+        with pytest.raises(SimulationError, match="outside bounds"):
+            ev("A[3]", A=arr)
+
+    def test_array_literal(self):
+        result = ev("[2: 7.]")
+        assert isinstance(result, ValArray)
+        assert result.bounds == (2, 2) and result.get(2) == 7.0
+
+    def test_append_extends(self):
+        arr = ValArray.singleton(0, 1.0)
+        result = ev("T[1: 2.]", T=arr)
+        assert result.to_list() == [1.0, 2.0]
+
+    def test_append_replaces(self):
+        arr = ValArray.from_list([1.0, 2.0, 3.0])
+        result = ev("T[1: 9.]", T=arr)
+        assert result.to_list() == [1.0, 9.0, 3.0]
+
+    def test_append_prepends(self):
+        arr = ValArray(1, (5.0,))
+        result = ev("T[0: 4.]", T=arr)
+        assert result.bounds == (0, 1) and result.to_list() == [4.0, 5.0]
+
+    def test_nonadjacent_extension_rejected(self):
+        arr = ValArray.singleton(0, 1.0)
+        with pytest.raises(SimulationError, match="not adjacent"):
+            ev("T[5: 2.]", T=arr)
+
+
+class TestForall:
+    def test_simple(self):
+        result = ev("forall i in [1, 4] construct i * i endall")
+        assert result.bounds == (1, 4)
+        assert result.to_list() == [1, 4, 9, 16]
+
+    def test_with_defs(self):
+        result = ev(
+            "forall i in [0, 2] p : integer := i + 1 construct p * p endall"
+        )
+        assert result.to_list() == [1, 4, 9]
+
+    def test_example1_semantics(self):
+        m = 4
+        B = ValArray.from_list([1.0] * (m + 2))
+        C = ValArray.from_list([float(k) for k in range(m + 2)])
+        prog = parse_program(SOURCES["example1"])
+        out = run_program(prog, inputs={"B": B, "C": C}, params={"m": m})
+        A = out["A"]
+        assert A.bounds == (0, m + 1)
+        # boundary elements: P = C[i], accumulation B*(P*P)
+        assert A.get(0) == C.get(0) ** 2
+        assert A.get(m + 1) == C.get(m + 1) ** 2
+        # interior: P = 0.25*(C[i-1] + 2 C[i] + C[i+1]) == i for linear C
+        for i in range(1, m + 1):
+            assert A.get(i) == pytest.approx(float(i) ** 2)
+
+
+class TestForIter:
+    def test_example2_semantics(self):
+        m = 5
+        a = [0.5, 1.5, -1.0, 2.0, 0.25]
+        b = [1.0, 2.0, 3.0, 4.0, 5.0]
+        A = ValArray(1, tuple(a))
+        B = ValArray(1, tuple(b))
+        prog = parse_program(SOURCES["example2"])
+        out = run_program(prog, inputs={"A": A, "B": B}, params={"m": m})
+        X = out["X"]
+        assert X.bounds == (0, m)
+        x = 0.0
+        expected = [0.0]
+        for i in range(1, m + 1):
+            x = a[i - 1] * x + b[i - 1]
+            expected.append(x)
+        assert X.to_list() == pytest.approx(expected)
+
+    def test_paper_literal_variant_drops_last(self):
+        m = 3
+        A = ValArray(1, (1.0, 1.0, 1.0))
+        B = ValArray(1, (1.0, 1.0, 1.0))
+        full = run_program(
+            parse_program(SOURCES["example2"]),
+            inputs={"A": A, "B": B},
+            params={"m": m},
+        )["X"]
+        lit = run_program(
+            parse_program(SOURCES["example2_paper"]),
+            inputs={"A": A, "B": B},
+            params={"m": m},
+        )["X"]
+        assert lit.bounds == (0, m - 1)
+        assert lit.to_list() == full.to_list()[:-1]
+
+    def test_prefix_sum(self):
+        m = 6
+        A = ValArray(1, tuple(float(k) for k in range(1, m + 1)))
+        out = run_program(
+            parse_program(SOURCES["prefix_sum"]),
+            inputs={"A": A},
+            params={"m": m},
+        )["S"]
+        assert out.to_list() == [0.0, 1.0, 3.0, 6.0, 10.0, 15.0, 21.0]
+
+    def test_iter_outside_loop_names_rejected(self):
+        src = (
+            "for i : integer := 0 do "
+            "if i < 2 then iter j := 1 enditer else i endif endfor"
+        )
+        with pytest.raises(ValTypeError, match="non-loop"):
+            ev(src)
+
+
+class TestMultiBlockPrograms:
+    def test_fig3_pipeline(self):
+        m = 4
+        inputs = {
+            "B": [1.0] * (m + 2),
+            "C": [float(k) for k in range(m + 2)],
+            "D": (1, [1.0] * m),
+        }
+        out = run_program(
+            parse_program(SOURCES["fig3"]), inputs=inputs, params={"m": m}
+        )
+        assert set(out) == {"A", "X"}
+        A, X = out["A"], out["X"]
+        # X's recurrence consumes A (produced by the first block)
+        x = 0.0
+        for i in range(1, m + 1):
+            x = A.get(i) * x + 1.0
+            assert X.get(i) == pytest.approx(x)
+
+    def test_block_shadowing_rejected(self):
+        prog = parse_program("B : real := 1.")
+        with pytest.raises(ValTypeError, match="shadows"):
+            run_program(prog, inputs={"B": 2.0})
+
+    def test_list_inputs_promoted(self):
+        prog = parse_program("Y : array[real] := forall i in [0, 2] "
+                             "construct A[i] * 2. endall")
+        out = run_program(prog, inputs={"A": [1.0, 2.0, 3.0]})
+        assert out["Y"].to_list() == [2.0, 4.0, 6.0]
+
+
+class TestConstEval:
+    def test_arithmetic(self):
+        assert const_eval(parse_expression("m + 1"), {"m": 10}) == 11
+        assert const_eval(parse_expression("2 * m - 3"), {"m": 5}) == 7
+        assert const_eval(parse_expression("-m"), {"m": 4}) == -4
+
+    def test_non_constant_rejected(self):
+        with pytest.raises(ValTypeError, match="not a compile-time constant"):
+            const_eval(parse_expression("n + 1"), {"m": 10})
+
+    def test_real_literal_rejected(self):
+        with pytest.raises(ValTypeError):
+            const_eval(parse_expression("1.5"), {})

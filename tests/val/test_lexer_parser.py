@@ -1,0 +1,189 @@
+"""Tests for the Val lexer and parser."""
+
+import pytest
+
+from repro.errors import ValSyntaxError
+from repro.val import ast_nodes as A
+from repro.val import parse_expression, parse_program, tokenize
+from repro.workloads.programs import SOURCES
+
+
+class TestLexer:
+    def test_keywords_and_idents(self):
+        toks = tokenize("let x := forall foo")
+        kinds = [t.kind for t in toks]
+        assert kinds == ["let", "IDENT", "OP", "forall", "IDENT", "EOF"]
+
+    def test_numbers(self):
+        toks = tokenize("0.25 2. 42 1e3 2.5e-2")
+        assert [(t.kind, t.text) for t in toks[:-1]] == [
+            ("REAL", "0.25"),
+            ("REAL", "2."),
+            ("INT", "42"),
+            ("REAL", "1e3"),
+            ("REAL", "2.5e-2"),
+        ]
+
+    def test_operators(self):
+        toks = tokenize("a := b <= c ~= d & e | ~f")
+        ops = [t.text for t in toks if t.kind == "OP"]
+        assert ops == [":=", "<=", "~=", "&", "|", "~"]
+
+    def test_comments_stripped(self):
+        toks = tokenize("a % comment with let if then\nb")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_bad_character(self):
+        with pytest.raises(ValSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_colon_vs_assign(self):
+        toks = tokenize("x : real := 1")
+        kinds = [t.kind for t in toks[:-1]]
+        assert kinds == ["IDENT", "COLON", "real", "OP", "INT"]
+
+
+class TestExpressionParsing:
+    def test_precedence(self):
+        e = parse_expression("a + b * c")
+        assert isinstance(e, A.BinOp) and e.op == "+"
+        assert isinstance(e.right, A.BinOp) and e.right.op == "*"
+
+    def test_parentheses(self):
+        e = parse_expression("(a + b) * c")
+        assert isinstance(e, A.BinOp) and e.op == "*"
+        assert isinstance(e.left, A.BinOp) and e.left.op == "+"
+
+    def test_relational_below_boolean(self):
+        e = parse_expression("(i = 0) | (i = m + 1)")
+        assert isinstance(e, A.BinOp) and e.op == "|"
+        assert isinstance(e.left, A.BinOp) and e.left.op == "="
+
+    def test_unary_minus(self):
+        e = parse_expression("-(a + b)")
+        assert isinstance(e, A.UnOp) and e.op == "-"
+
+    def test_indexing(self):
+        e = parse_expression("C[i-1]")
+        assert isinstance(e, A.Index)
+        assert isinstance(e.index, A.BinOp) and e.index.op == "-"
+
+    def test_array_append(self):
+        e = parse_expression("T[i: P]")
+        assert isinstance(e, A.ArrayAppend)
+        assert isinstance(e.base, A.Ident) and e.base.name == "T"
+
+    def test_array_literal(self):
+        e = parse_expression("[0: 0.]")
+        assert isinstance(e, A.ArrayLit)
+        assert isinstance(e.value, A.Literal) and e.value.value == 0.0
+
+    def test_chained_indexing(self):
+        e = parse_expression("A[i][j]")
+        assert isinstance(e, A.Index) and isinstance(e.base, A.Index)
+
+    def test_let(self):
+        e = parse_expression("let y : real := a * b in (y + 2.) * (y - 3.) endlet")
+        assert isinstance(e, A.Let)
+        assert len(e.defs) == 1 and e.defs[0].name == "y"
+        assert e.defs[0].type == A.REAL
+
+    def test_let_multiple_defs(self):
+        e = parse_expression(
+            "let x : real := 1.; y : real := x + 1. in x * y endlet"
+        )
+        assert isinstance(e, A.Let) and len(e.defs) == 2
+
+    def test_if(self):
+        e = parse_expression("if a < b then a else b endif")
+        assert isinstance(e, A.If)
+
+    def test_elseif_desugars_to_nested_if(self):
+        e = parse_expression(
+            "if a < 1 then 1 elseif a < 2 then 2 else 3 endif"
+        )
+        assert isinstance(e, A.If) and isinstance(e.els, A.If)
+
+    def test_forall(self):
+        e = parse_expression(
+            "forall i in [0, m + 1] P : real := C[i] construct B[i] * P endall"
+        )
+        assert isinstance(e, A.Forall)
+        assert e.var == "i" and len(e.defs) == 1
+
+    def test_forall_without_defs(self):
+        e = parse_expression("forall i in [1, m] construct A[i] + 1. endall")
+        assert isinstance(e, A.Forall) and e.defs == []
+
+    def test_foriter(self):
+        e = parse_expression(
+            "for i : integer := 1; T : array[real] := [0: 0.] do "
+            "if i < m then iter T := T[i: A[i]]; i := i + 1 enditer "
+            "else T endif endfor"
+        )
+        assert isinstance(e, A.ForIter)
+        assert [d.name for d in e.inits] == ["i", "T"]
+        body = e.body
+        assert isinstance(body, A.If)
+        assert isinstance(body.then, A.Iter)
+        assert len(body.then.assigns) == 2
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ValSyntaxError):
+            parse_expression("a + b extra")
+
+    def test_missing_endif(self):
+        with pytest.raises(ValSyntaxError, match="endif"):
+            parse_expression("if a then b else c")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ValSyntaxError) as exc:
+            parse_expression("let x : real := in 1 endlet")
+        assert exc.value.line >= 1
+
+
+class TestProgramParsing:
+    @pytest.mark.parametrize("name", sorted(SOURCES))
+    def test_canonical_sources_parse(self, name):
+        prog = parse_program(SOURCES[name])
+        assert len(prog.blocks) >= 1
+
+    def test_multi_block(self):
+        prog = parse_program(SOURCES["fig3"])
+        assert [b.name for b in prog.blocks] == ["A", "X"]
+        assert all(isinstance(b.type, A.ArrayType) for b in prog.blocks)
+
+    def test_block_lookup(self):
+        prog = parse_program(SOURCES["fig3"])
+        assert prog.block("X").name == "X"
+        with pytest.raises(KeyError):
+            prog.block("nope")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValSyntaxError, match="empty"):
+            parse_program("   % nothing here\n")
+
+
+class TestFreeIdentifiers:
+    def test_example1_free_vars(self):
+        prog = parse_program(SOURCES["example1"])
+        free = A.free_identifiers(prog.blocks[0].expr)
+        assert free == {"B", "C", "m"}
+
+    def test_example2_free_vars(self):
+        prog = parse_program(SOURCES["example2"])
+        free = A.free_identifiers(prog.blocks[0].expr)
+        assert free == {"A", "B", "m"}
+
+    def test_let_binds(self):
+        e = parse_expression("let y : real := a in y + b endlet")
+        assert A.free_identifiers(e) == {"a", "b"}
+
+    def test_forall_binds_index(self):
+        e = parse_expression("forall i in [0, n] construct A[i] endall")
+        assert A.free_identifiers(e) == {"A", "n"}

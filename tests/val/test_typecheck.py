@@ -1,0 +1,159 @@
+"""Tests for the Val type checker."""
+
+import pytest
+
+from repro.errors import ValTypeError
+from repro.val import (
+    ArrayType,
+    BOOLEAN,
+    INTEGER,
+    REAL,
+    check_expression,
+    check_program,
+    infer_input_types,
+    parse_expression,
+    parse_program,
+)
+from repro.workloads.programs import SOURCES
+
+RA = ArrayType(REAL)
+
+
+def tc(src: str, **env):
+    return check_expression(parse_expression(src), env)
+
+
+class TestScalars:
+    def test_literals(self):
+        assert tc("1") == INTEGER
+        assert tc("1.5") == REAL
+        assert tc("true") == BOOLEAN
+
+    def test_arith_promotion(self):
+        assert tc("1 + 2") == INTEGER
+        assert tc("1 + 2.") == REAL
+        assert tc("1. * 2") == REAL
+
+    def test_relations(self):
+        assert tc("1 < 2") == BOOLEAN
+        assert tc("1. = 1") == BOOLEAN
+
+    def test_boolean_ops(self):
+        assert tc("true & false") == BOOLEAN
+        with pytest.raises(ValTypeError, match="boolean"):
+            tc("1 & true")
+
+    def test_arith_on_boolean_rejected(self):
+        with pytest.raises(ValTypeError, match="numeric"):
+            tc("true + 1")
+
+    def test_compare_array_rejected(self):
+        with pytest.raises(ValTypeError):
+            tc("A = A", A=RA)
+
+    def test_unary(self):
+        assert tc("-1") == INTEGER
+        assert tc("~true") == BOOLEAN
+        with pytest.raises(ValTypeError):
+            tc("-true")
+
+    def test_unbound(self):
+        with pytest.raises(ValTypeError, match="unbound"):
+            tc("x + 1")
+
+
+class TestArrays:
+    def test_index(self):
+        assert tc("A[1]", A=RA) == REAL
+
+    def test_index_type_checked(self):
+        with pytest.raises(ValTypeError, match="integer"):
+            tc("A[1.5]", A=RA)
+        with pytest.raises(ValTypeError, match="indexing"):
+            tc("x[1]", x=REAL)
+
+    def test_array_literal(self):
+        assert tc("[0: 1.]") == RA
+        assert tc("[0: 1]") == ArrayType(INTEGER)
+
+    def test_append(self):
+        assert tc("T[1: 2.]", T=RA) == RA
+        assert tc("T[1: 2]", T=RA) == RA  # int coerces into array[real]
+        with pytest.raises(ValTypeError, match="store"):
+            tc("T[1: true]", T=RA)
+
+
+class TestConstructs:
+    def test_let(self):
+        assert tc("let y : real := 1 in y + 1. endlet") == REAL
+
+    def test_let_decl_mismatch(self):
+        with pytest.raises(ValTypeError, match="cannot assign"):
+            tc("let y : boolean := 1 in y endlet")
+
+    def test_let_scoping_restored(self):
+        with pytest.raises(ValTypeError, match="unbound"):
+            tc("let y : real := 1. in y endlet + y")
+
+    def test_if_unifies(self):
+        assert tc("if true then 1 else 2. endif") == REAL
+        with pytest.raises(ValTypeError, match="incompatible"):
+            tc("if true then 1 else false endif")
+        with pytest.raises(ValTypeError, match="boolean"):
+            tc("if 1 then 2 else 3 endif")
+
+    def test_forall(self):
+        assert tc("forall i in [0, 3] construct A[i] endall", A=RA) == RA
+
+    def test_forall_bad_bounds(self):
+        with pytest.raises(ValTypeError, match="integer"):
+            tc("forall i in [0., 3] construct 1. endall")
+
+    def test_foriter(self):
+        src = (
+            "for i : integer := 1; T : array[real] := [0: 0.] do "
+            "if i < 3 then iter T := T[i: 1.]; i := i + 1 enditer "
+            "else T endif endfor"
+        )
+        assert tc(src) == RA
+
+    def test_foriter_never_terminating(self):
+        src = (
+            "for i : integer := 1 do "
+            "iter i := i + 1 enditer endfor"
+        )
+        with pytest.raises(ValTypeError, match="never terminates"):
+            tc(src)
+
+    def test_iter_outside_loop(self):
+        with pytest.raises(ValTypeError, match="outside"):
+            tc("iter x := 1 enditer")
+
+
+class TestProgramChecking:
+    @pytest.mark.parametrize("name", sorted(SOURCES))
+    def test_canonical_sources_typecheck(self, name):
+        prog = parse_program(SOURCES[name])
+        types = check_program(prog, params={"m": 8})
+        assert all(isinstance(t, ArrayType) for t in types.values())
+
+    def test_inference(self):
+        prog = parse_program(SOURCES["example1"])
+        inferred = infer_input_types(prog, params={"m": 8})
+        assert inferred == {"B": RA, "C": RA}
+
+    def test_inference_boolean_condition_array(self):
+        prog = parse_program(SOURCES["fig5"])
+        inferred = infer_input_types(prog, params={"m": 8})
+        assert inferred["C"] == ArrayType(BOOLEAN)
+        assert inferred["A"] == RA
+
+    def test_block_type_mismatch(self):
+        prog = parse_program("Y : real := forall i in [0, 1] construct 1. endall")
+        with pytest.raises(ValTypeError, match="declared"):
+            check_program(prog, params={})
+
+    def test_blocks_see_earlier_blocks(self):
+        prog = parse_program(SOURCES["diamond"])
+        types = check_program(prog, params={"m": 4})
+        assert set(types) == {"U", "V", "W", "Z"}

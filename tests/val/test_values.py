@@ -1,0 +1,81 @@
+"""Tests for Val runtime values (ValArray) and hypothesis properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.val import ValArray
+from repro.val.values import IterSignal
+
+
+class TestValArray:
+    def test_singleton(self):
+        a = ValArray.singleton(3, 7.5)
+        assert a.bounds == (3, 3)
+        assert a.get(3) == 7.5
+        assert len(a) == 1
+
+    def test_from_list_and_iteration(self):
+        a = ValArray.from_list([1, 2, 3], lo=5)
+        assert a.bounds == (5, 7)
+        assert list(a) == [1, 2, 3]
+        assert a.to_list() == [1, 2, 3]
+        assert list(a.indices()) == [5, 6, 7]
+
+    def test_get_bounds(self):
+        a = ValArray.from_list([1, 2])
+        with pytest.raises(SimulationError):
+            a.get(-1)
+        with pytest.raises(SimulationError):
+            a.get(2)
+
+    def test_append_grows_both_ends(self):
+        a = ValArray.singleton(0, "x")
+        b = a.append(1, "y").append(-1, "w")
+        assert b.bounds == (-1, 1)
+        assert b.to_list() == ["w", "x", "y"]
+
+    def test_append_replaces_in_place_functionally(self):
+        a = ValArray.from_list([1, 2, 3])
+        b = a.append(1, 99)
+        assert b.to_list() == [1, 99, 3]
+        assert a.to_list() == [1, 2, 3]  # original untouched
+
+    def test_append_to_empty(self):
+        a = ValArray(0, ())
+        b = a.append(7, 1.0)
+        assert b.bounds == (7, 7)
+
+    def test_nonadjacent_rejected(self):
+        a = ValArray.singleton(0, 1)
+        with pytest.raises(SimulationError, match="adjacent"):
+            a.append(2, 5)
+        with pytest.raises(SimulationError, match="adjacent"):
+            a.append(-3, 5)
+
+    def test_repr_truncates(self):
+        a = ValArray.from_list(list(range(20)))
+        assert "..." in repr(a)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=30),
+           st.integers(-5, 5))
+    def test_roundtrip_property(self, values, lo):
+        a = ValArray.from_list(values, lo=lo)
+        assert a.to_list() == values
+        assert a.hi - a.lo + 1 == len(values)
+        for k, i in enumerate(a.indices()):
+            assert a.get(i) == values[k]
+
+    @given(st.lists(st.integers(), min_size=1, max_size=15))
+    def test_sequential_append_builds_list(self, values):
+        a = ValArray.singleton(0, values[0])
+        for k, v in enumerate(values[1:], start=1):
+            a = a.append(k, v)
+        assert a.to_list() == values
+
+
+class TestIterSignal:
+    def test_holds_bindings(self):
+        sig = IterSignal({"i": 2, "T": None})
+        assert sig.bindings["i"] == 2
