@@ -32,6 +32,8 @@ Packages
 * :mod:`repro.compiler` -- the paper's mapping schemes and balancing;
 * :mod:`repro.sim` -- unit-delay ("instruction time") simulator;
 * :mod:`repro.machine` -- event-driven packet-level machine model;
+* :mod:`repro.faults` -- seeded fault plans and injection for the
+  machine model's reliability layer;
 * :mod:`repro.analysis` -- static rate / balance / traffic analyses;
 * :mod:`repro.workloads` -- canonical programs and generators.
 """
@@ -46,9 +48,11 @@ from .errors import (
     RecurrenceError,
     ReproError,
     SimulationError,
+    SimulationTimeout,
     ValSyntaxError,
     ValTypeError,
 )
+from .faults import FaultInjector, FaultPlan, FaultStats, UnitFault
 from .machine import Machine, MachineConfig, run_machine
 from .sim import RunResult, SyncSimulator, run_graph
 from .val import ValArray, parse_program, run_program
@@ -61,6 +65,9 @@ __all__ = [
     "CompileError",
     "CompiledProgram",
     "DeadlockError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "GraphError",
     "Machine",
     "MachineConfig",
@@ -69,7 +76,9 @@ __all__ = [
     "ReproError",
     "RunResult",
     "SimulationError",
+    "SimulationTimeout",
     "SyncSimulator",
+    "UnitFault",
     "ValArray",
     "ValSyntaxError",
     "ValTypeError",

@@ -7,6 +7,7 @@ programs from the shell.
     python -m repro run prog.val -p m=100 --inputs inputs.json
     python -m repro interpret prog.val -p m=100 --inputs inputs.json
     python -m repro simulate prog.dfasm --inputs inputs.json
+    python -m repro faults fig6 --drop-result 0.05 --dup-result 0.05
 
 Inputs are a JSON object mapping array names to lists (or to
 ``[lo, [values...]]`` pairs for arrays with a nonzero lower bound).
@@ -20,12 +21,15 @@ import sys
 from typing import Any, Optional
 
 from .compiler import compile_program
-from .errors import ReproError
+from .errors import DeadlockError, ReproError
+from .faults import FaultPlan
 from .graph.asm import read_asm, to_asm
 from .graph.dot import to_dot
+from .machine import run_machine
 from .sim import run_graph
 from .val import parse_program, run_program
 from .val.values import ValArray
+from .workloads.figures import FIGURES, figure_workload
 
 
 def _parse_params(items: list[str]) -> dict[str, int]:
@@ -143,6 +147,61 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_fault_plan(args: argparse.Namespace) -> FaultPlan:
+    if args.plan:
+        with open(args.plan, "r", encoding="utf-8") as fh:
+            plan = FaultPlan.from_json(fh.read())
+        if args.seed is not None:
+            plan = FaultPlan.from_dict({**plan.to_dict(), "seed": args.seed})
+        return plan
+    return FaultPlan(
+        seed=args.seed if args.seed is not None else 0,
+        drop_result=args.drop_result,
+        dup_result=args.dup_result,
+        corrupt_result=args.corrupt_result,
+        drop_ack=args.drop_ack,
+        dup_ack=args.dup_ack,
+    )
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    workload = figure_workload(args.workload)
+    program = workload.compile(m=args.size)
+    inputs = workload.make_inputs(program, seed=args.input_seed)
+    plan = _build_fault_plan(args)
+
+    clean_out, clean_stats, _ = run_machine(program.graph, inputs)
+    print(
+        f"# {args.workload}: fault-free run took {clean_stats.cycles} cycles",
+        file=sys.stderr,
+    )
+    print(f"# plan: {plan.describe()}", file=sys.stderr)
+    try:
+        out, stats, _ = run_machine(
+            program.graph,
+            inputs,
+            fault_plan=plan,
+            recovery=not args.no_recovery,
+        )
+    except DeadlockError as exc:
+        print(f"stalled: {exc}", file=sys.stderr)
+        return 2
+    ok = out == clean_out
+    print(f"# faulty run took {stats.cycles} cycles", file=sys.stderr)
+    if stats.reliability is not None:
+        print(f"# {stats.reliability.summary()}", file=sys.stderr)
+    if stats.faults is not None:
+        print(f"# {stats.faults.summary()}", file=sys.stderr)
+    print(
+        "# outputs match fault-free run"
+        if ok
+        else "# OUTPUTS DIVERGED from fault-free run",
+        file=sys.stderr,
+    )
+    _emit_outputs(out)
+    return 0 if ok else 3
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -207,6 +266,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph", help="dfasm file")
     p.add_argument("--inputs", help="JSON file of input arrays")
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "faults",
+        help="run a paper-figure workload under an injected fault plan "
+        "and report what the reliability layer recovered",
+    )
+    p.add_argument("workload", choices=sorted(FIGURES),
+                   help="paper figure to run")
+    p.add_argument("--size", type=int, default=16, metavar="M",
+                   help="array-size parameter m (default 16)")
+    p.add_argument("--plan", help="JSON fault-plan file (see DESIGN.md "
+                   "for the schema); overrides the probability flags")
+    p.add_argument("--seed", type=int, default=None,
+                   help="fault-injection seed (overrides the plan file's)")
+    p.add_argument("--input-seed", type=int, default=0,
+                   help="seed for the generated input streams")
+    p.add_argument("--drop-result", type=float, default=0.05,
+                   metavar="P", help="result-packet drop probability")
+    p.add_argument("--dup-result", type=float, default=0.05,
+                   metavar="P", help="result-packet duplication probability")
+    p.add_argument("--corrupt-result", type=float, default=0.0,
+                   metavar="P", help="result-packet corruption probability")
+    p.add_argument("--drop-ack", type=float, default=0.0,
+                   metavar="P", help="acknowledge-packet drop probability")
+    p.add_argument("--dup-ack", type=float, default=0.0,
+                   metavar="P", help="acknowledge duplication probability")
+    p.add_argument("--no-recovery", action="store_true",
+                   help="inject faults with the reliability layer off "
+                   "(expect a diagnosed stall)")
+    p.set_defaults(fn=cmd_faults)
 
     return parser
 

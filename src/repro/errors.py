@@ -51,16 +51,57 @@ class SimulationError(ReproError):
     """Raised by the simulators (deadlock with pending work, bad input...)."""
 
 
+class SimulationTimeout(SimulationError):
+    """Raised when a simulation exceeds its cycle budget (``max_cycles``).
+
+    Unlike :class:`DeadlockError` the machine was still making progress --
+    the run may be a genuine long computation or a livelock.  The partial
+    statistics collected up to the overrun are attached so callers can
+    tell the two apart:
+
+    ``cycles``
+        The cycle count at which the budget was exhausted.
+    ``stats``
+        The partial :class:`repro.machine.stats.MachineStats` (or ``None``
+        when raised by a simulator that does not collect them).
+    ``sink_progress``
+        Mapping of output stream name to ``(received, expected)`` token
+        counts; ``expected`` is ``None`` for unbounded sinks.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        cycles: int = 0,
+        stats=None,
+        sink_progress=None,
+    ) -> None:
+        self.cycles = cycles
+        self.stats = stats
+        self.sink_progress = dict(sink_progress or {})
+        super().__init__(message)
+
+
 class DeadlockError(SimulationError):
     """Raised when a simulation quiesces before the expected outputs arrive.
 
     This is the machine-level symptom of the "jams" the paper warns about
     when unused array elements are not discarded or skew buffers are missing.
+    The machine-level simulator attaches a structured
+    :class:`repro.machine.diagnose.DeadlockDiagnosis` as ``diagnosis``
+    (``None`` when raised by the unit-delay simulator).
     """
 
-    def __init__(self, message: str, step: int = 0, pending: int = 0) -> None:
+    def __init__(
+        self,
+        message: str,
+        step: int = 0,
+        pending: int = 0,
+        diagnosis=None,
+    ) -> None:
         self.step = step
         self.pending = pending
+        self.diagnosis = diagnosis
         super().__init__(message)
 
 

@@ -1,0 +1,147 @@
+"""Runtime fault injection driven by a :class:`FaultPlan`.
+
+The :class:`FaultInjector` is consulted by the machine simulator once
+per packet transmission (and per unit decision); every stochastic call
+draws from one seeded :class:`random.Random` stream, so a plan injects
+an identical fault sequence on every run of the same workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from .plan import FaultPlan
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did during one run."""
+
+    results_dropped: int = 0
+    results_duplicated: int = 0
+    results_corrupted: int = 0
+    acks_dropped: int = 0
+    acks_duplicated: int = 0
+    ops_lost_to_outage: int = 0
+    units_evicted: int = 0
+    cells_rerouted: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        return (
+            self.results_dropped
+            + self.results_duplicated
+            + self.results_corrupted
+            + self.acks_dropped
+            + self.acks_duplicated
+            + self.ops_lost_to_outage
+        )
+
+    def summary(self) -> str:
+        return (
+            f"faults injected: {self.results_dropped} results dropped, "
+            f"{self.results_duplicated} duplicated, "
+            f"{self.results_corrupted} corrupted; "
+            f"{self.acks_dropped} acks dropped, "
+            f"{self.acks_duplicated} duplicated; "
+            f"{self.ops_lost_to_outage} ops lost to outages; "
+            f"{self.units_evicted} units evicted, "
+            f"{self.cells_rerouted} cells rerouted"
+        )
+
+
+@dataclass
+class PacketFate:
+    """What happens to one logical packet on the network.
+
+    ``deliveries`` holds the values that actually arrive (0, 1 or 2
+    copies); ``corrupted`` flags per-copy transit corruption so the
+    receiver's checksum layer (when enabled) can discard them instead.
+    """
+
+    deliveries: list = field(default_factory=list)
+    corrupted: list = field(default_factory=list)
+    dropped: int = 0
+
+
+class FaultInjector:
+    """Stateful, deterministic fault source for one machine run."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.stats = FaultStats()
+        self._rng = random.Random(plan.seed)
+        self._evicted: set[tuple[str, int]] = set()
+
+    # ------------------------------------------------------------------
+    # packet fates
+    # ------------------------------------------------------------------
+    def _roll(self, p: float) -> bool:
+        return p > 0.0 and self._rng.random() < p
+
+    def result_fate(self, value: Any) -> PacketFate:
+        """Decide drop/duplication/corruption for one result packet."""
+        fate = PacketFate()
+        copies = 1
+        if self._roll(self.plan.dup_result):
+            copies += 1
+            self.stats.results_duplicated += 1
+        for _ in range(copies):
+            if self._roll(self.plan.drop_result):
+                self.stats.results_dropped += 1
+                fate.dropped += 1
+                continue
+            corrupted = self._roll(self.plan.corrupt_result)
+            if corrupted:
+                self.stats.results_corrupted += 1
+            fate.deliveries.append(
+                self.corrupt_value(value) if corrupted else value
+            )
+            fate.corrupted.append(corrupted)
+        return fate
+
+    def ack_fate(self) -> int:
+        """Number of copies of one ack packet that actually arrive."""
+        copies = 1
+        if self._roll(self.plan.dup_ack):
+            copies += 1
+            self.stats.acks_duplicated += 1
+        arriving = 0
+        for _ in range(copies):
+            if self._roll(self.plan.drop_ack):
+                self.stats.acks_dropped += 1
+            else:
+                arriving += 1
+        return arriving
+
+    @staticmethod
+    def corrupt_value(value: Any) -> Any:
+        """A deterministic transient corruption of an in-flight value."""
+        if isinstance(value, bool):
+            return not value
+        if isinstance(value, (int, float)):
+            return value + 1.0
+        return value
+
+    # ------------------------------------------------------------------
+    # unit-level faults
+    # ------------------------------------------------------------------
+    def is_dead(self, unit: str, index: int, t: int) -> bool:
+        return self.plan.is_dead(unit, index, t)
+
+    def slow_factor(self, unit: str, index: int, t: int) -> float:
+        return self.plan.slow_factor(unit, index, t)
+
+    def note_eviction(self, unit: str, index: int) -> None:
+        """Count the first time a dead unit is skipped by a scheduler."""
+        if (unit, index) not in self._evicted:
+            self._evicted.add((unit, index))
+            self.stats.units_evicted += 1
+
+    def note_reroute(self, n_cells: int = 1) -> None:
+        self.stats.cells_rerouted += n_cells
+
+    def note_op_lost(self) -> None:
+        self.stats.ops_lost_to_outage += 1

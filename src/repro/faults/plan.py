@@ -1,0 +1,221 @@
+"""Deterministic, seeded fault plans for the machine simulator.
+
+A :class:`FaultPlan` describes *what goes wrong* during a run of
+:class:`repro.machine.Machine`: packet-level faults on the routing and
+distribution networks (result/acknowledge packet drops, duplications
+and transient value corruption) and unit-level faults (slowdowns and
+outages of function units, array memories and processing elements).
+
+Plans are plain data: they can be serialized to/from JSON (the schema
+used by ``python -m repro faults --plan plan.json``, documented in
+DESIGN.md) and they are **deterministic** -- the injector draws every
+random decision from ``random.Random(seed)`` in simulation-event order,
+so the same plan on the same workload always injects the same faults.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..errors import ReproError
+
+
+class FaultPlanError(ReproError):
+    """Raised on malformed fault plans (bad probabilities, units...)."""
+
+
+#: Unit kinds a :class:`UnitFault` can target.
+UNIT_KINDS = ("fu", "am", "pe")
+
+#: Fault kinds a :class:`UnitFault` can describe.
+FAULT_KINDS = ("outage", "slow")
+
+
+@dataclass(frozen=True)
+class UnitFault:
+    """One unit-level fault: an outage or a slowdown window.
+
+    ``unit``
+        ``"fu"``, ``"am"`` or ``"pe"``.
+    ``index``
+        Which unit of that kind (0-based).
+    ``start`` / ``end``
+        The cycle window during which the fault is active; ``end=None``
+        means the fault persists to the end of the run.
+    ``kind``
+        ``"outage"`` -- the unit accepts no work (operation packets sent
+        to it are lost); ``"slow"`` -- latencies (or the PE's issue
+        interval) are multiplied by ``factor``.
+    """
+
+    unit: str
+    index: int
+    start: int = 0
+    end: Optional[int] = None
+    kind: str = "outage"
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.unit not in UNIT_KINDS:
+            raise FaultPlanError(
+                f"unknown unit kind {self.unit!r}; expected one of {UNIT_KINDS}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.index < 0:
+            raise FaultPlanError(f"unit index must be >= 0, got {self.index}")
+        if self.start < 0:
+            raise FaultPlanError(f"fault start must be >= 0, got {self.start}")
+        if self.end is not None and self.end <= self.start:
+            raise FaultPlanError(
+                f"fault window [{self.start},{self.end}) is empty"
+            )
+        if self.kind == "slow" and self.factor <= 1.0:
+            raise FaultPlanError(
+                f"slowdown factor must be > 1, got {self.factor}"
+            )
+
+    def active(self, t: int) -> bool:
+        """Whether this fault is active at cycle ``t``."""
+        return t >= self.start and (self.end is None or t < self.end)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded description of every fault injected into one run.
+
+    Packet probabilities are per *packet copy* traversing a network:
+
+    ``drop_result`` / ``dup_result`` / ``corrupt_result``
+        Result packets (FU/AM/PE output values travelling the
+        distribution network to their destination cells).
+    ``drop_ack`` / ``dup_ack``
+        Acknowledge packets (consumers releasing producers).
+    ``unit_faults``
+        Unit outage/slowdown windows (:class:`UnitFault`).
+    """
+
+    seed: int = 0
+    drop_result: float = 0.0
+    dup_result: float = 0.0
+    corrupt_result: float = 0.0
+    drop_ack: float = 0.0
+    dup_ack: float = 0.0
+    unit_faults: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "drop_result",
+            "dup_result",
+            "corrupt_result",
+            "drop_ack",
+            "dup_ack",
+        ):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise FaultPlanError(
+                    f"{name} must be a probability in [0, 1], got {p}"
+                )
+        faults = tuple(
+            f if isinstance(f, UnitFault) else UnitFault(**f)
+            for f in self.unit_faults
+        )
+        object.__setattr__(self, "unit_faults", faults)
+
+    # ------------------------------------------------------------------
+    # queries used by the machine
+    # ------------------------------------------------------------------
+    @property
+    def has_packet_faults(self) -> bool:
+        return any(
+            (
+                self.drop_result,
+                self.dup_result,
+                self.corrupt_result,
+                self.drop_ack,
+                self.dup_ack,
+            )
+        )
+
+    def faults_for(self, unit: str, index: int) -> Iterable[UnitFault]:
+        return (
+            f for f in self.unit_faults
+            if f.unit == unit and f.index == index
+        )
+
+    def is_dead(self, unit: str, index: int, t: int) -> bool:
+        """Whether unit ``index`` of kind ``unit`` is out at cycle ``t``."""
+        return any(
+            f.kind == "outage" and f.active(t)
+            for f in self.faults_for(unit, index)
+        )
+
+    def slow_factor(self, unit: str, index: int, t: int) -> float:
+        """Combined slowdown multiplier for a unit at cycle ``t``."""
+        factor = 1.0
+        for f in self.faults_for(unit, index):
+            if f.kind == "slow" and f.active(t):
+                factor *= f.factor
+        return factor
+
+    # ------------------------------------------------------------------
+    # serialization (the --plan JSON schema)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        d = asdict(self)
+        d["unit_faults"] = [asdict(f) for f in self.unit_faults]
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        known = {
+            "seed",
+            "drop_result",
+            "dup_result",
+            "corrupt_result",
+            "drop_ack",
+            "dup_ack",
+            "unit_faults",
+        }
+        extra = set(data) - known
+        if extra:
+            raise FaultPlanError(
+                f"unknown fault-plan keys: {sorted(extra)} "
+                f"(expected a subset of {sorted(known)})"
+            )
+        data = dict(data)
+        data["unit_faults"] = tuple(
+            UnitFault(**f) if isinstance(f, dict) else f
+            for f in data.get("unit_faults", ())
+        )
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"bad fault-plan JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise FaultPlanError("fault plan must be a JSON object")
+        return cls.from_dict(data)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for name in ("drop_result", "dup_result", "corrupt_result",
+                     "drop_ack", "dup_ack"):
+            p = getattr(self, name)
+            if p:
+                parts.append(f"{name}={p:g}")
+        for f in self.unit_faults:
+            window = f"[{f.start},{'inf' if f.end is None else f.end})"
+            detail = "" if f.kind == "outage" else f" x{f.factor:g}"
+            parts.append(f"{f.unit}{f.index} {f.kind}{detail} {window}")
+        return "FaultPlan(" + ", ".join(parts) + ")"

@@ -14,6 +14,12 @@ from .assign import (
     make_assignment,
 )
 from .config import DEFAULT_FU_LATENCY, MachineConfig
+from .diagnose import (
+    BlockedProducer,
+    DeadlockDiagnosis,
+    StarvedCell,
+    diagnose,
+)
 from .machine import Machine, run_machine
 from .packets import (
     AckPacket,
@@ -23,23 +29,28 @@ from .packets import (
     UnitClass,
     classify_unit,
 )
-from .stats import MachineStats
+from .stats import MachineStats, ReliabilityStats
 
 __all__ = [
     "AckPacket",
+    "BlockedProducer",
     "DEFAULT_FU_LATENCY",
+    "DeadlockDiagnosis",
     "Machine",
     "MachineConfig",
     "MachineStats",
     "OperationPacket",
     "POLICIES",
     "PacketCounters",
+    "ReliabilityStats",
     "ResultPacket",
+    "StarvedCell",
     "UnitClass",
     "assign_by_stage",
     "assign_round_robin",
     "assign_single",
     "classify_unit",
+    "diagnose",
     "make_assignment",
     "run_machine",
 ]

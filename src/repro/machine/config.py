@@ -66,6 +66,26 @@ class MachineConfig:
     #: routing network bandwidth in packets/cycle (0 = unlimited)
     rn_bandwidth: int = 0
 
+    # -- reliability layer (active when a FaultPlan is given) ----------
+    #: cycles a producer waits for an acknowledge before retransmitting
+    #: a result packet (0 = derive from the round-trip and unit
+    #: latencies; see :meth:`retransmit_timeout_for`)
+    retransmit_timeout: int = 0
+    #: per-packet retransmission budget before the reliability layer
+    #: gives up on a destination (0 = retry forever)
+    max_retransmits: int = 64
+
+    # -- progress watchdog ---------------------------------------------
+    #: whether the stall watchdog runs (detects quiesced pipelines and
+    #: livelocks long before ``max_cycles``)
+    watchdog: bool = True
+    #: cycles between watchdog progress checks (0 = derive from the
+    #: retransmit timeout)
+    watchdog_interval: int = 0
+    #: consecutive no-progress checks before the watchdog declares a
+    #: stall
+    watchdog_patience: int = 3
+
     @staticmethod
     def unit_time() -> "MachineConfig":
         return MachineConfig(
@@ -83,3 +103,27 @@ class MachineConfig:
 
     def latency_of(self, op: Op) -> int:
         return self.fu_latency.get(op, 1)
+
+    def retransmit_timeout_for(self) -> int:
+        """The effective retransmission timeout in cycles.
+
+        The automatic value covers a full round trip (result out, ack
+        back) plus the worst unit latency and a dispatch slot, with a
+        4x safety margin so a merely *slow* consumer does not trigger
+        spurious retransmissions.
+        """
+        if self.retransmit_timeout:
+            return self.retransmit_timeout
+        round_trip = 2 * max(1, self.rn_delay)
+        worst = max(
+            max(self.fu_latency.values(), default=1),
+            self.am_latency,
+            self.local_latency,
+        )
+        return 4 * (round_trip + worst + max(1, self.pe_issue_interval))
+
+    def watchdog_interval_for(self) -> int:
+        """The effective watchdog check interval in cycles."""
+        if self.watchdog_interval:
+            return self.watchdog_interval
+        return max(256, 8 * self.retransmit_timeout_for())

@@ -1,0 +1,290 @@
+"""Deadlock diagnosis: explain *why* a machine quiesced.
+
+When the machine drains its event queue while expected outputs are
+missing (or input streams are only partially consumed), the paper's
+"jam" has happened: some cell is starved of an operand, some producer
+is blocked on an acknowledge, and the whole pipeline has wedged.  The
+bare :class:`~repro.errors.DeadlockError` used to report only a count;
+:func:`diagnose` walks the machine's wait-for graph at quiescence and
+builds a structured report naming the starved cells, the blocked
+producers, the wait cycle (if any) and the arcs suspected of missing a
+FIFO/skew buffer -- the two failure modes Section 5 of the paper warns
+about (undiscarded tokens and missing skew buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..graph.cell import GATE_PORT
+from ..graph.opcodes import (
+    MERGE_CONTROL_PORT,
+    MERGE_FALSE_PORT,
+    MERGE_TRUE_PORT,
+    Op,
+)
+
+_ABSENT = object()
+
+
+@dataclass
+class StarvedCell:
+    """A cell that cannot fire because operands never arrived."""
+
+    cid: int
+    label: str
+    op: str
+    missing_ports: list[int] = field(default_factory=list)
+    waiting_on: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        ports = ", ".join(
+            "gate" if p == GATE_PORT else f"port {p}"
+            for p in self.missing_ports
+        )
+        src = f" (fed by {', '.join(self.waiting_on)})" if self.waiting_on else ""
+        return f"{self.label} [{self.op}] starved on {ports}{src}"
+
+
+@dataclass
+class BlockedProducer:
+    """A cell that cannot refire because acknowledges never returned."""
+
+    cid: int
+    label: str
+    op: str
+    acks_pending: int = 0
+    stuck_consumers: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        held = (
+            f"; unconsumed tokens at {', '.join(self.stuck_consumers)}"
+            if self.stuck_consumers
+            else ""
+        )
+        return (
+            f"{self.label} [{self.op}] blocked on "
+            f"{self.acks_pending} acknowledge(s){held}"
+        )
+
+
+@dataclass
+class DeadlockDiagnosis:
+    """Structured report attached to a machine-level DeadlockError."""
+
+    at_cycle: int
+    #: output stream -> (tokens received, tokens expected)
+    pending_sinks: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: source/AM-read label -> (tokens consumed, tokens available)
+    undrained_sources: dict[str, tuple[int, int]] = field(default_factory=dict)
+    starved_cells: list[StarvedCell] = field(default_factory=list)
+    blocked_producers: list[BlockedProducer] = field(default_factory=list)
+    #: labels of cells forming a wait-for cycle, if one exists
+    wait_cycle: list[str] = field(default_factory=list)
+    #: human-readable root-cause hypotheses
+    suspects: list[str] = field(default_factory=list)
+
+    @property
+    def missing_outputs(self) -> int:
+        return sum(exp - got for got, exp in self.pending_sinks.values())
+
+    def summary(self) -> str:
+        lines = [f"deadlock diagnosis at cycle {self.at_cycle}:"]
+        for stream, (got, exp) in sorted(self.pending_sinks.items()):
+            lines.append(f"  output {stream!r}: {got}/{exp} tokens arrived")
+        for label, (used, total) in sorted(self.undrained_sources.items()):
+            lines.append(
+                f"  input {label}: only {used}/{total} tokens consumed"
+            )
+        for cell in self.starved_cells:
+            lines.append(f"  starved: {cell.describe()}")
+        for prod in self.blocked_producers:
+            lines.append(f"  blocked: {prod.describe()}")
+        if self.wait_cycle:
+            lines.append(
+                "  wait cycle: " + " -> ".join(self.wait_cycle + [self.wait_cycle[0]])
+            )
+        for s in self.suspects:
+            lines.append(f"  suspect: {s}")
+        return "\n".join(lines)
+
+
+def _missing_ports(machine, cell) -> list[int]:
+    """Replicate the enabling rule: which operand ports block this cell."""
+    st = machine.cell_state[cell.cid]
+
+    def peek(port):
+        if port in cell.consts:
+            return cell.consts[port]
+        return st.operands.get(port, _ABSENT)
+
+    missing: list[int] = []
+    if cell.gated and peek(GATE_PORT) is _ABSENT:
+        missing.append(GATE_PORT)
+    op = cell.op
+    if op in (Op.SOURCE, Op.AM_READ, Op.CONST):
+        return missing
+    if op is Op.MERGE:
+        ctl = peek(MERGE_CONTROL_PORT)
+        if ctl is _ABSENT:
+            missing.append(MERGE_CONTROL_PORT)
+        else:
+            sel = MERGE_TRUE_PORT if bool(ctl) else MERGE_FALSE_PORT
+            if peek(sel) is _ABSENT:
+                missing.append(sel)
+        return missing
+    for port in cell.data_ports():
+        if peek(port) is _ABSENT:
+            missing.append(port)
+    return missing
+
+
+def _find_cycle(edges: dict[int, set[int]]) -> list[int]:
+    """First cycle in the wait-for graph, as a list of cell ids."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {cid: WHITE for cid in edges}
+    for root in sorted(edges):
+        if color[root] != WHITE:
+            continue
+        # iterative DFS keeping the current path for cycle extraction
+        path: list[int] = []
+        on_path: dict[int, int] = {}
+        stack: list[tuple[int, Iterator[int]]] = []
+        color[root] = GREY
+        on_path[root] = len(path)
+        path.append(root)
+        stack.append((root, iter(sorted(edges.get(root, ())))))
+        while stack:
+            cid, it = stack[-1]
+            nxt = next(it, None)
+            if nxt is None:
+                stack.pop()
+                color[cid] = BLACK
+                path.pop()
+                on_path.pop(cid, None)
+                continue
+            if nxt not in color:
+                continue
+            if color[nxt] == GREY:
+                return path[on_path[nxt]:]
+            if color[nxt] == WHITE:
+                color[nxt] = GREY
+                on_path[nxt] = len(path)
+                path.append(nxt)
+                stack.append((nxt, iter(sorted(edges.get(nxt, ())))))
+    return []
+
+
+def diagnose(machine) -> DeadlockDiagnosis:
+    """Build a :class:`DeadlockDiagnosis` for a quiescent/stalled machine."""
+    g = machine.graph
+    diag = DeadlockDiagnosis(at_cycle=machine.now)
+
+    for cid, values in machine.sink_values.items():
+        cell = g.cells[cid]
+        limit = cell.params.get("limit")
+        if limit is not None and len(values) < limit:
+            diag.pending_sinks[cell.params["stream"]] = (len(values), limit)
+
+    for cell in g:
+        if cell.op in (Op.SOURCE, Op.AM_READ):
+            seq = machine._source_seq(cell)
+            pos = machine.cell_state[cell.cid].source_pos
+            if pos < len(seq):
+                diag.undrained_sources[cell.label] = (pos, len(seq))
+
+    # wait-for edges: cell -> cells it is waiting on
+    edges: dict[int, set[int]] = {cid: set() for cid in g.cells}
+    missing_by_cell: dict[int, list[int]] = {}
+    for cell in g:
+        st = machine.cell_state[cell.cid]
+        waits: set[int] = set()
+        if st.acks_pending:
+            stuck = []
+            for arc in g.out_arcs[cell.cid]:
+                if arc.dst_port in machine.cell_state[arc.dst].operands:
+                    stuck.append(g.cells[arc.dst].label)
+                    waits.add(arc.dst)
+            diag.blocked_producers.append(
+                BlockedProducer(
+                    cid=cell.cid,
+                    label=cell.label,
+                    op=cell.op.value,
+                    acks_pending=st.acks_pending,
+                    stuck_consumers=stuck,
+                )
+            )
+        missing = _missing_ports(machine, cell)
+        missing_by_cell[cell.cid] = missing
+        for port in missing:
+            arc = g.in_arc.get((cell.cid, port))
+            if arc is not None:
+                waits.add(arc.src)
+        edges[cell.cid] = waits
+
+    cycle = _find_cycle(edges)
+    diag.wait_cycle = [g.cells[cid].label for cid in cycle]
+    cycle_set = set(cycle)
+
+    for cell in g:
+        st = machine.cell_state[cell.cid]
+        missing = missing_by_cell[cell.cid]
+        if not missing:
+            continue
+        # report partially-fed cells and cycle members; fully idle cells
+        # far upstream of the jam are noise
+        if not (st.operands or st.acks_pending or cell.cid in cycle_set):
+            continue
+        waiting_on = []
+        for port in missing:
+            arc = g.in_arc.get((cell.cid, port))
+            if arc is not None:
+                waiting_on.append(g.cells[arc.src].label)
+        diag.starved_cells.append(
+            StarvedCell(
+                cid=cell.cid,
+                label=cell.label,
+                op=cell.op.value,
+                missing_ports=missing,
+                waiting_on=waiting_on,
+            )
+        )
+
+    # root-cause hypotheses --------------------------------------------
+    if diag.wait_cycle:
+        diag.suspects.append(
+            "wait-for cycle "
+            + " -> ".join(diag.wait_cycle + [diag.wait_cycle[0]])
+            + ": a FIFO/skew buffer or initial token is likely missing on "
+            "one of these arcs"
+        )
+    for cell in diag.starved_cells:
+        if cell.op == Op.MERGE.value and MERGE_CONTROL_PORT in cell.missing_ports:
+            diag.suspects.append(
+                f"MERGE {cell.label} never received a control token: its "
+                "control path is unbuffered or gated away (conditional "
+                "jam, paper Section 5)"
+            )
+    if (
+        diag.undrained_sources
+        and diag.blocked_producers
+        and not diag.wait_cycle
+    ):
+        diag.suspects.append(
+            "producers blocked mid-stream while inputs remain: tokens are "
+            "piling up on an arc whose consumer is starved -- suspected "
+            "missing skew buffer or discard gate (paper Section 5)"
+        )
+    plan = getattr(machine, "fault_plan", None)
+    if plan is not None:
+        dead = [
+            f"{f.unit}{f.index}"
+            for f in plan.unit_faults
+            if f.kind == "outage" and f.active(machine.now)
+        ]
+        if dead:
+            diag.suspects.append(
+                "units out at quiescence: " + ", ".join(sorted(set(dead)))
+            )
+    return diag

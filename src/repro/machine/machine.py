@@ -23,6 +23,30 @@ Timing rules (all in machine cycles):
 With :meth:`MachineConfig.unit_time` (all latencies one cycle, free
 dispatch) the firing schedule coincides exactly with the unit-delay
 simulator's -- the fidelity tests assert sink-arrival equality.
+
+Fault injection & recovery
+--------------------------
+
+Passing a :class:`repro.faults.FaultPlan` subjects the run to seeded
+packet drops/duplications/corruption and unit outages/slowdowns.  With
+``recovery=True`` (the default) a reliability layer keeps the run
+correct anyway:
+
+* every result packet carries a per-arc sequence number; the receiver
+  suppresses duplicates and discards checksum-detected corruption;
+* producers hold a copy of each unacknowledged result and retransmit
+  it after ``retransmit_timeout`` cycles;
+* acknowledge packets are matched by sequence number, so lost acks are
+  recovered by the consumer re-acknowledging a retransmitted result;
+* failed FUs/AMs are evicted from the round-robin pools and a failed
+  PE's instruction cells are rerouted to a live PE.
+
+A progress watchdog checks the machine every ``watchdog_interval``
+cycles; after ``watchdog_patience`` checks without progress it raises a
+diagnosed :class:`DeadlockError` instead of burning ``max_cycles``.  At
+quiescence with missing outputs (or unconsumed inputs), the wait-for
+graph is walked and a :class:`~repro.machine.diagnose.DeadlockDiagnosis`
+is attached to the error.
 """
 
 from __future__ import annotations
@@ -31,7 +55,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from ..errors import DeadlockError, SimulationError
+from ..errors import DeadlockError, SimulationError, SimulationTimeout
+from ..faults import FaultInjector, FaultPlan
 from ..graph.cell import _NO_TOKEN, GATE_PORT, Cell
 from ..graph.graph import DataflowGraph
 from ..graph.lower import lower_fifos
@@ -47,8 +72,9 @@ from ..graph.opcodes import (
 from ..graph.validate import check_stream_inputs, validate
 from .assign import Assignment, make_assignment
 from .config import MachineConfig
+from .diagnose import DeadlockDiagnosis, diagnose
 from .packets import PacketCounters, UnitClass, classify_unit
-from .stats import MachineStats
+from .stats import MachineStats, ReliabilityStats
 
 _ABSENT = _NO_TOKEN
 
@@ -79,6 +105,9 @@ class Machine:
         inputs: Optional[dict[str, list[Any]]] = None,
         assignment: Optional[Assignment] = None,
         policy: str = "round_robin",
+        fault_plan: Optional[FaultPlan] = None,
+        recovery: bool = True,
+        reliable: Optional[bool] = None,
     ) -> None:
         self.config = config or MachineConfig()
         if graph.cells_by_op(Op.FIFO):
@@ -90,6 +119,30 @@ class Machine:
         self.assignment = assignment or make_assignment(
             graph, self.config.n_pes, policy
         )
+
+        self.fault_plan = fault_plan
+        self.recovery = recovery
+        self.injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        #: whether the sequence-number/retransmission layer is active
+        self._reliable = (
+            reliable
+            if reliable is not None
+            else (fault_plan is not None and recovery)
+        )
+        self.rel = ReliabilityStats()
+        self._timeout = self.config.retransmit_timeout_for()
+        self._wd_interval = self.config.watchdog_interval_for()
+        self._wd_last = -1
+        self._wd_stalls = 0
+        # per-arc reliability state: sequence counters and in-flight copies
+        self._send_seq: dict[int, int] = {}
+        self._recv_count: dict[int, int] = {}
+        self._consumed_count: dict[int, int] = {}
+        self._acked_count: dict[int, int] = {}
+        self._outstanding: dict[tuple[int, int], Any] = {}
+        self._retry_counts: dict[tuple[int, int], int] = {}
 
         self.cell_state: dict[int, _CellState] = {}
         self.sink_values: dict[int, list[Any]] = {}
@@ -108,11 +161,14 @@ class Machine:
         self.fus = [_UnitState() for _ in range(self.config.n_fus)]
         self.ams = [_UnitState() for _ in range(self.config.n_ams)]
         self._pe_queues: list[list[int]] = [[] for _ in self.pes]
+        self._dispatch_pending = [False] * len(self.pes)
         self._rn_next_free = 0
 
         self.packets = PacketCounters()
         self.now = 0
-        self._events: list[tuple[int, int, Callable[[], None]]] = []
+        self._finish = 0
+        self._progress = 0
+        self._events: list[tuple[int, int, Callable[[], None], bool]] = []
         self._seq = 0
         self._fu_rr = 0
         self._am_rr = 0
@@ -123,8 +179,11 @@ class Machine:
     # ------------------------------------------------------------------
     # event plumbing
     # ------------------------------------------------------------------
-    def _at(self, time: int, fn: Callable[[], None]) -> None:
-        heapq.heappush(self._events, (time, self._seq, fn))
+    def _at(self, time: int, fn: Callable[[], None], aux: bool = False) -> None:
+        """Schedule ``fn``; ``aux`` marks bookkeeping events (watchdog
+        ticks, retransmission timers) that must not count as machine
+        activity for cycle accounting or the ``max_cycles`` budget."""
+        heapq.heappush(self._events, (time, self._seq, fn, aux))
         self._seq += 1
 
     def _route_delay(self, n_packets: int = 1) -> int:
@@ -182,26 +241,79 @@ class Machine:
             return
         st.queued = True
         pe_idx = self.assignment[cid]
+        if (
+            self.fault_plan is not None
+            and self.recovery
+            and self.fault_plan.is_dead("pe", pe_idx, self.now)
+        ):
+            self.injector.note_eviction("pe", pe_idx)
+            pe_idx = self._next_live_pe(pe_idx)
+            self.assignment[cid] = pe_idx
+            self.injector.note_reroute()
         self._pe_queues[pe_idx].append(cid)
         self._schedule_dispatch(pe_idx)
 
     def _schedule_dispatch(self, pe_idx: int) -> None:
+        # one pending dispatch event per PE is enough: the handler
+        # drains/reschedules itself, so redundant events would only
+        # bloat the queue to O(tokens) instead of O(cells)
+        if self._dispatch_pending[pe_idx]:
+            return
+        self._dispatch_pending[pe_idx] = True
         pe = self.pes[pe_idx]
         when = max(self.now, pe.next_free)
         self._at(when, lambda: self._dispatch(pe_idx))
+
+    def _next_live_pe(self, pe_idx: int) -> int:
+        n = len(self.pes)
+        for k in range(1, n):
+            cand = (pe_idx + k) % n
+            if not self.fault_plan.is_dead("pe", cand, self.now):
+                return cand
+        raise SimulationError(f"all {n} PEs failed at cycle {self.now}")
 
     # ------------------------------------------------------------------
     # firing
     # ------------------------------------------------------------------
     def _dispatch(self, pe_idx: int) -> None:
+        self._dispatch_pending[pe_idx] = False
         pe = self.pes[pe_idx]
         queue = self._pe_queues[pe_idx]
         if not queue:
             return
+        if self.fault_plan is not None and self.fault_plan.is_dead(
+            "pe", pe_idx, self.now
+        ):
+            if self.recovery:
+                # graceful degradation: migrate this PE's ready cells
+                target = self._next_live_pe(pe_idx)
+                self.injector.note_eviction("pe", pe_idx)
+                self.injector.note_reroute(len(queue))
+                for cid in queue:
+                    self.assignment[cid] = target
+                self._pe_queues[target].extend(queue)
+                queue.clear()
+                self._schedule_dispatch(target)
+            else:
+                # stranded until the outage window (if bounded) ends
+                end = min(
+                    (
+                        f.end
+                        for f in self.fault_plan.faults_for("pe", pe_idx)
+                        if f.kind == "outage"
+                        and f.active(self.now)
+                        and f.end is not None
+                    ),
+                    default=None,
+                )
+                if end is not None:
+                    self._dispatch_pending[pe_idx] = True
+                    self._at(end, lambda: self._dispatch(pe_idx))
+            return
         if self.now < pe.next_free:
             # the PE is still issuing an earlier instruction; retry when
             # its dispatch slot frees up
-            self._at(pe.next_free, lambda: self._dispatch(pe_idx))
+            self._schedule_dispatch(pe_idx)
             return
         cid = queue.pop(0)
         cell = self.graph.cells[cid]
@@ -214,8 +326,17 @@ class Machine:
                 self._schedule_dispatch(pe_idx)
             return
         if self.config.pe_issue_interval:
-            pe.next_free = self.now + self.config.pe_issue_interval
-            pe.busy_cycles += self.config.pe_issue_interval
+            interval = self.config.pe_issue_interval
+            if self.fault_plan is not None:
+                interval = max(
+                    1,
+                    round(
+                        interval
+                        * self.fault_plan.slow_factor("pe", pe_idx, self.now)
+                    ),
+                )
+            pe.next_free = self.now + interval
+            pe.busy_cycles += interval
         pe.ops += 1
         self._fire(cell)
         if queue:
@@ -224,6 +345,7 @@ class Machine:
     def _fire(self, cell: Cell) -> None:
         st = self.cell_state[cell.cid]
         st.fire_count += 1
+        self._progress += 1
         g = self.graph
         gate_val: Any = None
         consumed_ports: list[int] = []
@@ -267,17 +389,12 @@ class Machine:
                 raise SimulationError(f"cannot execute {op!r}")
 
         # acknowledge the producers of every consumed operand
-        ack_delay = max(1, self.config.rn_delay)
         for port in consumed_ports:
             arc = g.in_arc.get((cell.cid, port))
             st.operands.pop(port, None)
             if arc is None:
                 continue
-            self.packets.acks += 1
-            self._at(
-                self.now + ack_delay,
-                lambda src=arc.src: self._deliver_ack(src),
-            )
+            self._send_ack(arc)
 
         # destinations this firing writes
         out = [
@@ -290,58 +407,119 @@ class Machine:
         unit = classify_unit(op.value)
         self.packets.count_op(unit)
         if op in (Op.SINK, Op.AM_WRITE):
+            lost = False
             if op is Op.AM_WRITE:
-                unit_state = self._pick_unit(self.ams, "am")
+                idx, unit_state = self._pick_unit("am")
                 arrival = self.now + self._route_delay()
                 start = max(arrival, unit_state.next_free)
-                if self.config.fu_issue_interval:
-                    unit_state.next_free = start + self.config.fu_issue_interval
-                unit_state.busy_cycles += self.config.am_latency
-                unit_state.ops += 1
-                done = start + self.config.am_latency
+                lost = self._op_lost("am", idx, start)
+                if not lost:
+                    if self.config.fu_issue_interval:
+                        unit_state.next_free = (
+                            start + self.config.fu_issue_interval
+                        )
+                    latency = self._unit_latency("am", idx, start, op)
+                    unit_state.busy_cycles += latency
+                    unit_state.ops += 1
+                    done = start + latency
             else:
                 done = self.now + self.config.local_latency
             value = result
-            self._at(done, lambda: self._record_sink(cell, value))
+            if not lost:
+                self._at(done, lambda: self._record_sink(cell, value))
             self._maybe_ready(cell.cid)
             return
 
+        lost = False
         if unit is UnitClass.LOCAL:
             done = self.now + self.config.local_latency
         else:
-            pool = self.fus if unit is UnitClass.FUNCTION_UNIT else self.ams
-            unit_state = self._pick_unit(
-                pool, "fu" if unit is UnitClass.FUNCTION_UNIT else "am"
-            )
+            kind = "fu" if unit is UnitClass.FUNCTION_UNIT else "am"
+            idx, unit_state = self._pick_unit(kind)
             arrival = self.now + self._route_delay()
             start = max(arrival, unit_state.next_free)
-            if self.config.fu_issue_interval:
-                unit_state.next_free = start + self.config.fu_issue_interval
-            latency = (
-                self.config.am_latency
-                if unit is UnitClass.ARRAY_MEMORY
-                else self.config.latency_of(op)
-            )
-            unit_state.busy_cycles += latency
-            unit_state.ops += 1
-            done = start + latency
+            lost = self._op_lost(kind, idx, start)
+            if lost:
+                done = start
+            else:
+                if self.config.fu_issue_interval:
+                    unit_state.next_free = start + self.config.fu_issue_interval
+                latency = self._unit_latency(kind, idx, start, op)
+                unit_state.busy_cycles += latency
+                unit_state.ops += 1
+                done = start + latency
 
-        deliver = done + self._route_delay(len(out))
-        deliver = max(deliver, self.now + 1)
         value = result
-        self._at(deliver, lambda: self._deliver_results(cell.cid, out, value))
+        if self._reliable:
+            self._send_results_reliable(out, value, done, lost)
+        elif self.injector is not None:
+            if not lost:
+                self._send_results_faulty(out, value, done)
+        elif not lost:
+            deliver = done + self._route_delay(len(out))
+            deliver = max(deliver, self.now + 1)
+            self._at(
+                deliver, lambda: self._deliver_results(cell.cid, out, value)
+            )
         # the cell itself may refire once operands/acks return
         self._maybe_ready(cell.cid)
 
-    def _pick_unit(self, pool: list[_UnitState], kind: str) -> _UnitState:
+    # ------------------------------------------------------------------
+    # units
+    # ------------------------------------------------------------------
+    def _pick_unit(self, kind: str) -> tuple[int, _UnitState]:
+        """Next unit of ``kind`` by round robin, skipping evicted units
+        when recovery is on."""
+        pool = self.fus if kind == "fu" else self.ams
+        n = len(pool)
+        rr = self._fu_rr if kind == "fu" else self._am_rr
+        plan = self.fault_plan
+        probe_t = self.now + self.config.rn_delay
+        chosen = None
+        for _ in range(n):
+            rr = (rr + 1) % n
+            if (
+                plan is not None
+                and self.recovery
+                and plan.is_dead(kind, rr, probe_t)
+            ):
+                self.injector.note_eviction(kind, rr)
+                continue
+            chosen = rr
+            break
+        if chosen is None:
+            raise SimulationError(
+                f"all {n} {kind.upper()} units failed at cycle {self.now}"
+            )
         if kind == "fu":
-            self._fu_rr = (self._fu_rr + 1) % len(pool)
-            return pool[self._fu_rr]
-        self._am_rr = (self._am_rr + 1) % len(pool)
-        return pool[self._am_rr]
+            self._fu_rr = rr
+        else:
+            self._am_rr = rr
+        return chosen, pool[chosen]
+
+    def _op_lost(self, kind: str, idx: int, start: int) -> bool:
+        """Whether an operation packet is swallowed by a unit outage."""
+        if self.fault_plan is None or not self.fault_plan.is_dead(
+            kind, idx, start
+        ):
+            return False
+        self.injector.note_op_lost()
+        return True
+
+    def _unit_latency(self, kind: str, idx: int, start: int, op: Op) -> int:
+        base = (
+            self.config.am_latency
+            if kind == "am"
+            else self.config.latency_of(op)
+        )
+        if self.fault_plan is not None:
+            base = max(
+                1, round(base * self.fault_plan.slow_factor(kind, idx, start))
+            )
+        return base
 
     # ------------------------------------------------------------------
-    # deliveries
+    # result delivery: clean, faulty, and reliable paths
     # ------------------------------------------------------------------
     def _deliver_results(self, src: int, arcs: list, value: Any) -> None:
         for arc in arcs:
@@ -353,7 +531,155 @@ class Machine:
                     f"(acknowledge discipline violated)"
                 )
             st.operands[arc.dst_port] = value
+            self._progress += 1
             self._maybe_ready(arc.dst)
+
+    def _send_results_faulty(self, arcs: list, value: Any, done: int) -> None:
+        """Result delivery under a fault plan with recovery disabled:
+        faults are injected but nothing protects against them."""
+        base = max(done + self._route_delay(len(arcs)), self.now + 1)
+        for arc in arcs:
+            fate = self.injector.result_fate(value)
+            for i, v in enumerate(fate.deliveries):
+                self._at(
+                    base + i,
+                    lambda aid=arc.aid, v=v: self._deliver_one_faulty(aid, v),
+                )
+
+    def _deliver_one_faulty(self, aid: int, value: Any) -> None:
+        arc = self.graph.arcs[aid]
+        st = self.cell_state[arc.dst]
+        if arc.dst_port in st.operands:
+            # a duplicate arrived while the register is full; hardware
+            # without the reliability layer just loses it
+            self.rel.overruns_dropped += 1
+            return
+        self.packets.results += 1
+        st.operands[arc.dst_port] = value
+        self._progress += 1
+        self._maybe_ready(arc.dst)
+
+    def _send_results_reliable(
+        self, arcs: list, value: Any, done: int, lost: bool
+    ) -> None:
+        """Sequence-numbered send with timeout retransmission."""
+        for arc in arcs:
+            aid = arc.aid
+            seq = self._send_seq.get(aid, 0)
+            self._send_seq[aid] = seq + 1
+            self._outstanding[(aid, seq)] = value
+            if not lost:
+                self._at(
+                    done,
+                    lambda aid=aid, seq=seq: self._transmit_result(aid, seq),
+                )
+            self._at(
+                done + self._timeout,
+                lambda aid=aid, seq=seq: self._check_retransmit(aid, seq),
+                aux=True,
+            )
+
+    def _transmit_result(self, aid: int, seq: int) -> None:
+        value = self._outstanding.get((aid, seq), _ABSENT)
+        if value is _ABSENT:
+            return          # acknowledged while the event was in flight
+        if self.injector is not None:
+            fate = self.injector.result_fate(value)
+            copies = list(zip(fate.deliveries, fate.corrupted))
+        else:
+            copies = [(value, False)]
+        for i, (v, corrupted) in enumerate(copies):
+            delay = max(1, self._route_delay()) + i
+            self._at(
+                self.now + delay,
+                lambda v=v, c=corrupted: self._deliver_reliable(aid, seq, v, c),
+            )
+
+    def _deliver_reliable(
+        self, aid: int, seq: int, value: Any, corrupted: bool
+    ) -> None:
+        if corrupted:
+            # the checksum layer detects transit corruption and discards
+            # the packet; the retransmission timer recovers the value
+            self.rel.corruptions_detected += 1
+            return
+        if seq < self._recv_count.get(aid, 0):
+            self.rel.duplicates_suppressed += 1
+            if seq < self._consumed_count.get(aid, 0):
+                # the original ack may have been lost: re-acknowledge
+                self.rel.acks_resent += 1
+                self._transmit_ack(aid, seq)
+            return
+        arc = self.graph.arcs[aid]
+        st = self.cell_state[arc.dst]
+        st.operands[arc.dst_port] = value
+        self._recv_count[aid] = seq + 1
+        self.packets.results += 1
+        self._progress += 1
+        self._maybe_ready(arc.dst)
+
+    def _check_retransmit(self, aid: int, seq: int) -> None:
+        if (aid, seq) not in self._outstanding:
+            return
+        n = self._retry_counts.get((aid, seq), 0) + 1
+        limit = self.config.max_retransmits
+        if limit and n > limit:
+            # permanent loss: give up so the run can quiesce and the
+            # deadlock diagnoser can explain what is missing
+            self.rel.retransmit_failures += 1
+            self._outstanding.pop((aid, seq), None)
+            self._retry_counts.pop((aid, seq), None)
+            return
+        self._retry_counts[(aid, seq)] = n
+        self.rel.retransmissions += 1
+        self._transmit_result(aid, seq)
+        self._at(
+            self.now + self._timeout,
+            lambda: self._check_retransmit(aid, seq),
+            aux=True,
+        )
+
+    # ------------------------------------------------------------------
+    # acknowledges
+    # ------------------------------------------------------------------
+    def _send_ack(self, arc) -> None:
+        ack_delay = max(1, self.config.rn_delay)
+        if self._reliable:
+            seq = self._consumed_count.get(arc.aid, 0)
+            self._consumed_count[arc.aid] = seq + 1
+            self._transmit_ack(arc.aid, seq)
+            return
+        self.packets.acks += 1
+        if self.injector is not None:
+            for i in range(self.injector.ack_fate()):
+                self._at(
+                    self.now + ack_delay + i,
+                    lambda src=arc.src: self._deliver_ack(src),
+                )
+            return
+        self._at(
+            self.now + ack_delay,
+            lambda src=arc.src: self._deliver_ack(src),
+        )
+
+    def _transmit_ack(self, aid: int, seq: int) -> None:
+        self.packets.acks += 1
+        ack_delay = max(1, self.config.rn_delay)
+        copies = self.injector.ack_fate() if self.injector is not None else 1
+        for i in range(copies):
+            self._at(
+                self.now + ack_delay + i,
+                lambda: self._receive_ack(aid, seq),
+            )
+
+    def _receive_ack(self, aid: int, seq: int) -> None:
+        if seq < self._acked_count.get(aid, 0):
+            self.rel.dup_acks_suppressed += 1
+            return
+        self._acked_count[aid] = seq + 1
+        self._outstanding.pop((aid, seq), None)
+        self._retry_counts.pop((aid, seq), None)
+        self._deliver_ack(self.graph.arcs[aid].src)
 
     def _deliver_ack(self, producer: int) -> None:
         st = self.cell_state[producer]
@@ -365,8 +691,63 @@ class Machine:
     def _record_sink(self, cell: Cell, value: Any) -> None:
         self.sink_values[cell.cid].append(value)
         self.sink_times[cell.cid].append(self.now)
+        self._progress += 1
         if cell.op is Op.AM_WRITE:
             self.am_arrays[cell.params["stream"]].append(value)
+
+    # ------------------------------------------------------------------
+    # watchdog
+    # ------------------------------------------------------------------
+    def _pending_work(self) -> tuple[int, int]:
+        """(missing sink outputs, unconsumed input tokens)."""
+        missing = 0
+        for cid, values in self.sink_values.items():
+            limit = self.graph.cells[cid].params.get("limit")
+            if limit is not None and len(values) < limit:
+                missing += limit - len(values)
+        undrained = 0
+        for cell in self.graph:
+            if cell.op in (Op.SOURCE, Op.AM_READ):
+                seq = self._source_seq(cell)
+                pos = self.cell_state[cell.cid].source_pos
+                if pos < len(seq):
+                    undrained += len(seq) - pos
+        return missing, undrained
+
+    def _sink_progress(self) -> dict[str, tuple[int, Optional[int]]]:
+        out: dict[str, tuple[int, Optional[int]]] = {}
+        for cid, values in self.sink_values.items():
+            cell = self.graph.cells[cid]
+            out[cell.params["stream"]] = (
+                len(values),
+                cell.params.get("limit"),
+            )
+        return out
+
+    def _watchdog_tick(self) -> None:
+        if not self._events:
+            return          # machine quiesced; _check_complete takes over
+        if self._progress != self._wd_last:
+            self._wd_last = self._progress
+            self._wd_stalls = 0
+        else:
+            self._wd_stalls += 1
+            missing, undrained = self._pending_work()
+            if (
+                self._wd_stalls >= self.config.watchdog_patience
+                and (missing or undrained)
+            ):
+                diag = diagnose(self)
+                raise DeadlockError(
+                    f"watchdog: no progress for about "
+                    f"{self._wd_stalls * self._wd_interval} cycles "
+                    f"(stalled at cycle {self.now} with {missing} expected "
+                    f"outputs missing)\n{diag.summary()}",
+                    step=self.now,
+                    pending=missing + undrained,
+                    diagnosis=diag,
+                )
+        self._at(self.now + self._wd_interval, self._watchdog_tick, aux=True)
 
     # ------------------------------------------------------------------
     # main loop
@@ -380,33 +761,55 @@ class Machine:
             if arc.has_initial:
                 self.cell_state[arc.dst].operands[arc.dst_port] = arc.initial
                 self.cell_state[arc.src].acks_pending += 1
+                if self._reliable:
+                    # the pre-loaded token occupies sequence number 0
+                    self._send_seq[arc.aid] = 1
+                    self._recv_count[arc.aid] = 1
         for cid in self.graph.cells:
             self._maybe_ready(cid)
+        if self.config.watchdog:
+            self._at(self._wd_interval, self._watchdog_tick, aux=True)
 
         while self._events:
-            time, _seq, fn = heapq.heappop(self._events)
-            if time > max_cycles:
-                raise SimulationError(
-                    f"machine simulation exceeded {max_cycles} cycles"
+            time, _seq, fn, aux = heapq.heappop(self._events)
+            if time > max_cycles and not aux:
+                raise SimulationTimeout(
+                    f"machine simulation exceeded {max_cycles} cycles "
+                    f"(still making progress: livelock or genuinely long "
+                    f"run)",
+                    cycles=time,
+                    stats=self.stats(),
+                    sink_progress=self._sink_progress(),
                 )
             self.now = time
+            if not aux:
+                self._finish = time
             fn()
         self._check_complete()
         return self.stats()
 
     def _check_complete(self) -> None:
-        pending = 0
-        for cid, values in self.sink_values.items():
-            limit = self.graph.cells[cid].params.get("limit")
-            if limit is not None and len(values) < limit:
-                pending += limit - len(values)
-        if pending:
+        self.now = self._finish
+        missing, undrained = self._pending_work()
+        if missing or undrained:
+            diag = diagnose(self)
+            parts = [
+                f"machine quiescent at cycle {self._finish} with "
+                f"{missing} expected outputs missing"
+            ]
+            if undrained:
+                parts.append(f"{undrained} input tokens never consumed")
             raise DeadlockError(
-                f"machine quiescent at cycle {self.now} with {pending} "
-                f"expected outputs missing",
-                step=self.now,
-                pending=pending,
+                "; ".join(parts) + "\n" + diag.summary(),
+                step=self._finish,
+                pending=missing + undrained,
+                diagnosis=diag,
             )
+
+    def diagnose(self) -> DeadlockDiagnosis:
+        """Diagnose the machine's current wait-for state (see
+        :mod:`repro.machine.diagnose`)."""
+        return diagnose(self)
 
     # ------------------------------------------------------------------
     # results
@@ -434,7 +837,7 @@ class Machine:
 
     def stats(self) -> MachineStats:
         return MachineStats(
-            cycles=self.now,
+            cycles=self._finish,
             packets=self.packets,
             pe_ops=[u.ops for u in self.pes],
             fu_ops=[u.ops for u in self.fus],
@@ -445,6 +848,12 @@ class Machine:
             fire_counts={
                 cid: st.fire_count for cid, st in self.cell_state.items()
             },
+            reliability=(
+                self.rel
+                if (self._reliable or self.injector is not None)
+                else None
+            ),
+            faults=self.injector.stats if self.injector is not None else None,
         )
 
 
@@ -454,8 +863,19 @@ def run_machine(
     config: Optional[MachineConfig] = None,
     policy: str = "round_robin",
     max_cycles: int = 50_000_000,
+    fault_plan: Optional[FaultPlan] = None,
+    recovery: bool = True,
+    reliable: Optional[bool] = None,
 ) -> tuple[dict[str, list[Any]], MachineStats, Machine]:
     """Convenience wrapper: build, run, and collect outputs + stats."""
-    machine = Machine(graph, config=config, inputs=inputs, policy=policy)
+    machine = Machine(
+        graph,
+        config=config,
+        inputs=inputs,
+        policy=policy,
+        fault_plan=fault_plan,
+        recovery=recovery,
+        reliable=reliable,
+    )
     stats = machine.run(max_cycles=max_cycles)
     return machine.outputs(), stats, machine

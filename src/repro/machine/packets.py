@@ -42,12 +42,17 @@ class ResultPacket:
     dst_cell: int
     dst_port: int
     arc: int
+    #: per-arc sequence number, used by the reliability layer to
+    #: suppress duplicates and match retransmissions
+    seq: int = 0
 
 
 @dataclass(frozen=True)
 class AckPacket:
     dst_cell: int   # the producer being released
     arc: int
+    #: sequence number of the consumed token this ack releases
+    seq: int = 0
 
 
 @dataclass

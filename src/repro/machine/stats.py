@@ -3,8 +3,40 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from .packets import PacketCounters
+
+
+@dataclass
+class ReliabilityStats:
+    """What the reliability layer did during one run.
+
+    All-zero for a fault-free run with the layer enabled; ``None`` on
+    :class:`MachineStats` when the layer was not active at all.
+    """
+
+    retransmissions: int = 0
+    retransmit_failures: int = 0
+    duplicates_suppressed: int = 0
+    dup_acks_suppressed: int = 0
+    acks_resent: int = 0
+    corruptions_detected: int = 0
+    overruns_dropped: int = 0
+
+    @property
+    def total_recoveries(self) -> int:
+        return self.retransmissions + self.acks_resent
+
+    def summary(self) -> str:
+        return (
+            f"reliability: {self.retransmissions} retransmissions "
+            f"({self.retransmit_failures} gave up), "
+            f"{self.duplicates_suppressed} dup results suppressed, "
+            f"{self.dup_acks_suppressed} dup acks suppressed, "
+            f"{self.acks_resent} acks resent, "
+            f"{self.corruptions_detected} corruptions detected"
+        )
 
 
 @dataclass
@@ -20,6 +52,11 @@ class MachineStats:
     fu_busy: list[int] = field(default_factory=list)
     am_busy: list[int] = field(default_factory=list)
     fire_counts: dict[int, int] = field(default_factory=dict)
+    #: reliability-layer counters (None when the layer was inactive)
+    reliability: Optional[ReliabilityStats] = None
+    #: injected-fault counters (None when no fault plan was given);
+    #: a :class:`repro.faults.FaultStats` instance
+    faults: Optional[object] = None
 
     @property
     def total_firings(self) -> int:
@@ -38,7 +75,12 @@ class MachineStats:
     def summary(self) -> str:
         pe_u = ", ".join(f"{u:.0%}" for u in self.pe_utilization())
         fu_u = ", ".join(f"{u:.0%}" for u in self.fu_utilization())
-        return (
+        text = (
             f"{self.cycles} cycles, {self.total_firings} firings; "
             f"{self.packets.summary()}; PE util [{pe_u}]; FU util [{fu_u}]"
         )
+        if self.reliability is not None:
+            text += f"; {self.reliability.summary()}"
+        if self.faults is not None:
+            text += f"; {self.faults.summary()}"
+        return text

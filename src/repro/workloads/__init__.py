@@ -1,6 +1,7 @@
 """Workloads: the paper's example programs, application-style physics
 pipelines, and random generators for benchmarks and fuzz tests."""
 
+from .figures import FIGURES, FigureWorkload, figure_workload
 from .generators import (
     random_forall_program,
     random_layered_graph,
@@ -38,6 +39,9 @@ __all__ = [
     "FIG3_SOURCE",
     "FIG4_SOURCE",
     "FIG5_SOURCE",
+    "FIGURES",
+    "FigureWorkload",
+    "figure_workload",
     "PREFIX_SUM_SOURCE",
     "SOURCES",
     "WEATHER_STEP_SOURCE",

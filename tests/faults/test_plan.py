@@ -1,0 +1,139 @@
+"""Tests for fault plans and the deterministic fault injector."""
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    UnitFault,
+)
+
+
+class TestFaultPlanValidation:
+    def test_defaults_are_fault_free(self):
+        plan = FaultPlan()
+        assert not plan.has_packet_faults
+        assert plan.unit_faults == ()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drop_result": -0.1},
+            {"drop_result": 1.5},
+            {"dup_ack": 2.0},
+            {"corrupt_result": -1e-9},
+        ],
+    )
+    def test_rejects_bad_probabilities(self, kwargs):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(**kwargs)
+
+    def test_rejects_bad_unit_fault(self):
+        with pytest.raises(FaultPlanError):
+            UnitFault(unit="gpu", index=0)
+        with pytest.raises(FaultPlanError):
+            UnitFault(unit="fu", index=-1)
+        with pytest.raises(FaultPlanError):
+            UnitFault(unit="fu", index=0, start=10, end=5)
+        with pytest.raises(FaultPlanError):
+            UnitFault(unit="fu", index=0, kind="melt")
+        with pytest.raises(FaultPlanError):
+            UnitFault(unit="fu", index=0, kind="slow", factor=0.5)
+
+    def test_unit_fault_windows(self):
+        f = UnitFault(unit="fu", index=1, start=10, end=20)
+        assert not f.active(9)
+        assert f.active(10)
+        assert f.active(19)
+        assert not f.active(20)
+        forever = UnitFault(unit="am", index=0, start=5)
+        assert forever.active(5) and forever.active(10**9)
+
+    def test_is_dead_and_slow_factor(self):
+        plan = FaultPlan(
+            unit_faults=(
+                UnitFault(unit="fu", index=0, start=10, end=20),
+                UnitFault(unit="fu", index=1, kind="slow", factor=3.0),
+            )
+        )
+        assert plan.is_dead("fu", 0, 15)
+        assert not plan.is_dead("fu", 0, 25)
+        assert not plan.is_dead("fu", 1, 15)
+        assert plan.slow_factor("fu", 1, 0) == 3.0
+        assert plan.slow_factor("fu", 0, 0) == 1.0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            seed=42,
+            drop_result=0.1,
+            dup_ack=0.05,
+            unit_faults=(
+                UnitFault(unit="pe", index=2, start=100, end=200),
+                UnitFault(unit="fu", index=0, kind="slow", factor=2.0),
+            ),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_dicts_coerced_to_unit_faults(self):
+        plan = FaultPlan(
+            unit_faults=[{"unit": "am", "index": 0, "start": 5}]
+        )
+        assert plan.unit_faults == (UnitFault(unit="am", index=0, start=5),)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"seed": 1, "drop_everything": 1.0})
+
+    def test_describe_mentions_active_faults(self):
+        text = FaultPlan(
+            drop_result=0.1,
+            unit_faults=(UnitFault(unit="fu", index=1),),
+        ).describe()
+        assert "drop_result" in text and "fu1" in text
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_fates(self):
+        plan = FaultPlan(seed=9, drop_result=0.3, dup_result=0.3,
+                         corrupt_result=0.2)
+
+        def trace():
+            inj = FaultInjector(plan)
+            return [
+                (tuple(f.deliveries), tuple(f.corrupted), f.dropped)
+                for f in (inj.result_fate(1.0) for _ in range(200))
+            ]
+
+        assert trace() == trace()
+
+    def test_different_seed_different_fates(self):
+        t = []
+        for seed in (1, 2):
+            inj = FaultInjector(FaultPlan(seed=seed, drop_result=0.5))
+            t.append([inj.result_fate(1.0).dropped for _ in range(100)])
+        assert t[0] != t[1]
+
+    def test_fault_free_plan_injects_nothing(self):
+        inj = FaultInjector(FaultPlan())
+        for _ in range(50):
+            fate = inj.result_fate(3.5)
+            assert fate.deliveries == [3.5]
+            assert fate.corrupted == [False]
+            assert inj.ack_fate() == 1
+        assert inj.stats.total_injected == 0
+
+    def test_corrupt_value_changes_and_detects(self):
+        assert FaultInjector.corrupt_value(True) is False
+        assert FaultInjector.corrupt_value(2.0) == 3.0
+        assert FaultInjector.corrupt_value(7) == 8.0
+
+    def test_eviction_counted_once(self):
+        inj = FaultInjector(
+            FaultPlan(unit_faults=(UnitFault(unit="fu", index=0),))
+        )
+        inj.note_eviction("fu", 0)
+        inj.note_eviction("fu", 0)
+        assert inj.stats.units_evicted == 1

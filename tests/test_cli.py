@@ -117,3 +117,49 @@ class TestControlsFlag:
         assert rc == 0
         data = json.loads(capsys.readouterr().out)
         assert data["X"][1] == [0.0, 1.0, 3.0, 6.0, 10.0]
+
+
+class TestFaults:
+    def test_recovered_run_exits_zero(self, capsys):
+        rc = main(
+            ["faults", "fig2", "--size", "8",
+             "--drop-result", "0.08", "--dup-result", "0.08", "--seed", "5"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "outputs match fault-free run" in captured.err
+        assert "retransmissions" in captured.err
+        data = json.loads(captured.out)
+        assert len(data["Y"]) == 8
+
+    def test_plan_file(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps(
+                {
+                    "seed": 3,
+                    "drop_result": 0.1,
+                    "unit_faults": [{"unit": "fu", "index": 0}],
+                }
+            ),
+            encoding="utf-8",
+        )
+        rc = main(["faults", "fig4", "--size", "6", "--plan", str(plan)])
+        assert rc == 0
+        assert "units evicted" in capsys.readouterr().err
+
+    def test_no_recovery_reports_stall(self, capsys):
+        rc = main(
+            ["faults", "fig2", "--size", "8", "--seed", "1",
+             "--drop-result", "0.3", "--no-recovery"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "stalled" in err and "deadlock diagnosis" in err
+
+    def test_bad_plan_file_is_an_error(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"drop_everything": 1.0}', encoding="utf-8")
+        rc = main(["faults", "fig2", "--plan", str(plan)])
+        assert rc == 1
+        assert "unknown fault-plan keys" in capsys.readouterr().err
