@@ -1,0 +1,81 @@
+"""Experiment checkpoint -- snapshot cost on the machine simulator.
+
+Crash-consistent checkpointing (DESIGN.md section 8) must be cheap
+enough to leave on: the acceptance bar is **< 10% overhead** at the
+default 10 000-cycle snapshot interval.  A long pipelined run (fig7's
+Todd for-iter at large m, tens of thousands of machine cycles) executes
+with periodic snapshots to a temp directory; the checkpoint layer times
+itself (``CheckpointStats.seconds_spent`` covers serialization, the
+checksummed write and the fsync+rename), so the overhead ratio
+
+    seconds_spent / (total wall time - seconds_spent)
+
+is measured inside a single run and is immune to run-to-run CPU drift,
+which on a shared box dwarfs the few milliseconds a snapshot costs.  A
+bare run of the same workload checks that outputs and cycle counts are
+bit-identical -- checkpointing is pure observation -- and lands in the
+table for scale.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.checkpoint import CheckpointConfig
+from repro.machine import run_machine
+from repro.workloads.figures import FIGURES
+
+from _common import bench_once, record_rows
+
+#: the interval the acceptance criterion is stated at
+INTERVAL = 10_000
+
+M = 3_000  # fig7 at this size runs ~16*m cycles: several intervals
+
+
+def _timed_run(graph, inputs, **kwargs):
+    t0 = time.perf_counter()
+    out, stats, _ = run_machine(graph, inputs, **kwargs)
+    return time.perf_counter() - t0, out, stats
+
+
+@pytest.mark.benchmark(group="checkpoint")
+def test_snapshot_overhead_under_ten_percent(benchmark, tmp_path):
+    workload = FIGURES["fig7"]
+    cp = workload.compile(m=M)
+    inputs = workload.make_inputs(cp, seed=0)
+    cfg = CheckpointConfig(tmp_path / "snaps", interval=INTERVAL, retain=0)
+
+    def measure():
+        bare_t, bare_out, bare_stats = _timed_run(cp.graph, inputs)
+        ratios = []
+        for _ in range(3):
+            ckpt_t, ckpt_out, ckpt_stats = _timed_run(
+                cp.graph, inputs, checkpoint=cfg
+            )
+            cs = ckpt_stats.checkpoints
+            assert cs is not None and cs.snapshots_written >= 3
+            ratios.append(cs.seconds_spent / (ckpt_t - cs.seconds_spent))
+        assert ckpt_out == bare_out, "checkpointing changed the outputs"
+        assert ckpt_stats.cycles == bare_stats.cycles
+        overhead = statistics.median(ratios)
+        return [(
+            "fig7", M, bare_stats.cycles,
+            round(bare_t, 3), round(ckpt_t, 3),
+            round(cs.seconds_spent, 4), round(overhead, 4),
+            cs.snapshots_written, cs.bytes_written,
+        )], overhead
+
+    (rows, overhead) = bench_once(benchmark, measure, rounds=1)
+    record_rows(
+        "checkpoint_overhead",
+        "figure  m  cycles  bare_s  ckpt_s  snap_s  overhead  snaps  bytes",
+        rows,
+        note=f"interval={INTERVAL} cycles; "
+        "acceptance: snapshot overhead < 0.10 of simulation time",
+    )
+    assert overhead < 0.10, (
+        f"checkpointing cost {overhead:.1%} of simulation time "
+        f"(acceptance bar is < 10% overhead)"
+    )

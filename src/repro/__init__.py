@@ -49,9 +49,11 @@ from .errors import (
     ReproError,
     SimulationError,
     SimulationTimeout,
+    SnapshotError,
     ValSyntaxError,
     ValTypeError,
 )
+from .checkpoint import CheckpointConfig, replay_bundle
 from .faults import FaultInjector, FaultPlan, FaultStats, UnitFault
 from .machine import Machine, MachineConfig, run_machine
 from .sim import RunResult, SyncSimulator, run_graph
@@ -61,6 +63,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisError",
+    "CheckpointConfig",
     "ClassificationError",
     "CompileError",
     "CompiledProgram",
@@ -77,6 +80,7 @@ __all__ = [
     "RunResult",
     "SimulationError",
     "SimulationTimeout",
+    "SnapshotError",
     "SyncSimulator",
     "UnitFault",
     "ValArray",
@@ -85,6 +89,7 @@ __all__ = [
     "__version__",
     "compile_program",
     "parse_program",
+    "replay_bundle",
     "run_graph",
     "run_machine",
     "run_program",

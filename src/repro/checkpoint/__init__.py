@@ -1,0 +1,56 @@
+"""Crash-consistent checkpointing, resume and deterministic replay.
+
+The three layers (see DESIGN.md section 8):
+
+* :mod:`repro.checkpoint.snapshot` -- the versioned, checksummed,
+  atomically-written on-disk snapshot format;
+* :mod:`repro.checkpoint.manager` -- periodic snapshot scheduling,
+  retention, failure diagnosis bundles and the record manifest;
+* :mod:`repro.checkpoint.replay` -- event-trace digests and bit-exact
+  re-execution of recorded runs.
+
+Quick use::
+
+    from repro.checkpoint import CheckpointConfig
+    from repro.machine import Machine, run_machine
+
+    cfg = CheckpointConfig("ckpts/", interval=10_000, record=True)
+    run_machine(graph, inputs, checkpoint=cfg)       # dies mid-run...
+    m = Machine.resume("ckpts/")                     # ...pick it back up
+    m.run()                                          # bit-identical finish
+"""
+
+from ..errors import SnapshotError
+from .manager import CheckpointConfig, CheckpointManager
+from .replay import (
+    EventTrace,
+    ReplayReport,
+    outputs_digest,
+    read_manifest,
+    replay_bundle,
+)
+from .snapshot import (
+    FORMAT_VERSION,
+    latest_snapshot,
+    load_machine,
+    read_snapshot,
+    save_snapshot,
+    snapshot_cycle,
+)
+
+__all__ = [
+    "CheckpointConfig",
+    "CheckpointManager",
+    "EventTrace",
+    "FORMAT_VERSION",
+    "ReplayReport",
+    "SnapshotError",
+    "latest_snapshot",
+    "load_machine",
+    "outputs_digest",
+    "read_manifest",
+    "read_snapshot",
+    "replay_bundle",
+    "save_snapshot",
+    "snapshot_cycle",
+]

@@ -1,0 +1,177 @@
+"""Periodic snapshot scheduling, retention and failure bundles.
+
+A :class:`CheckpointManager` is attached to one
+:class:`repro.machine.Machine` run.  The machine drives it from inside
+the event loop (``checkpoint_tick`` aux events every
+``CheckpointConfig.interval`` cycles); the manager owns the on-disk
+side: snapshot naming, atomic writes, retention pruning, the
+record/replay manifest and the failure diagnosis bundle.
+
+The manager itself is plain data and is serialized inside every
+snapshot it writes, so a resumed run keeps checkpointing into the same
+directory on the same cadence with the same retention bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from ..errors import SnapshotError
+from .replay import MANIFEST_NAME, MANIFEST_SCHEMA, _outcome
+from .snapshot import _atomic_write, save_snapshot
+
+
+@dataclass
+class CheckpointConfig:
+    """How one run checkpoints itself.
+
+    ``directory``
+        Where snapshots (and, in record mode, the manifest) live.
+    ``interval``
+        Cycles between periodic snapshots; 0 disables periodic
+        snapshots (failure snapshots and record mode still work).
+    ``retain``
+        How many periodic snapshots to keep (oldest pruned first);
+        0 keeps all of them.
+    ``record``
+        Record mode: write an initial snapshot plus ``manifest.json``
+        and keep an event-trace digest, so the whole run can be
+        re-executed and verified with
+        :func:`repro.checkpoint.replay_bundle`.
+    """
+
+    directory: Union[str, Path]
+    interval: int = 10_000
+    retain: int = 3
+    record: bool = False
+
+    def __post_init__(self) -> None:
+        if self.interval < 0:
+            raise SnapshotError(
+                f"checkpoint interval must be >= 0, got {self.interval}"
+            )
+        if self.retain < 0:
+            raise SnapshotError(
+                f"checkpoint retention must be >= 0, got {self.retain}"
+            )
+        self.directory = str(self.directory)
+
+
+class CheckpointManager:
+    """On-disk checkpoint state for one (possibly resumed) run."""
+
+    def __init__(self, config: CheckpointConfig) -> None:
+        self.config = config
+        from ..machine.stats import CheckpointStats
+
+        self.stats = CheckpointStats()
+        #: periodic snapshot file names in write order, for retention
+        self._periodic: list[str] = []
+
+    @property
+    def directory(self) -> Path:
+        return Path(self.config.directory)
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks called by the machine
+    # ------------------------------------------------------------------
+    def on_start(self, machine: Any) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.config.record:
+            self._save(machine, "initial.snap", "initial")
+            self._write_manifest(
+                {
+                    "schema": MANIFEST_SCHEMA,
+                    "status": "running",
+                    "initial_snapshot": "initial.snap",
+                    "checkpoints": [],
+                }
+            )
+
+    def save_periodic(self, machine: Any) -> Path:
+        name = f"ckpt-{machine.now:012d}.snap"
+        # register before serializing so the snapshot's own manager
+        # state already owns the file it lives in
+        self._periodic.append(name)
+        path = self._save(machine, name, "periodic")
+        self._prune()
+        if self.config.record:
+            self._update_manifest(checkpoints=list(self._periodic))
+        return path
+
+    def save_failure(self, machine: Any, error: Exception) -> Path:
+        """Snapshot the wedged machine and write a diagnosis bundle,
+        then attach the snapshot path to the error."""
+        name = f"failure-{machine.now:012d}.snap"
+        path = self._save(machine, name, "failure")
+        self.stats.failure_snapshots += 1
+        bundle: dict[str, Any] = {
+            "schema": MANIFEST_SCHEMA,
+            "snapshot": name,
+            **_outcome(machine, error),
+        }
+        diagnosis = getattr(error, "diagnosis", None)
+        if diagnosis is not None:
+            bundle["diagnosis"] = diagnosis.summary()
+        if machine.fault_plan is not None:
+            bundle["fault_plan"] = machine.fault_plan.to_dict()
+        _atomic_write(
+            self.directory / f"failure-{machine.now:012d}.json",
+            (json.dumps(bundle, indent=2, default=repr) + "\n").encode(),
+        )
+        if self.config.record:
+            self._update_manifest(**_outcome(machine, error))
+        error.snapshot_path = str(path)
+        return path
+
+    def on_complete(self, machine: Any) -> None:
+        if self.config.record:
+            self._update_manifest(**_outcome(machine, None))
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _save(self, machine: Any, name: str, reason: str) -> Path:
+        t0 = time.perf_counter()
+        path = save_snapshot(machine, self.directory / name, reason)
+        self.stats.seconds_spent += time.perf_counter() - t0
+        self.stats.snapshots_written += 1
+        self.stats.bytes_written += path.stat().st_size
+        self.stats.last_snapshot_cycle = machine.now
+        return path
+
+    def _prune(self) -> None:
+        keep = self.config.retain
+        if not keep:
+            return
+        while len(self._periodic) > keep:
+            old = self._periodic.pop(0)
+            (self.directory / old).unlink(missing_ok=True)
+            self.stats.snapshots_pruned += 1
+
+    def _write_manifest(self, manifest: dict[str, Any]) -> None:
+        _atomic_write(
+            self.directory / MANIFEST_NAME,
+            (json.dumps(manifest, indent=2, default=repr) + "\n").encode(),
+        )
+
+    def _update_manifest(self, **fields: Any) -> None:
+        path = self.directory / MANIFEST_NAME
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            manifest = {
+                "schema": MANIFEST_SCHEMA,
+                "initial_snapshot": "initial.snap",
+            }
+        manifest.update(fields)
+        self._write_manifest(manifest)
+
+    def latest(self) -> Optional[Path]:
+        from .snapshot import latest_snapshot
+
+        return latest_snapshot(self.directory)

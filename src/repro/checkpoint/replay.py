@@ -1,0 +1,207 @@
+"""Deterministic record/replay of machine runs.
+
+Because every stochastic decision in a run is drawn from the seeded
+fault-plan RNG and every event is plain data, a run is a pure function
+of its initial state.  Record mode (``CheckpointConfig(record=True)``)
+exploits that: it snapshots the machine *before* the first event
+(``initial.snap``), keeps a chained digest of every executed event, and
+writes a ``manifest.json`` describing how the run ended.  Replaying the
+bundle re-executes the run from the initial snapshot and checks that
+the event sequence, the outputs and the failure (if any) come out
+identical -- the forensics loop for any fault-induced failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from ..errors import DeadlockError, SimulationTimeout, SnapshotError
+
+#: schema version of manifest.json
+MANIFEST_SCHEMA = 1
+MANIFEST_NAME = "manifest.json"
+
+
+class EventTrace:
+    """Chained SHA-256 digest of every non-aux event a machine executes.
+
+    The digest after event *n* commits to the entire ordered prefix, so
+    two runs match if and only if they executed the same events at the
+    same cycles with the same arguments.  A bounded tail of recent
+    events is kept for human diffing when a replay diverges.  The state
+    is plain bytes, so it snapshots and resumes with the machine.
+    """
+
+    __slots__ = ("count", "digest", "tail")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.digest = b"\x00" * 32
+        self.tail: deque = deque(maxlen=32)
+
+    def record(self, time: int, kind: str, args: tuple) -> None:
+        item = f"{time}:{kind}:{args!r}"
+        self.digest = hashlib.sha256(
+            self.digest + item.encode("utf-8", "backslashreplace")
+        ).digest()
+        self.count += 1
+        self.tail.append(item)
+
+    def hexdigest(self) -> str:
+        return self.digest.hex()
+
+    def __getstate__(self):
+        return (self.count, self.digest, self.tail)
+
+    def __setstate__(self, state) -> None:
+        self.count, self.digest, self.tail = state
+
+
+def outputs_digest(outputs: dict[str, list]) -> str:
+    """Canonical digest of a run's output streams.
+
+    JSON float formatting uses ``repr`` (shortest round-trip), so equal
+    digests mean bit-identical IEEE-754 outputs.
+    """
+    text = json.dumps(outputs, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _outcome(machine, error: Optional[Exception]) -> dict[str, Any]:
+    """The comparable facts of how a run ended."""
+    out: dict[str, Any] = {
+        "status": "failed" if error is not None else "completed",
+        "final_cycle": machine.now if error is not None else machine.stats().cycles,
+        "outputs_sha256": outputs_digest(machine.outputs()),
+    }
+    if machine.trace is not None:
+        out["trace_sha256"] = machine.trace.hexdigest()
+        out["trace_events"] = machine.trace.count
+    if error is not None:
+        out["error"] = {
+            "type": type(error).__name__,
+            "cycle": getattr(error, "cycle", None),
+            "message": str(error),
+        }
+    return out
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of re-executing a recorded run."""
+
+    bundle: str
+    expected: dict[str, Any] = field(default_factory=dict)
+    actual: dict[str, Any] = field(default_factory=dict)
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def reproduced(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        if self.reproduced:
+            what = self.expected.get("status", "run")
+            return (
+                f"replay of {self.bundle}: reproduced the recorded "
+                f"{what} run exactly ({self.actual.get('trace_events', '?')} "
+                f"events, outputs {self.actual.get('outputs_sha256', '')[:12]}...)"
+            )
+        lines = [f"replay of {self.bundle}: DIVERGED from the record"]
+        for m in self.mismatches:
+            lines.append(f"  {m}")
+        return "\n".join(lines)
+
+
+def _compare(expected: dict[str, Any], actual: dict[str, Any]) -> list[str]:
+    mismatches = []
+    for key in ("status", "final_cycle", "outputs_sha256", "trace_sha256",
+                "trace_events"):
+        if key in expected and expected.get(key) != actual.get(key):
+            mismatches.append(
+                f"{key}: recorded {expected.get(key)!r}, "
+                f"replayed {actual.get(key)!r}"
+            )
+    exp_err, act_err = expected.get("error"), actual.get("error")
+    if exp_err is not None or act_err is not None:
+        for key in ("type", "cycle"):
+            e = exp_err.get(key) if exp_err else None
+            a = act_err.get(key) if act_err else None
+            if e != a:
+                mismatches.append(
+                    f"error {key}: recorded {e!r}, replayed {a!r}"
+                )
+    return mismatches
+
+
+def read_manifest(directory: Union[str, Path]) -> dict[str, Any]:
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise SnapshotError(
+            f"{path} does not exist: not a recorded run bundle "
+            f"(record with CheckpointConfig(record=True) or "
+            f"`repro checkpoint --record`)"
+        ) from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"cannot read manifest {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("schema") != MANIFEST_SCHEMA:
+        raise SnapshotError(
+            f"manifest {path} has unsupported schema "
+            f"{data.get('schema') if isinstance(data, dict) else data!r}; "
+            f"expected {MANIFEST_SCHEMA}"
+        )
+    return data
+
+
+def replay_bundle(
+    directory: Union[str, Path], max_cycles: int = 50_000_000
+) -> ReplayReport:
+    """Re-execute a recorded run bundle and diff it against the record.
+
+    Loads the bundle's initial snapshot, detaches it from the bundle
+    directory (a replay must never overwrite the evidence), runs to
+    completion or failure, and compares status, final cycle, output
+    digest and event-trace digest against ``manifest.json``.
+    """
+    from .snapshot import load_machine
+
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    initial = directory / manifest.get("initial_snapshot", "initial.snap")
+    machine = load_machine(initial)
+    machine.ckpt = None
+    if machine.trace is None:
+        raise SnapshotError(
+            f"initial snapshot {initial} was taken without event tracing; "
+            f"the bundle cannot be replayed bit-exactly"
+        )
+    error: Optional[Exception] = None
+    try:
+        machine.run(max_cycles=max_cycles)
+    except (DeadlockError, SimulationTimeout) as exc:
+        error = exc
+    actual = _outcome(machine, error)
+    expected = {
+        k: manifest[k]
+        for k in ("status", "final_cycle", "outputs_sha256", "trace_sha256",
+                  "trace_events", "error")
+        if k in manifest
+    }
+    if manifest.get("status") == "running":
+        raise SnapshotError(
+            f"bundle {directory} records a run that never finished "
+            f"(status 'running'): resume it first, then replay"
+        )
+    return ReplayReport(
+        bundle=str(directory),
+        expected=expected,
+        actual=actual,
+        mismatches=_compare(expected, actual),
+    )

@@ -8,6 +8,9 @@ programs from the shell.
     python -m repro interpret prog.val -p m=100 --inputs inputs.json
     python -m repro simulate prog.dfasm --inputs inputs.json
     python -m repro faults fig6 --drop-result 0.05 --dup-result 0.05
+    python -m repro checkpoint fig7 --dir ckpts --interval 5000
+    python -m repro resume ckpts
+    python -m repro replay ckpts
 
 Inputs are a JSON object mapping array names to lists (or to
 ``[lo, [values...]]`` pairs for arrays with a nonzero lower bound).
@@ -20,12 +23,13 @@ import json
 import sys
 from typing import Any, Optional
 
+from .checkpoint import CheckpointConfig, replay_bundle
 from .compiler import compile_program
-from .errors import DeadlockError, ReproError
+from .errors import DeadlockError, ReproError, SimulationTimeout
 from .faults import FaultPlan
 from .graph.asm import read_asm, to_asm
 from .graph.dot import to_dot
-from .machine import run_machine
+from .machine import Machine, run_machine
 from .sim import run_graph
 from .val import parse_program, run_program
 from .val.values import ValArray
@@ -164,6 +168,16 @@ def _build_fault_plan(args: argparse.Namespace) -> FaultPlan:
     )
 
 
+def _optional_fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """A plan only when the user asked for one (flag or plan file)."""
+    wants = args.plan or args.seed is not None or any(
+        getattr(args, name)
+        for name in ("drop_result", "dup_result", "corrupt_result",
+                     "drop_ack", "dup_ack")
+    )
+    return _build_fault_plan(args) if wants else None
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     workload = figure_workload(args.workload)
     program = workload.compile(m=args.size)
@@ -200,6 +214,59 @@ def cmd_faults(args: argparse.Namespace) -> int:
     )
     _emit_outputs(out)
     return 0 if ok else 3
+
+
+def _finish_run(machine: Machine, max_cycles: int,
+                crash_at: Optional[int] = None) -> int:
+    """Run ``machine`` to completion, reporting failure snapshots."""
+    try:
+        stats = machine.run(max_cycles=max_cycles, crash_at=crash_at)
+    except (DeadlockError, SimulationTimeout) as exc:
+        print(f"failed: {exc}", file=sys.stderr)
+        if exc.snapshot_path:
+            print(f"# failure snapshot: {exc.snapshot_path}", file=sys.stderr)
+        return 2
+    print(f"# completed at cycle {stats.cycles}", file=sys.stderr)
+    if stats.checkpoints is not None:
+        print(f"# {stats.checkpoints.summary()}", file=sys.stderr)
+    _emit_outputs(machine.outputs())
+    return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    workload = figure_workload(args.workload)
+    program = workload.compile(m=args.size)
+    inputs = workload.make_inputs(program, seed=args.input_seed)
+    plan = _optional_fault_plan(args)
+    cfg = CheckpointConfig(
+        args.dir,
+        interval=args.interval,
+        retain=args.retain,
+        record=args.record,
+    )
+    machine = Machine(
+        program.graph, inputs=inputs, fault_plan=plan, checkpoint=cfg
+    )
+    if plan is not None:
+        print(f"# plan: {plan.describe()}", file=sys.stderr)
+    print(
+        f"# checkpointing {args.workload} (m={args.size}) to {args.dir} "
+        f"every {args.interval} cycles",
+        file=sys.stderr,
+    )
+    return _finish_run(machine, args.max_cycles, crash_at=args.crash_at)
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    machine = Machine.resume(args.snapshot)
+    print(f"# resumed at cycle {machine.now}", file=sys.stderr)
+    return _finish_run(machine, args.max_cycles)
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    report = replay_bundle(args.bundle, max_cycles=args.max_cycles)
+    print(report.summary())
+    return 0 if report.reproduced else 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -267,35 +334,89 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inputs", help="JSON file of input arrays")
     p.set_defaults(fn=cmd_simulate)
 
+    def workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("workload", choices=sorted(FIGURES),
+                       help="paper figure to run")
+        p.add_argument("--size", type=int, default=16, metavar="M",
+                       help="array-size parameter m (default 16)")
+        p.add_argument("--input-seed", type=int, default=0,
+                       help="seed for the generated input streams")
+
+    def fault_args(p: argparse.ArgumentParser,
+                   drop: float = 0.0, dup: float = 0.0) -> None:
+        p.add_argument("--plan", help="JSON fault-plan file (see DESIGN.md "
+                       "for the schema); overrides the probability flags")
+        p.add_argument("--seed", type=int, default=None,
+                       help="fault-injection seed (overrides the plan "
+                       "file's)")
+        p.add_argument("--drop-result", type=float, default=drop,
+                       metavar="P", help="result-packet drop probability")
+        p.add_argument("--dup-result", type=float, default=dup,
+                       metavar="P",
+                       help="result-packet duplication probability")
+        p.add_argument("--corrupt-result", type=float, default=0.0,
+                       metavar="P",
+                       help="result-packet corruption probability")
+        p.add_argument("--drop-ack", type=float, default=0.0,
+                       metavar="P", help="acknowledge-packet drop "
+                       "probability")
+        p.add_argument("--dup-ack", type=float, default=0.0,
+                       metavar="P", help="acknowledge duplication "
+                       "probability")
+
     p = sub.add_parser(
         "faults",
         help="run a paper-figure workload under an injected fault plan "
         "and report what the reliability layer recovered",
     )
-    p.add_argument("workload", choices=sorted(FIGURES),
-                   help="paper figure to run")
-    p.add_argument("--size", type=int, default=16, metavar="M",
-                   help="array-size parameter m (default 16)")
-    p.add_argument("--plan", help="JSON fault-plan file (see DESIGN.md "
-                   "for the schema); overrides the probability flags")
-    p.add_argument("--seed", type=int, default=None,
-                   help="fault-injection seed (overrides the plan file's)")
-    p.add_argument("--input-seed", type=int, default=0,
-                   help="seed for the generated input streams")
-    p.add_argument("--drop-result", type=float, default=0.05,
-                   metavar="P", help="result-packet drop probability")
-    p.add_argument("--dup-result", type=float, default=0.05,
-                   metavar="P", help="result-packet duplication probability")
-    p.add_argument("--corrupt-result", type=float, default=0.0,
-                   metavar="P", help="result-packet corruption probability")
-    p.add_argument("--drop-ack", type=float, default=0.0,
-                   metavar="P", help="acknowledge-packet drop probability")
-    p.add_argument("--dup-ack", type=float, default=0.0,
-                   metavar="P", help="acknowledge duplication probability")
+    workload_args(p)
+    fault_args(p, drop=0.05, dup=0.05)
     p.add_argument("--no-recovery", action="store_true",
                    help="inject faults with the reliability layer off "
                    "(expect a diagnosed stall)")
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "checkpoint",
+        help="run a paper-figure workload with periodic crash-consistent "
+        "snapshots (resume later with `repro resume`)",
+    )
+    workload_args(p)
+    fault_args(p)
+    p.add_argument("--dir", required=True,
+                   help="snapshot directory (created if missing)")
+    p.add_argument("--interval", type=int, default=10_000, metavar="N",
+                   help="cycles between snapshots (default 10000)")
+    p.add_argument("--retain", type=int, default=3, metavar="K",
+                   help="periodic snapshots to keep, 0 = all (default 3)")
+    p.add_argument("--record", action="store_true",
+                   help="also record a replay bundle (initial snapshot + "
+                   "event-trace manifest) for `repro replay`")
+    p.add_argument("--max-cycles", type=int, default=50_000_000)
+    p.add_argument("--crash-at", type=int, default=None, metavar="CYCLE",
+                   help="hard-kill the process (exit 137, as SIGKILL "
+                   "would) once simulated time reaches CYCLE; used to "
+                   "exercise crash recovery")
+    p.set_defaults(fn=cmd_checkpoint)
+
+    p = sub.add_parser(
+        "resume",
+        help="resume a checkpointed run from a snapshot file or from the "
+        "newest snapshot in a directory",
+    )
+    p.add_argument("snapshot", help="snapshot file or checkpoint directory")
+    p.add_argument("--max-cycles", type=int, default=50_000_000)
+    p.set_defaults(fn=cmd_resume)
+
+    p = sub.add_parser(
+        "replay",
+        help="re-execute a recorded bundle and verify the run is "
+        "reproduced bit-identically",
+    )
+    p.add_argument("bundle", help="directory written by "
+                   "`repro checkpoint --record`")
+    p.add_argument("--max-cycles", type=int, default=50_000_000)
+    p.set_defaults(fn=cmd_replay)
 
     return parser
 

@@ -67,6 +67,12 @@ class SimulationTimeout(SimulationError):
     ``sink_progress``
         Mapping of output stream name to ``(received, expected)`` token
         counts; ``expected`` is ``None`` for unbounded sinks.
+    ``cycle``
+        Alias of ``cycles`` (the uniform name shared with
+        :class:`DeadlockError`).
+    ``snapshot_path``
+        Path of the final crash-consistent snapshot written by the
+        checkpointing layer, or ``None`` when checkpointing was off.
     """
 
     def __init__(
@@ -75,11 +81,17 @@ class SimulationTimeout(SimulationError):
         cycles: int = 0,
         stats=None,
         sink_progress=None,
+        snapshot_path=None,
     ) -> None:
         self.cycles = cycles
         self.stats = stats
         self.sink_progress = dict(sink_progress or {})
+        self.snapshot_path = snapshot_path
         super().__init__(message)
+
+    @property
+    def cycle(self) -> int:
+        return self.cycles
 
 
 class DeadlockError(SimulationError):
@@ -89,7 +101,10 @@ class DeadlockError(SimulationError):
     when unused array elements are not discarded or skew buffers are missing.
     The machine-level simulator attaches a structured
     :class:`repro.machine.diagnose.DeadlockDiagnosis` as ``diagnosis``
-    (``None`` when raised by the unit-delay simulator).
+    (``None`` when raised by the unit-delay simulator).  ``cycle``
+    aliases ``step`` (the cycle/step the simulation wedged at), and
+    ``snapshot_path`` names the final crash-consistent snapshot written
+    by the checkpointing layer (``None`` when checkpointing was off).
     """
 
     def __init__(
@@ -98,11 +113,27 @@ class DeadlockError(SimulationError):
         step: int = 0,
         pending: int = 0,
         diagnosis=None,
+        snapshot_path=None,
     ) -> None:
         self.step = step
         self.pending = pending
         self.diagnosis = diagnosis
+        self.snapshot_path = snapshot_path
         super().__init__(message)
+
+    @property
+    def cycle(self) -> int:
+        return self.step
+
+
+class SnapshotError(ReproError):
+    """Raised on unusable checkpoint snapshots or replay bundles.
+
+    Covers every way an on-disk snapshot can be unusable -- missing
+    file, foreign/garbage content, truncation, checksum mismatch, or a
+    format version this build cannot read -- so callers never see a raw
+    ``pickle`` crash from a damaged file.
+    """
 
 
 class AnalysisError(ReproError):

@@ -14,7 +14,14 @@ section of DESIGN.md.
 """
 
 from .injector import FaultInjector, FaultStats, PacketFate
-from .plan import FAULT_KINDS, UNIT_KINDS, FaultPlan, FaultPlanError, UnitFault
+from .plan import (
+    FAULT_KINDS,
+    SCHEMA_VERSION,
+    UNIT_KINDS,
+    FaultPlan,
+    FaultPlanError,
+    UnitFault,
+)
 
 __all__ = [
     "FAULT_KINDS",
@@ -23,6 +30,7 @@ __all__ = [
     "FaultPlanError",
     "FaultStats",
     "PacketFate",
+    "SCHEMA_VERSION",
     "UNIT_KINDS",
     "UnitFault",
 ]

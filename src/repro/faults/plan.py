@@ -26,6 +26,9 @@ class FaultPlanError(ReproError):
     """Raised on malformed fault plans (bad probabilities, units...)."""
 
 
+#: Version of the ``--plan`` JSON schema this build writes and reads.
+SCHEMA_VERSION = 1
+
 #: Unit kinds a :class:`UnitFault` can target.
 UNIT_KINDS = ("fu", "am", "pe")
 
@@ -83,6 +86,23 @@ class UnitFault:
         """Whether this fault is active at cycle ``t``."""
         return t >= self.start and (self.end is None or t < self.end)
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "UnitFault":
+        """Build a unit fault, rejecting unknown fields by name instead
+        of silently dropping them (or dying in ``TypeError``)."""
+        if not isinstance(data, dict):
+            raise FaultPlanError(
+                f"unit fault must be a JSON object, got {data!r}"
+            )
+        known = {"unit", "index", "start", "end", "kind", "factor"}
+        extra = set(data) - known
+        if extra:
+            raise FaultPlanError(
+                f"unknown unit-fault keys: {sorted(extra)} "
+                f"(expected a subset of {sorted(known)})"
+            )
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -121,7 +141,7 @@ class FaultPlan:
                     f"{name} must be a probability in [0, 1], got {p}"
                 )
         faults = tuple(
-            f if isinstance(f, UnitFault) else UnitFault(**f)
+            f if isinstance(f, UnitFault) else UnitFault.from_dict(f)
             for f in self.unit_faults
         )
         object.__setattr__(self, "unit_faults", faults)
@@ -167,11 +187,20 @@ class FaultPlan:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         d = asdict(self)
+        d["schema"] = SCHEMA_VERSION
         d["unit_faults"] = [asdict(f) for f in self.unit_faults]
         return d
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        data = dict(data)
+        # schema-less plans predate versioning and read as version 1
+        schema = data.pop("schema", SCHEMA_VERSION)
+        if schema != SCHEMA_VERSION:
+            raise FaultPlanError(
+                f"fault-plan schema version {schema!r} is not supported; "
+                f"this build reads version {SCHEMA_VERSION}"
+            )
         known = {
             "seed",
             "drop_result",
@@ -185,11 +214,10 @@ class FaultPlan:
         if extra:
             raise FaultPlanError(
                 f"unknown fault-plan keys: {sorted(extra)} "
-                f"(expected a subset of {sorted(known)})"
+                f"(expected a subset of {sorted(known | {'schema'})})"
             )
-        data = dict(data)
         data["unit_faults"] = tuple(
-            UnitFault(**f) if isinstance(f, dict) else f
+            UnitFault.from_dict(f) if isinstance(f, dict) else f
             for f in data.get("unit_faults", ())
         )
         return cls(**data)

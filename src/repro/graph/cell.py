@@ -29,8 +29,31 @@ from .opcodes import Op, arity
 #: Virtual port number of the gate control operand.
 GATE_PORT = -1
 
+
+class _NoTokenType:
+    """Singleton sentinel for "no initial token" on an arc.
+
+    Identity must survive pickling (checkpoint snapshots serialize whole
+    graphs), so ``__new__`` always returns the one instance and pickle
+    reduces to the constructor instead of copying object state.
+    """
+
+    _instance: Optional["_NoTokenType"] = None
+
+    def __new__(cls) -> "_NoTokenType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (_NoTokenType, ())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<no-token>"
+
+
 #: Sentinel for "no initial token" on an arc.
-_NO_TOKEN = object()
+_NO_TOKEN = _NoTokenType()
 
 
 @dataclass

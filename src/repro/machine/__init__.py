@@ -29,11 +29,12 @@ from .packets import (
     UnitClass,
     classify_unit,
 )
-from .stats import MachineStats, ReliabilityStats
+from .stats import CheckpointStats, MachineStats, ReliabilityStats
 
 __all__ = [
     "AckPacket",
     "BlockedProducer",
+    "CheckpointStats",
     "DEFAULT_FU_LATENCY",
     "DeadlockDiagnosis",
     "Machine",

@@ -47,14 +47,32 @@ diagnosed :class:`DeadlockError` instead of burning ``max_cycles``.  At
 quiescence with missing outputs (or unconsumed inputs), the wait-for
 graph is walked and a :class:`~repro.machine.diagnose.DeadlockDiagnosis`
 is attached to the error.
+
+Checkpointing, resume & replay
+------------------------------
+
+Every event in the heap is plain data -- ``(time, seq, kind, args,
+aux)`` dispatched through :attr:`Machine._EVENT_KINDS` -- so the whole
+machine (cells, in-flight packets, retransmission queues, sequence
+numbers, RNG cursors, unit health, the event heap itself) serializes.
+Passing ``checkpoint=CheckpointConfig(...)`` makes the run write
+periodic crash-consistent snapshots; :meth:`Machine.resume` loads one
+and continues the run to outputs bit-identical to an uninterrupted
+execution, including under an active fault plan.  On a diagnosed
+failure (deadlock/timeout) the final state is snapshotted next to a
+JSON diagnosis bundle instead of being discarded.  See
+:mod:`repro.checkpoint` and DESIGN.md section 8.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Optional, Union
 
+from ..checkpoint.manager import CheckpointConfig, CheckpointManager
+from ..checkpoint.replay import EventTrace
 from ..errors import DeadlockError, SimulationError, SimulationTimeout
 from ..faults import FaultInjector, FaultPlan
 from ..graph.cell import _NO_TOKEN, GATE_PORT, Cell
@@ -108,6 +126,10 @@ class Machine:
         fault_plan: Optional[FaultPlan] = None,
         recovery: bool = True,
         reliable: Optional[bool] = None,
+        checkpoint: Optional[
+            Union[CheckpointConfig, CheckpointManager]
+        ] = None,
+        trace: bool = False,
     ) -> None:
         self.config = config or MachineConfig()
         if graph.cells_by_op(Op.FIFO):
@@ -168,10 +190,27 @@ class Machine:
         self.now = 0
         self._finish = 0
         self._progress = 0
-        self._events: list[tuple[int, int, Callable[[], None], bool]] = []
+        #: event heap of plain-data entries (time, seq, kind, args, aux);
+        #: ``kind`` names a handler in :attr:`_EVENT_KINDS` -- keeping
+        #: events closure-free is what makes the machine snapshottable
+        self._events: list[tuple[int, int, str, tuple, bool]] = []
+        #: heap entries that are not self-re-arming ticker events; when
+        #: this hits zero the run is over and the tickers let the heap
+        #: drain instead of keeping each other alive forever
+        self._live_events = 0
         self._seq = 0
         self._fu_rr = 0
         self._am_rr = 0
+        self._started = False
+
+        if isinstance(checkpoint, CheckpointConfig):
+            checkpoint = CheckpointManager(checkpoint)
+        self.ckpt: Optional[CheckpointManager] = checkpoint
+        self.trace: Optional[EventTrace] = (
+            EventTrace()
+            if trace or (checkpoint is not None and checkpoint.config.record)
+            else None
+        )
 
         for cell in graph:
             self._maybe_ready(cell.cid)
@@ -179,12 +218,42 @@ class Machine:
     # ------------------------------------------------------------------
     # event plumbing
     # ------------------------------------------------------------------
-    def _at(self, time: int, fn: Callable[[], None], aux: bool = False) -> None:
-        """Schedule ``fn``; ``aux`` marks bookkeeping events (watchdog
-        ticks, retransmission timers) that must not count as machine
-        activity for cycle accounting or the ``max_cycles`` budget."""
-        heapq.heappush(self._events, (time, self._seq, fn, aux))
+    #: the machine's whole event vocabulary; each kind names the method
+    #: (prefixed ``_``) that handles it.  Snapshots store events as
+    #: (time, seq, kind, args, aux) tuples, and load_snapshot refuses a
+    #: heap entry whose kind is not in this set.
+    _EVENT_KINDS = frozenset(
+        {
+            "dispatch",
+            "record_sink",
+            "deliver_results",
+            "deliver_one_faulty",
+            "transmit_result",
+            "check_retransmit",
+            "deliver_reliable",
+            "receive_ack",
+            "deliver_ack",
+            "watchdog_tick",
+            "checkpoint_tick",
+        }
+    )
+
+    def _at(
+        self, time: int, kind: str, args: tuple = (), aux: bool = False
+    ) -> None:
+        """Schedule event ``kind(*args)``; ``aux`` marks bookkeeping
+        events (watchdog ticks, retransmission timers, checkpoint
+        ticks) that must not count as machine activity for cycle
+        accounting or the ``max_cycles`` budget."""
+        heapq.heappush(self._events, (time, self._seq, kind, args, aux))
         self._seq += 1
+        if kind not in ("watchdog_tick", "checkpoint_tick"):
+            self._live_events += 1
+
+    def _execute(self, kind: str, args: tuple) -> None:
+        if kind not in self._EVENT_KINDS:
+            raise SimulationError(f"unknown event kind {kind!r}")
+        getattr(self, "_" + kind)(*args)
 
     def _route_delay(self, n_packets: int = 1) -> int:
         """Routing network delay, with optional bandwidth contention."""
@@ -262,7 +331,7 @@ class Machine:
         self._dispatch_pending[pe_idx] = True
         pe = self.pes[pe_idx]
         when = max(self.now, pe.next_free)
-        self._at(when, lambda: self._dispatch(pe_idx))
+        self._at(when, "dispatch", (pe_idx,))
 
     def _next_live_pe(self, pe_idx: int) -> int:
         n = len(self.pes)
@@ -308,7 +377,7 @@ class Machine:
                 )
                 if end is not None:
                     self._dispatch_pending[pe_idx] = True
-                    self._at(end, lambda: self._dispatch(pe_idx))
+                    self._at(end, "dispatch", (pe_idx,))
             return
         if self.now < pe.next_free:
             # the PE is still issuing an earlier instruction; retry when
@@ -424,9 +493,8 @@ class Machine:
                     done = start + latency
             else:
                 done = self.now + self.config.local_latency
-            value = result
             if not lost:
-                self._at(done, lambda: self._record_sink(cell, value))
+                self._at(done, "record_sink", (cell.cid, result))
             self._maybe_ready(cell.cid)
             return
 
@@ -459,7 +527,9 @@ class Machine:
             deliver = done + self._route_delay(len(out))
             deliver = max(deliver, self.now + 1)
             self._at(
-                deliver, lambda: self._deliver_results(cell.cid, out, value)
+                deliver,
+                "deliver_results",
+                (tuple(a.aid for a in out), value),
             )
         # the cell itself may refire once operands/acks return
         self._maybe_ready(cell.cid)
@@ -521,8 +591,9 @@ class Machine:
     # ------------------------------------------------------------------
     # result delivery: clean, faulty, and reliable paths
     # ------------------------------------------------------------------
-    def _deliver_results(self, src: int, arcs: list, value: Any) -> None:
-        for arc in arcs:
+    def _deliver_results(self, aids: tuple, value: Any) -> None:
+        for aid in aids:
+            arc = self.graph.arcs[aid]
             self.packets.results += 1
             st = self.cell_state[arc.dst]
             if arc.dst_port in st.operands:
@@ -541,10 +612,7 @@ class Machine:
         for arc in arcs:
             fate = self.injector.result_fate(value)
             for i, v in enumerate(fate.deliveries):
-                self._at(
-                    base + i,
-                    lambda aid=arc.aid, v=v: self._deliver_one_faulty(aid, v),
-                )
+                self._at(base + i, "deliver_one_faulty", (arc.aid, v))
 
     def _deliver_one_faulty(self, aid: int, value: Any) -> None:
         arc = self.graph.arcs[aid]
@@ -569,14 +637,9 @@ class Machine:
             self._send_seq[aid] = seq + 1
             self._outstanding[(aid, seq)] = value
             if not lost:
-                self._at(
-                    done,
-                    lambda aid=aid, seq=seq: self._transmit_result(aid, seq),
-                )
+                self._at(done, "transmit_result", (aid, seq))
             self._at(
-                done + self._timeout,
-                lambda aid=aid, seq=seq: self._check_retransmit(aid, seq),
-                aux=True,
+                done + self._timeout, "check_retransmit", (aid, seq), aux=True
             )
 
     def _transmit_result(self, aid: int, seq: int) -> None:
@@ -592,7 +655,8 @@ class Machine:
             delay = max(1, self._route_delay()) + i
             self._at(
                 self.now + delay,
-                lambda v=v, c=corrupted: self._deliver_reliable(aid, seq, v, c),
+                "deliver_reliable",
+                (aid, seq, v, corrupted),
             )
 
     def _deliver_reliable(
@@ -634,9 +698,7 @@ class Machine:
         self.rel.retransmissions += 1
         self._transmit_result(aid, seq)
         self._at(
-            self.now + self._timeout,
-            lambda: self._check_retransmit(aid, seq),
-            aux=True,
+            self.now + self._timeout, "check_retransmit", (aid, seq), aux=True
         )
 
     # ------------------------------------------------------------------
@@ -653,24 +715,17 @@ class Machine:
         if self.injector is not None:
             for i in range(self.injector.ack_fate()):
                 self._at(
-                    self.now + ack_delay + i,
-                    lambda src=arc.src: self._deliver_ack(src),
+                    self.now + ack_delay + i, "deliver_ack", (arc.src,)
                 )
             return
-        self._at(
-            self.now + ack_delay,
-            lambda src=arc.src: self._deliver_ack(src),
-        )
+        self._at(self.now + ack_delay, "deliver_ack", (arc.src,))
 
     def _transmit_ack(self, aid: int, seq: int) -> None:
         self.packets.acks += 1
         ack_delay = max(1, self.config.rn_delay)
         copies = self.injector.ack_fate() if self.injector is not None else 1
         for i in range(copies):
-            self._at(
-                self.now + ack_delay + i,
-                lambda: self._receive_ack(aid, seq),
-            )
+            self._at(self.now + ack_delay + i, "receive_ack", (aid, seq))
 
     def _receive_ack(self, aid: int, seq: int) -> None:
         if seq < self._acked_count.get(aid, 0):
@@ -688,9 +743,10 @@ class Machine:
         if st.acks_pending == 0:
             self._maybe_ready(producer)
 
-    def _record_sink(self, cell: Cell, value: Any) -> None:
-        self.sink_values[cell.cid].append(value)
-        self.sink_times[cell.cid].append(self.now)
+    def _record_sink(self, cid: int, value: Any) -> None:
+        cell = self.graph.cells[cid]
+        self.sink_values[cid].append(value)
+        self.sink_times[cid].append(self.now)
         self._progress += 1
         if cell.op is Op.AM_WRITE:
             self.am_arrays[cell.params["stream"]].append(value)
@@ -725,7 +781,7 @@ class Machine:
         return out
 
     def _watchdog_tick(self) -> None:
-        if not self._events:
+        if not self._live_events:
             return          # machine quiesced; _check_complete takes over
         if self._progress != self._wd_last:
             self._wd_last = self._progress
@@ -747,16 +803,53 @@ class Machine:
                     pending=missing + undrained,
                     diagnosis=diag,
                 )
-        self._at(self.now + self._wd_interval, self._watchdog_tick, aux=True)
+        self._at(self.now + self._wd_interval, "watchdog_tick", aux=True)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def _checkpoint_tick(self) -> None:
+        if not self._live_events:
+            return          # machine quiesced; let the heap drain
+        # re-arm first so the pending tick is part of the snapshot and a
+        # resumed run keeps checkpointing on the same cadence
+        self._at(
+            self.now + self.ckpt.config.interval, "checkpoint_tick", aux=True
+        )
+        self.ckpt.save_periodic(self)
 
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
-    def run(self, max_cycles: int = 50_000_000) -> MachineStats:
+    def run(
+        self, max_cycles: int = 50_000_000, crash_at: Optional[int] = None
+    ) -> MachineStats:
+        """Run (or, on a machine loaded from a snapshot, continue) the
+        simulation to completion.
+
+        ``crash_at`` hard-kills the process (``os._exit``) the first
+        time the event clock reaches that cycle -- a deterministic
+        stand-in for SIGKILL used by the checkpoint/resume smoke tests.
+        """
+        if not self._started:
+            self._start()
+        try:
+            self._loop(max_cycles, crash_at)
+            self._check_complete()
+        except (DeadlockError, SimulationTimeout) as exc:
+            if self.ckpt is not None:
+                self.ckpt.save_failure(self, exc)
+            raise
+        if self.ckpt is not None:
+            self.ckpt.on_complete(self)
+        return self.stats()
+
+    def _start(self) -> None:
         # Pre-load initial tokens.  The producing cell of a pre-loaded
         # arc owes an acknowledge before its own first firing may write
         # that arc (single-token discipline), so it starts with a
         # pending acknowledge per initial token.
+        self._started = True
         for arc in self.graph.arcs.values():
             if arc.has_initial:
                 self.cell_state[arc.dst].operands[arc.dst_port] = arc.initial
@@ -768,11 +861,24 @@ class Machine:
         for cid in self.graph.cells:
             self._maybe_ready(cid)
         if self.config.watchdog:
-            self._at(self._wd_interval, self._watchdog_tick, aux=True)
+            self._at(self._wd_interval, "watchdog_tick", aux=True)
+        if self.ckpt is not None:
+            self.ckpt.on_start(self)
+            if self.ckpt.config.interval:
+                self._at(
+                    self.ckpt.config.interval, "checkpoint_tick", aux=True
+                )
 
+    def _loop(self, max_cycles: int, crash_at: Optional[int] = None) -> None:
         while self._events:
-            time, _seq, fn, aux = heapq.heappop(self._events)
+            entry = heapq.heappop(self._events)
+            time, _seq, kind, args, aux = entry
+            if crash_at is not None and time >= crash_at:
+                os._exit(137)       # simulated SIGKILL: no cleanup at all
             if time > max_cycles and not aux:
+                # push the event back so a final snapshot stays resumable
+                # (e.g. `repro resume --max-cycles` on a timed-out run)
+                heapq.heappush(self._events, entry)
                 raise SimulationTimeout(
                     f"machine simulation exceeded {max_cycles} cycles "
                     f"(still making progress: livelock or genuinely long "
@@ -781,12 +887,14 @@ class Machine:
                     stats=self.stats(),
                     sink_progress=self._sink_progress(),
                 )
+            if kind not in ("watchdog_tick", "checkpoint_tick"):
+                self._live_events -= 1
             self.now = time
             if not aux:
                 self._finish = time
-            fn()
-        self._check_complete()
-        return self.stats()
+                if self.trace is not None:
+                    self.trace.record(time, kind, args)
+            self._execute(kind, args)
 
     def _check_complete(self) -> None:
         self.now = self._finish
@@ -810,6 +918,21 @@ class Machine:
         """Diagnose the machine's current wait-for state (see
         :mod:`repro.machine.diagnose`)."""
         return diagnose(self)
+
+    @classmethod
+    def resume(cls, source) -> "Machine":
+        """Load a machine from a snapshot file (or the newest snapshot
+        in a checkpoint directory) and return it ready to continue.
+
+        The loaded machine carries its complete mid-run state -- event
+        heap, in-flight and retransmission-queue packets, sequence
+        numbers, fault-plan RNG cursor, unit health and statistics --
+        so calling :meth:`run` again finishes the run with outputs
+        bit-identical to an uninterrupted execution.
+        """
+        from ..checkpoint.snapshot import load_machine
+
+        return load_machine(source, expected_cls=cls)
 
     # ------------------------------------------------------------------
     # results
@@ -854,6 +977,7 @@ class Machine:
                 else None
             ),
             faults=self.injector.stats if self.injector is not None else None,
+            checkpoints=self.ckpt.stats if self.ckpt is not None else None,
         )
 
 
@@ -866,6 +990,8 @@ def run_machine(
     fault_plan: Optional[FaultPlan] = None,
     recovery: bool = True,
     reliable: Optional[bool] = None,
+    checkpoint: Optional[Union[CheckpointConfig, CheckpointManager]] = None,
+    trace: bool = False,
 ) -> tuple[dict[str, list[Any]], MachineStats, Machine]:
     """Convenience wrapper: build, run, and collect outputs + stats."""
     machine = Machine(
@@ -876,6 +1002,8 @@ def run_machine(
         fault_plan=fault_plan,
         recovery=recovery,
         reliable=reliable,
+        checkpoint=checkpoint,
+        trace=trace,
     )
     stats = machine.run(max_cycles=max_cycles)
     return machine.outputs(), stats, machine

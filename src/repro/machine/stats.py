@@ -40,6 +40,33 @@ class ReliabilityStats:
 
 
 @dataclass
+class CheckpointStats:
+    """What the checkpointing layer wrote during one run.
+
+    Lives on :class:`repro.checkpoint.CheckpointManager` (and therefore
+    inside every snapshot), so counters continue across resume.
+    """
+
+    snapshots_written: int = 0
+    bytes_written: int = 0
+    snapshots_pruned: int = 0
+    failure_snapshots: int = 0
+    last_snapshot_cycle: int = -1
+    #: wall-clock seconds spent serializing + writing snapshots (the
+    #: simulated clock never sees checkpointing)
+    seconds_spent: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"checkpoints: {self.snapshots_written} snapshots "
+            f"({self.bytes_written} bytes, {self.snapshots_pruned} pruned, "
+            f"{self.failure_snapshots} failure, "
+            f"{self.seconds_spent * 1000:.1f} ms), "
+            f"last at cycle {self.last_snapshot_cycle}"
+        )
+
+
+@dataclass
 class MachineStats:
     """Cycle counts, packet traffic and per-unit load of one run."""
 
@@ -57,6 +84,9 @@ class MachineStats:
     #: injected-fault counters (None when no fault plan was given);
     #: a :class:`repro.faults.FaultStats` instance
     faults: Optional[object] = None
+    #: snapshot counters (None when checkpointing was off);
+    #: a :class:`CheckpointStats` instance
+    checkpoints: Optional[CheckpointStats] = None
 
     @property
     def total_firings(self) -> int:
@@ -83,4 +113,6 @@ class MachineStats:
             text += f"; {self.reliability.summary()}"
         if self.faults is not None:
             text += f"; {self.faults.summary()}"
+        if self.checkpoints is not None:
+            text += f"; {self.checkpoints.summary()}"
         return text

@@ -33,7 +33,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..errors import DeadlockError, GraphError, SimulationError
+from ..errors import (
+    DeadlockError,
+    GraphError,
+    SimulationError,
+    SimulationTimeout,
+)
 from ..graph.cell import _NO_TOKEN, GATE_PORT, Cell
 from ..graph.graph import DataflowGraph
 from ..graph.opcodes import (
@@ -426,8 +431,17 @@ class SyncSimulator:
             if self.step() == 0:
                 break
         else:
-            raise SimulationError(
-                f"simulation did not quiesce within {max_steps} steps"
+            raise SimulationTimeout(
+                f"simulation did not quiesce within {max_steps} steps",
+                cycles=self.step_count,
+                stats=self.stats,
+                sink_progress={
+                    self.graph.cells[cid].params["stream"]: (
+                        len(rec.values),
+                        self.graph.cells[cid].params.get("limit"),
+                    )
+                    for cid, rec in self.sink_records.items()
+                },
             )
         if raise_on_deadlock:
             self._check_complete()

@@ -1,0 +1,157 @@
+"""Record/replay bundles: exact reproduction of runs and of failures.
+
+A recorded bundle pins a run's initial state and its chained event
+digest; replaying it must reproduce completions *and* fault-induced
+failures bit-exactly, and a tampered record must be called out as a
+divergence rather than silently accepted.
+"""
+
+import json
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointConfig,
+    EventTrace,
+    read_manifest,
+    replay_bundle,
+)
+from repro.errors import DeadlockError, SnapshotError
+from repro.faults import FaultPlan
+from repro.graph.graph import DataflowGraph
+from repro.graph.opcodes import Op
+from repro.machine.machine import Machine
+from repro.workloads.figures import FIGURES
+
+PLAN = FaultPlan(seed=3, drop_result=0.05, dup_result=0.05, drop_ack=0.03)
+
+
+def _chain_graph(n_values=8):
+    g = DataflowGraph()
+    s = g.add_source("x", stream="x")
+    a = g.add_cell(Op.ADD, name="inc", consts={1: 1})
+    sink = g.add_sink("out", stream="y", limit=n_values)
+    g.connect(s, a, 0)
+    g.connect(a, sink, 0)
+    return g, {"x": list(range(n_values))}
+
+
+def _record(tmp_path, graph, inputs, **machine_kwargs):
+    cfg = CheckpointConfig(tmp_path, interval=0, record=True)
+    machine = Machine(graph, inputs=inputs, checkpoint=cfg, **machine_kwargs)
+    return machine
+
+
+class TestEventTrace:
+    def test_chained_digest_orders_and_counts(self):
+        a, b = EventTrace(), EventTrace()
+        a.record(1, "dispatch", (0,))
+        a.record(2, "deliver_ack", (5,))
+        b.record(2, "deliver_ack", (5,))
+        b.record(1, "dispatch", (0,))
+        assert a.count == b.count == 2
+        assert a.hexdigest() != b.hexdigest()  # order is committed
+
+    def test_pickles_through_getstate(self):
+        import pickle
+
+        t = EventTrace()
+        t.record(4, "record_sink", (2, 7.5))
+        u = pickle.loads(pickle.dumps(t))
+        assert (u.count, u.hexdigest(), list(u.tail)) == (
+            t.count, t.hexdigest(), list(t.tail)
+        )
+
+
+class TestReplayCompletion:
+    def test_recorded_fig_run_reproduces(self, tmp_path):
+        cp = FIGURES["fig6"].compile(m=8)
+        inputs = FIGURES["fig6"].make_inputs(cp, seed=3)
+        machine = _record(tmp_path, cp.graph, inputs, fault_plan=PLAN)
+        machine.run()
+
+        manifest = read_manifest(tmp_path)
+        assert manifest["status"] == "completed"
+        assert manifest["trace_events"] == machine.trace.count
+
+        report = replay_bundle(tmp_path)
+        assert report.reproduced, report.summary()
+        assert "reproduced the recorded completed run" in report.summary()
+        # the replay must not have touched the bundle
+        assert read_manifest(tmp_path) == manifest
+
+    def test_tampered_record_reported_as_divergence(self, tmp_path):
+        g, inputs = _chain_graph()
+        machine = _record(tmp_path, g, inputs)
+        machine.run()
+        manifest = read_manifest(tmp_path)
+        manifest["outputs_sha256"] = "0" * 64
+        manifest["final_cycle"] += 1
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+
+        report = replay_bundle(tmp_path)
+        assert not report.reproduced
+        assert any("outputs_sha256" in m for m in report.mismatches)
+        assert any("final_cycle" in m for m in report.mismatches)
+        assert "DIVERGED" in report.summary()
+
+
+class TestReplayFailure:
+    def test_recorded_deadlock_reproduces(self, tmp_path):
+        # faults without the reliability layer wedge the machine; the
+        # bundle must pin the failure type and cycle, and replaying it
+        # must wedge identically
+        g, inputs = _chain_graph()
+        plan = FaultPlan(seed=3, drop_result=0.3)
+        machine = _record(
+            tmp_path, g, inputs, fault_plan=plan, recovery=False
+        )
+        with pytest.raises(DeadlockError) as exc_info:
+            machine.run()
+        err = exc_info.value
+
+        assert err.snapshot_path is not None
+        failure_snaps = list(tmp_path.glob("failure-*.snap"))
+        bundles = list(tmp_path.glob("failure-*.json"))
+        assert len(failure_snaps) == len(bundles) == 1
+        bundle = json.loads(bundles[0].read_text())
+        assert bundle["error"]["type"] == "DeadlockError"
+        assert bundle["error"]["cycle"] == err.cycle
+        assert "diagnosis" in bundle
+        assert bundle["fault_plan"]["drop_result"] == 0.3
+
+        manifest = read_manifest(tmp_path)
+        assert manifest["status"] == "failed"
+        report = replay_bundle(tmp_path)
+        assert report.reproduced, report.summary()
+        assert report.actual["error"]["type"] == "DeadlockError"
+
+
+class TestBundleValidation:
+    def test_unfinished_bundle_refused(self, tmp_path):
+        g, inputs = _chain_graph()
+        _record(tmp_path, g, inputs)._start()  # recorded, never run
+        with pytest.raises(SnapshotError, match="never finished"):
+            replay_bundle(tmp_path)
+
+    def test_directory_without_manifest(self, tmp_path):
+        with pytest.raises(SnapshotError, match="not a recorded run"):
+            replay_bundle(tmp_path)
+
+    def test_unsupported_manifest_schema(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"schema": 99}')
+        with pytest.raises(SnapshotError, match="unsupported schema"):
+            read_manifest(tmp_path)
+
+    def test_untraced_snapshot_cannot_replay(self, tmp_path):
+        from repro.checkpoint import save_snapshot
+
+        g, inputs = _chain_graph()
+        machine = Machine(g, inputs=inputs)  # no trace
+        save_snapshot(machine, tmp_path / "initial.snap", "initial")
+        (tmp_path / "manifest.json").write_text(
+            '{"schema": 1, "status": "completed", '
+            '"initial_snapshot": "initial.snap"}'
+        )
+        with pytest.raises(SnapshotError, match="without event tracing"):
+            replay_bundle(tmp_path)

@@ -1,0 +1,144 @@
+"""Kill-and-resume determinism across every paper-figure workload.
+
+The tentpole acceptance bar: a run interrupted at an arbitrary
+checkpoint and resumed from disk must finish with outputs (and sink
+arrival times) **bit-identical** to the uninterrupted run -- with and
+without an active fault plan, whose RNG cursor rides inside the
+snapshot.  Checkpoint cycles are randomized per figure from a seeded
+RNG so each figure is cut at a different, reproducible point.
+"""
+
+import os
+import random
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.checkpoint import CheckpointConfig, load_machine
+from repro.faults import FaultPlan
+from repro.machine.machine import Machine
+from repro.workloads.figures import FIGURES
+
+RESUME_PLAN = FaultPlan(
+    seed=1234,
+    drop_result=0.06,
+    dup_result=0.06,
+    corrupt_result=0.02,
+    drop_ack=0.03,
+)
+
+M = 12
+
+
+def _workload(figure):
+    cp = FIGURES[figure].compile(m=M)
+    inputs = FIGURES[figure].make_inputs(cp, seed=7)
+    return cp, inputs
+
+
+def _baseline(cp, inputs, plan):
+    machine = Machine(cp.graph, inputs=inputs, fault_plan=plan)
+    machine.run()
+    return machine
+
+
+class TestResumeBitIdentical:
+    @pytest.mark.parametrize("figure", sorted(FIGURES))
+    @pytest.mark.parametrize("plan", [None, RESUME_PLAN],
+                             ids=["clean", "faulty"])
+    def test_resume_matches_uninterrupted_run(
+        self, figure, plan, tmp_path
+    ):
+        cp, inputs = _workload(figure)
+        baseline = _baseline(cp, inputs, plan)
+        total = baseline.now
+
+        # cut each figure at a different reproducible point mid-run
+        rng = random.Random(f"{figure}-{plan is not None}")
+        interval = rng.randrange(max(2, total // 8), max(3, total // 2))
+        cfg = CheckpointConfig(tmp_path, interval=interval, retain=0)
+        checkpointed = Machine(
+            cp.graph, inputs=inputs, fault_plan=plan, checkpoint=cfg
+        )
+        checkpointed.run()
+        assert checkpointed.outputs() == baseline.outputs()
+
+        snaps = sorted(tmp_path.glob("ckpt-*.snap"))
+        assert snaps, f"interval {interval} produced no snapshot"
+        resumed = Machine.resume(rng.choice(snaps))
+        assert resumed.now > 0
+        resumed.run()
+        assert resumed.outputs() == baseline.outputs()
+        assert resumed.sink_times == baseline.sink_times
+        assert resumed.now == total
+
+    def test_resume_of_a_resume(self, tmp_path):
+        # two generations of snapshots: resume, checkpoint again, resume
+        cp, inputs = _workload("fig6")
+        baseline = _baseline(cp, inputs, RESUME_PLAN)
+        cfg = CheckpointConfig(tmp_path, interval=60, retain=0)
+        first = Machine(
+            cp.graph, inputs=inputs, fault_plan=RESUME_PLAN, checkpoint=cfg
+        )
+        first.run()
+        second = Machine.resume(sorted(tmp_path.glob("ckpt-*.snap"))[0])
+        second.run()  # keeps checkpointing into the same directory
+        third = Machine.resume(sorted(tmp_path.glob("ckpt-*.snap"))[-1])
+        third.run()
+        assert (
+            first.outputs()
+            == second.outputs()
+            == third.outputs()
+            == baseline.outputs()
+        )
+
+
+class TestCrashAndResumeSubprocess:
+    def test_sigkill_mid_run_then_resume_via_cli(self, tmp_path):
+        """End to end through the CLI: hard-kill the process mid-run
+        (exit 137, what SIGKILL reports), resume from the surviving
+        snapshots, and demand byte-identical stdout."""
+        env = {**os.environ, "PYTHONPATH": "src"}
+        common = [
+            sys.executable, "-m", "repro", "checkpoint", "fig6",
+            "--size", "8", "--interval", "60",
+            "--drop-result", "0.05", "--dup-result", "0.05", "--seed", "3",
+        ]
+        clean = subprocess.run(
+            common + ["--dir", str(tmp_path / "clean")],
+            capture_output=True, env=env, cwd="/root/repo",
+        )
+        assert clean.returncode == 0, clean.stderr.decode()
+
+        crashed = subprocess.run(
+            common + ["--dir", str(tmp_path / "crash"), "--crash-at", "150"],
+            capture_output=True, env=env, cwd="/root/repo",
+        )
+        assert crashed.returncode == 128 + signal.SIGKILL
+        # the kill happened mid-run: snapshots exist, outputs don't
+        assert list((tmp_path / "crash").glob("ckpt-*.snap"))
+        assert not crashed.stdout
+
+        resumed = subprocess.run(
+            [sys.executable, "-m", "repro", "resume",
+             str(tmp_path / "crash")],
+            capture_output=True, env=env, cwd="/root/repo",
+        )
+        assert resumed.returncode == 0, resumed.stderr.decode()
+        assert resumed.stdout == clean.stdout
+
+    def test_snapshot_names_encode_their_cycle(self, tmp_path):
+        cp, inputs = _workload("fig6")
+        cfg = CheckpointConfig(tmp_path, interval=60, retain=0)
+        machine = Machine(
+            cp.graph, inputs=inputs, fault_plan=RESUME_PLAN, checkpoint=cfg
+        )
+        machine.run()
+        cycles = []
+        for path in sorted(tmp_path.glob("ckpt-*.snap")):
+            loaded = load_machine(path)
+            assert loaded.now == int(path.stem.split("-")[1])
+            cycles.append(loaded.now)
+        assert cycles == sorted(cycles) and len(set(cycles)) == len(cycles)

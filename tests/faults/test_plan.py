@@ -1,8 +1,11 @@
 """Tests for fault plans and the deterministic fault injector."""
 
+import json
+
 import pytest
 
 from repro.faults import (
+    SCHEMA_VERSION,
     FaultInjector,
     FaultPlan,
     FaultPlanError,
@@ -137,3 +140,36 @@ class TestInjectorDeterminism:
         inj.note_eviction("fu", 0)
         inj.note_eviction("fu", 0)
         assert inj.stats.units_evicted == 1
+
+
+class TestSchemaVersioning:
+    def test_to_dict_stamps_the_schema(self):
+        d = FaultPlan(seed=1).to_dict()
+        assert d["schema"] == SCHEMA_VERSION == 1
+        assert json.loads(FaultPlan().to_json())["schema"] == 1
+
+    def test_schemaless_plans_read_as_version_one(self):
+        # plans written before versioning carry no "schema" key
+        assert FaultPlan.from_dict({"seed": 7}).seed == 7
+
+    def test_future_schema_rejected(self):
+        with pytest.raises(FaultPlanError, match="schema version 2"):
+            FaultPlan.from_dict({"schema": 2, "seed": 0})
+        with pytest.raises(FaultPlanError, match="not supported"):
+            FaultPlan.from_json('{"schema": "x"}')
+
+    def test_unknown_unit_fault_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown unit-fault keys"):
+            FaultPlan.from_dict(
+                {"unit_faults": [{"unit": "fu", "index": 0, "blast": 9}]}
+            )
+
+    def test_non_object_unit_fault_rejected(self):
+        with pytest.raises(FaultPlanError, match="must be a JSON object"):
+            FaultPlan.from_dict({"unit_faults": ["fu0"]})
+
+    def test_round_trip_preserves_schema(self):
+        plan = FaultPlan(seed=5, drop_ack=0.2)
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.to_dict()["schema"] == SCHEMA_VERSION

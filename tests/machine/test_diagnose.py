@@ -152,3 +152,56 @@ class TestDiagnosisReporting:
         text = exc_info.value.diagnosis.summary()
         assert text.startswith("deadlock diagnosis at cycle")
         assert "starved" in text and "suspect" in text
+
+
+class TestFailureForensics:
+    """Stalls and timeouts carry the forensic fields the checkpoint
+    layer and the CI smoke job key on: a cycle number, and -- when the
+    run was checkpointed -- the path of the final failure snapshot."""
+
+    def test_deadlock_carries_cycle_and_no_snapshot_by_default(self):
+        g, inputs = _recurrence_graph(with_initial=False)
+        with pytest.raises(DeadlockError) as exc_info:
+            run_machine(g, inputs)
+        err = exc_info.value
+        assert err.cycle == err.step >= 0
+        assert err.snapshot_path is None
+        assert str(err).startswith("machine quiescent at cycle")
+
+    def test_checkpointed_deadlock_names_its_failure_snapshot(
+        self, tmp_path
+    ):
+        from repro.checkpoint import CheckpointConfig, load_machine
+
+        g, inputs = _recurrence_graph(with_initial=False)
+        with pytest.raises(DeadlockError) as exc_info:
+            run_machine(
+                g, inputs, checkpoint=CheckpointConfig(tmp_path, interval=0)
+            )
+        err = exc_info.value
+        assert err.snapshot_path is not None
+        wedged = load_machine(err.snapshot_path)
+        assert wedged.now == err.cycle
+        # the snapshot holds the wedged state: same diagnosis on reload
+        diag = wedged.diagnose()
+        assert diag.pending_sinks == {"y": (0, 3)}
+
+    def test_timeout_carries_cycle_and_snapshot(self, tmp_path):
+        from repro.checkpoint import CheckpointConfig
+        from repro.errors import SimulationTimeout
+        from repro.machine.machine import Machine
+
+        g, inputs = _recurrence_graph(with_initial=True)
+        machine = Machine(
+            g, inputs=inputs, checkpoint=CheckpointConfig(tmp_path)
+        )
+        with pytest.raises(SimulationTimeout) as exc_info:
+            machine.run(max_cycles=4)
+        err = exc_info.value
+        assert err.cycle == err.cycles > 4
+        assert err.snapshot_path is not None
+        assert "exceeded 4 cycles" in str(err)
+        # the timed-out snapshot is resumable with a bigger budget
+        resumed = Machine.resume(err.snapshot_path)
+        resumed.run()
+        assert resumed.outputs()["y"] == [1, 3, 6]

@@ -259,9 +259,9 @@ class TestDispatchQueueBound:
         peak = 0
         original = machine._at
 
-        def tracking_at(time, fn, aux=False):
+        def tracking_at(time, kind, args=(), aux=False):
             nonlocal peak
-            original(time, fn, aux)
+            original(time, kind, args, aux)
             peak = max(peak, len(machine._events))
 
         machine._at = tracking_at

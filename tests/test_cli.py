@@ -163,3 +163,41 @@ class TestFaults:
         rc = main(["faults", "fig2", "--plan", str(plan)])
         assert rc == 1
         assert "unknown fault-plan keys" in capsys.readouterr().err
+
+
+class TestCheckpointCommands:
+    def _checkpoint(self, tmp_path, *extra):
+        return main(
+            ["checkpoint", "fig6", "--size", "6", "--dir",
+             str(tmp_path / "snaps"), "--interval", "50", *extra]
+        )
+
+    def test_checkpoint_then_resume_same_outputs(self, tmp_path, capsys):
+        assert self._checkpoint(tmp_path) == 0
+        first = capsys.readouterr()
+        assert "# completed at cycle" in first.err
+        assert list((tmp_path / "snaps").glob("ckpt-*.snap"))
+
+        assert main(["resume", str(tmp_path / "snaps")]) == 0
+        second = capsys.readouterr()
+        assert "# resumed at cycle" in second.err
+        assert json.loads(second.out) == json.loads(first.out)
+
+    def test_record_then_replay(self, tmp_path, capsys):
+        rc = self._checkpoint(
+            tmp_path, "--record", "--seed", "3",
+            "--drop-result", "0.05", "--dup-result", "0.05",
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["replay", str(tmp_path / "snaps")]) == 0
+        out = capsys.readouterr().out
+        assert "reproduced the recorded completed run" in out
+
+    def test_resume_of_missing_directory_is_an_error(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "empty")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_without_manifest_is_an_error(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path)]) == 1
+        assert "not a recorded run" in capsys.readouterr().err
