@@ -6,8 +6,10 @@ The three layers (see DESIGN.md section 8):
   atomically-written on-disk snapshot format;
 * :mod:`repro.checkpoint.manager` -- periodic snapshot scheduling,
   retention, failure diagnosis bundles and the record manifest;
-* :mod:`repro.checkpoint.replay` -- event-trace digests and bit-exact
-  re-execution of recorded runs.
+* :mod:`repro.checkpoint.replay` -- event-trace digests, bit-exact
+  re-execution of recorded runs, and binary search over the digest
+  ledger for the first divergent checkpoint window
+  (:func:`bisect_divergence`).
 
 Quick use::
 
@@ -20,11 +22,13 @@ Quick use::
     m.run()                                          # bit-identical finish
 """
 
-from ..errors import SnapshotError
+from ..errors import ManifestError, SnapshotError
 from .manager import CheckpointConfig, CheckpointManager
 from .replay import (
+    DivergenceReport,
     EventTrace,
     ReplayReport,
+    bisect_divergence,
     outputs_digest,
     read_manifest,
     replay_bundle,
@@ -41,10 +45,13 @@ from .snapshot import (
 __all__ = [
     "CheckpointConfig",
     "CheckpointManager",
+    "DivergenceReport",
     "EventTrace",
     "FORMAT_VERSION",
+    "ManifestError",
     "ReplayReport",
     "SnapshotError",
+    "bisect_divergence",
     "latest_snapshot",
     "load_machine",
     "outputs_digest",

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional, Union
 
-from ..errors import SnapshotError
+from ..errors import ManifestError, SimulationTimeout, SnapshotError
 from .replay import MANIFEST_NAME, MANIFEST_SCHEMA, _outcome
 from .snapshot import _atomic_write, save_snapshot
 
@@ -71,6 +72,11 @@ class CheckpointManager:
         self.stats = CheckpointStats()
         #: periodic snapshot file names in write order, for retention
         self._periodic: list[str] = []
+        #: record mode: one entry per snapshot ever taken -- name, cycle
+        #: and the chained event-trace digest at that point.  Entries
+        #: survive retention pruning (the digest matters even after the
+        #: file is gone); replay bisection walks this ledger.
+        self._ledger: list[dict[str, Any]] = []
 
     @property
     def directory(self) -> Path:
@@ -83,32 +89,46 @@ class CheckpointManager:
         self.directory.mkdir(parents=True, exist_ok=True)
         if self.config.record:
             self._save(machine, "initial.snap", "initial")
+            self._ledger = [self._ledger_entry(machine, "initial.snap")]
             self._write_manifest(
                 {
                     "schema": MANIFEST_SCHEMA,
                     "status": "running",
                     "initial_snapshot": "initial.snap",
+                    "interval": self.config.interval,
                     "checkpoints": [],
+                    "ledger": list(self._ledger),
                 }
             )
 
     def save_periodic(self, machine: Any) -> Path:
         name = f"ckpt-{machine.now:012d}.snap"
         # register before serializing so the snapshot's own manager
-        # state already owns the file it lives in
+        # state already owns the file it lives in (and, in record mode,
+        # already carries its own ledger entry)
         self._periodic.append(name)
+        if self.config.record:
+            self._ledger.append(self._ledger_entry(machine, name))
         path = self._save(machine, name, "periodic")
         self._prune()
         if self.config.record:
-            self._update_manifest(checkpoints=list(self._periodic))
+            self._update_manifest(
+                checkpoints=list(self._periodic), ledger=list(self._ledger)
+            )
         return path
 
     def save_failure(self, machine: Any, error: Exception) -> Path:
         """Snapshot the wedged machine and write a diagnosis bundle,
-        then attach the snapshot path to the error."""
-        name = f"failure-{machine.now:012d}.snap"
-        path = self._save(machine, name, "failure")
+        then attach the snapshot path to the error.
+
+        A timed-out machine was still making progress and stays
+        resumable, so its snapshot is named ``timeout-*``;
+        ``failure-*`` pins a wedged machine for forensics only.
+        """
+        prefix = "timeout" if isinstance(error, SimulationTimeout) else "failure"
+        name = f"{prefix}-{machine.now:012d}.snap"
         self.stats.failure_snapshots += 1
+        path = self._save(machine, name, prefix)
         bundle: dict[str, Any] = {
             "schema": MANIFEST_SCHEMA,
             "snapshot": name,
@@ -120,13 +140,27 @@ class CheckpointManager:
         if machine.fault_plan is not None:
             bundle["fault_plan"] = machine.fault_plan.to_dict()
         _atomic_write(
-            self.directory / f"failure-{machine.now:012d}.json",
+            self.directory / f"{prefix}-{machine.now:012d}.json",
             (json.dumps(bundle, indent=2, default=repr) + "\n").encode(),
         )
         if self.config.record:
-            self._update_manifest(**_outcome(machine, error))
+            try:
+                self._update_manifest(**_outcome(machine, error))
+            except ManifestError as exc:
+                # the run is already failing; surface the bundle damage
+                # as a warning instead of masking the original error
+                warnings.warn(str(exc), RuntimeWarning, stacklevel=2)
         error.snapshot_path = str(path)
         return path
+
+    @staticmethod
+    def _ledger_entry(machine: Any, name: str) -> dict[str, Any]:
+        return {
+            "snapshot": name,
+            "cycle": machine.now,
+            "trace_sha256": machine.trace.hexdigest(),
+            "trace_events": machine.trace.count,
+        }
 
     def on_complete(self, machine: Any) -> None:
         if self.config.record:
@@ -136,12 +170,15 @@ class CheckpointManager:
     # plumbing
     # ------------------------------------------------------------------
     def _save(self, machine: Any, name: str, reason: str) -> Path:
+        # count the write *before* serializing, so the snapshot's own
+        # embedded stats already include itself -- a resumed run then
+        # ends with the same cumulative counters as an uninterrupted one
+        self.stats.snapshots_written += 1
+        self.stats.last_snapshot_cycle = machine.now
         t0 = time.perf_counter()
         path = save_snapshot(machine, self.directory / name, reason)
         self.stats.seconds_spent += time.perf_counter() - t0
-        self.stats.snapshots_written += 1
         self.stats.bytes_written += path.stat().st_size
-        self.stats.last_snapshot_cycle = machine.now
         return path
 
     def _prune(self) -> None:
@@ -160,14 +197,32 @@ class CheckpointManager:
         )
 
     def _update_manifest(self, **fields: Any) -> None:
+        """Merge ``fields`` into the on-disk manifest.
+
+        The manifest was written at :meth:`on_start`, before the first
+        event; finding it missing or unparseable mid-run means the
+        bundle has been damaged.  Fabricating a fresh default manifest
+        here would silently resurrect the bundle and mask that damage,
+        so a typed :class:`ManifestError` is raised instead.
+        """
         path = self.directory / MANIFEST_NAME
         try:
             manifest = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
-            manifest = {
-                "schema": MANIFEST_SCHEMA,
-                "initial_snapshot": "initial.snap",
-            }
+        except FileNotFoundError:
+            raise ManifestError(
+                f"record manifest {path} disappeared mid-run; the bundle "
+                f"is damaged and will not be silently recreated"
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ManifestError(
+                f"record manifest {path} is damaged mid-run ({exc}); "
+                f"refusing to overwrite the evidence with a fresh default"
+            ) from exc
+        if not isinstance(manifest, dict):
+            raise ManifestError(
+                f"record manifest {path} is damaged mid-run: expected a "
+                f"JSON object, found {type(manifest).__name__}"
+            )
         manifest.update(fields)
         self._write_manifest(manifest)
 

@@ -32,6 +32,7 @@ import hashlib
 import os
 import pickle
 import struct
+import tempfile
 from pathlib import Path
 from typing import Any, Optional, Union
 
@@ -45,13 +46,29 @@ _HEADER = struct.Struct(">8sIQ32s")
 
 
 def _atomic_write(path: Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` with write-then-rename atomicity."""
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as fh:
-        fh.write(data)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+    """Write ``data`` to ``path`` with write-then-rename atomicity.
+
+    The temporary sibling gets a unique per-writer name (via
+    ``tempfile.mkstemp``), so two processes checkpointing into the same
+    directory never clobber each other's in-flight temp file; the loser
+    of the final ``os.replace`` race simply has its complete snapshot
+    superseded by the winner's complete snapshot.
+    """
+    fd, tmp = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     try:
         dirfd = os.open(path.parent, os.O_RDONLY)
     except OSError:         # platform without directory fds
@@ -137,27 +154,43 @@ def snapshot_cycle(path: Union[str, Path]) -> int:
     return int(read_snapshot(path)["cycle"])
 
 
-def latest_snapshot(directory: Union[str, Path]) -> Optional[Path]:
-    """The newest snapshot in a checkpoint directory, by cycle number.
+#: snapshot name prefixes ranked for resume preference at equal cycles
+_PREFIX_RANK = {"initial": 3, "ckpt": 2, "timeout": 1, "failure": 0}
+
+
+def latest_snapshot(
+    directory: Union[str, Path], include_failures: bool = False
+) -> Optional[Path]:
+    """The newest *resumable* snapshot in a checkpoint directory.
 
     File names encode their cycle (``ckpt-<cycle>.snap``,
-    ``failure-<cycle>.snap``; ``initial.snap`` is cycle 0), so no file
-    needs to be opened to pick the resume point.
+    ``timeout-<cycle>.snap``, ``failure-<cycle>.snap``;
+    ``initial.snap`` is cycle 0), so no file needs to be opened to pick
+    the resume point.
+
+    Resume-from-directory wants the last *good* state: a
+    ``failure-*.snap`` pins a machine that is already wedged, so
+    resuming it would immediately re-fail.  By default only
+    initial/periodic/timeout snapshots are considered -- a timed-out
+    machine was still making progress and resumes usefully with a
+    larger ``max_cycles`` -- and failure snapshots are loadable only
+    when named explicitly (or with ``include_failures=True``).  At
+    equal cycles a periodic snapshot beats a timeout one beats a
+    failure one.
     """
     directory = Path(directory)
     best: Optional[tuple[int, int, Path]] = None
     for path in directory.glob("*.snap"):
         stem = path.stem
         if stem == "initial":
-            key = (0, 0)
+            key = (0, _PREFIX_RANK["initial"])
         else:
             prefix, _, cycle = stem.partition("-")
-            if prefix not in ("ckpt", "failure") or not cycle.isdigit():
+            if prefix not in _PREFIX_RANK or not cycle.isdigit():
                 continue
-            # prefer a periodic snapshot over a failure one at the same
-            # cycle: resume wants the last good state, forensics name
-            # the failure file explicitly
-            key = (int(cycle), 1 if prefix == "ckpt" else 0)
+            if prefix == "failure" and not include_failures:
+                continue
+            key = (int(cycle), _PREFIX_RANK[prefix])
         if best is None or key > best[:2]:
             best = (*key, path)
     return best[2] if best is not None else None
@@ -175,6 +208,14 @@ def load_machine(
     if path.is_dir():
         found = latest_snapshot(path)
         if found is None:
+            failures = sorted(p.name for p in path.glob("failure-*.snap"))
+            if failures:
+                raise SnapshotError(
+                    f"no resumable snapshots in directory {path}; it only "
+                    f"holds failure snapshots ({', '.join(failures)}), "
+                    f"which pin an already-wedged machine -- name one "
+                    f"explicitly to load it for forensics"
+                )
             raise SnapshotError(f"no snapshots in directory {path}")
         path = found
     machine = read_snapshot(path)["machine"]

@@ -11,6 +11,7 @@ programs from the shell.
     python -m repro checkpoint fig7 --dir ckpts --interval 5000
     python -m repro resume ckpts
     python -m repro replay ckpts
+    python -m repro bisect ckpts --perturb-plan perturb.json
 
 Inputs are a JSON object mapping array names to lists (or to
 ``[lo, [values...]]`` pairs for arrays with a nonzero lower bound).
@@ -23,7 +24,7 @@ import json
 import sys
 from typing import Any, Optional
 
-from .checkpoint import CheckpointConfig, replay_bundle
+from .checkpoint import CheckpointConfig, bisect_divergence, replay_bundle
 from .compiler import compile_program
 from .errors import DeadlockError, ReproError, SimulationTimeout
 from .faults import FaultPlan
@@ -264,9 +265,33 @@ def cmd_resume(args: argparse.Namespace) -> int:
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
-    report = replay_bundle(args.bundle, max_cycles=args.max_cycles)
+    report = replay_bundle(
+        args.bundle, max_cycles=args.max_cycles, bisect=args.bisect
+    )
     print(report.summary())
     return 0 if report.reproduced else 3
+
+
+def _load_perturb_plan(path: Optional[str]) -> Optional[FaultPlan]:
+    if path is None:
+        return None
+    with open(path, "r", encoding="utf-8") as fh:
+        return FaultPlan.from_json(fh.read())
+
+
+def cmd_bisect(args: argparse.Namespace) -> int:
+    report = bisect_divergence(
+        args.bundle,
+        perturb=_load_perturb_plan(args.perturb_plan),
+        max_cycles=args.max_cycles,
+    )
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, default=repr)
+            fh.write("\n")
+        print(f"# wrote {args.json}", file=sys.stderr)
+    return 3 if report.diverged else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -416,7 +441,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("bundle", help="directory written by "
                    "`repro checkpoint --record`")
     p.add_argument("--max-cycles", type=int, default=50_000_000)
+    p.add_argument("--bisect", action="store_true",
+                   help="on divergence, binary-search the digest ledger "
+                   "for the first divergent checkpoint window")
     p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser(
+        "bisect",
+        help="binary-search a recorded bundle's digest ledger for the "
+        "first checkpoint window where a replay diverges",
+    )
+    p.add_argument("bundle", help="directory written by "
+                   "`repro checkpoint --record`")
+    p.add_argument("--perturb-plan", metavar="FILE",
+                   help="JSON fault plan installed on the replay side "
+                   "only, to ask where that fault would first change "
+                   "the recorded run")
+    p.add_argument("--json", metavar="OUT",
+                   help="also write the DivergenceReport as JSON here")
+    p.add_argument("--max-cycles", type=int, default=50_000_000)
+    p.set_defaults(fn=cmd_bisect)
 
     return parser
 

@@ -136,6 +136,17 @@ class SnapshotError(ReproError):
     """
 
 
+class ManifestError(SnapshotError):
+    """Raised when a record bundle's ``manifest.json`` is missing or
+    damaged at a point where the checkpoint layer must update it.
+
+    A record-mode run creates the manifest before its first event, so a
+    mid-run update finding it gone (or unparseable) means the bundle
+    itself has been damaged; fabricating a fresh default manifest would
+    silently mask that, so the damage is surfaced instead.
+    """
+
+
 class AnalysisError(ReproError):
     """Raised by the static rate/balance analyses."""
 

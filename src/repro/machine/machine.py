@@ -211,6 +211,10 @@ class Machine:
             if trace or (checkpoint is not None and checkpoint.config.record)
             else None
         )
+        #: optional bounded capture of executed non-aux events
+        #: (:class:`repro.sim.trace.EventCapture`); set by the replay
+        #: bisection forensics to record one divergence window in full
+        self.capture = None
 
         for cell in graph:
             self._maybe_ready(cell.cid)
@@ -811,6 +815,8 @@ class Machine:
     def _checkpoint_tick(self) -> None:
         if not self._live_events:
             return          # machine quiesced; let the heap drain
+        if self.ckpt is None:
+            return          # detached from its manager (replay probe)
         # re-arm first so the pending tick is part of the snapshot and a
         # resumed run keeps checkpointing on the same cadence
         self._at(
@@ -822,7 +828,10 @@ class Machine:
     # main loop
     # ------------------------------------------------------------------
     def run(
-        self, max_cycles: int = 50_000_000, crash_at: Optional[int] = None
+        self,
+        max_cycles: int = 50_000_000,
+        crash_at: Optional[int] = None,
+        stop_at_checkpoint: Optional[int] = None,
     ) -> MachineStats:
         """Run (or, on a machine loaded from a snapshot, continue) the
         simulation to completion.
@@ -830,11 +839,19 @@ class Machine:
         ``crash_at`` hard-kills the process (``os._exit``) the first
         time the event clock reaches that cycle -- a deterministic
         stand-in for SIGKILL used by the checkpoint/resume smoke tests.
+
+        ``stop_at_checkpoint`` pauses the run just *before* executing
+        the first ``checkpoint_tick`` event at or after that cycle --
+        the exact heap point where the recorded run captured its
+        digest-ledger entry, so a replay probe's trace digest is
+        directly comparable to the ledger's.  A paused machine skips
+        the completion check and can simply be ``run()`` again.
         """
         if not self._started:
             self._start()
         try:
-            self._loop(max_cycles, crash_at)
+            if self._loop(max_cycles, crash_at, stop_at_checkpoint):
+                return self.stats()     # paused at a checkpoint boundary
             self._check_complete()
         except (DeadlockError, SimulationTimeout) as exc:
             if self.ckpt is not None:
@@ -869,10 +886,27 @@ class Machine:
                     self.ckpt.config.interval, "checkpoint_tick", aux=True
                 )
 
-    def _loop(self, max_cycles: int, crash_at: Optional[int] = None) -> None:
+    def _loop(
+        self,
+        max_cycles: int,
+        crash_at: Optional[int] = None,
+        stop_at_checkpoint: Optional[int] = None,
+    ) -> bool:
+        """Drain the event heap; returns True when paused early at a
+        ``stop_at_checkpoint`` boundary, False when the heap drained."""
+        capture = getattr(self, "capture", None)
         while self._events:
             entry = heapq.heappop(self._events)
             time, _seq, kind, args, aux = entry
+            if (
+                stop_at_checkpoint is not None
+                and kind == "checkpoint_tick"
+                and time >= stop_at_checkpoint
+            ):
+                # push the tick back untouched: the pause is invisible
+                # to the machine state and the run can continue
+                heapq.heappush(self._events, entry)
+                return True
             if crash_at is not None and time >= crash_at:
                 os._exit(137)       # simulated SIGKILL: no cleanup at all
             if time > max_cycles and not aux:
@@ -894,7 +928,10 @@ class Machine:
                 self._finish = time
                 if self.trace is not None:
                     self.trace.record(time, kind, args)
+                if capture is not None:
+                    capture.record(time, kind, args)
             self._execute(kind, args)
+        return False
 
     def _check_complete(self) -> None:
         self.now = self._finish
@@ -921,8 +958,14 @@ class Machine:
 
     @classmethod
     def resume(cls, source) -> "Machine":
-        """Load a machine from a snapshot file (or the newest snapshot
-        in a checkpoint directory) and return it ready to continue.
+        """Load a machine from a snapshot file (or the newest *good*
+        snapshot in a checkpoint directory) and return it ready to
+        continue.
+
+        Resuming from a directory picks the newest periodic (or
+        initial/timeout) snapshot; ``failure-*.snap`` files pin an
+        already-wedged machine and are only loaded when named
+        explicitly.
 
         The loaded machine carries its complete mid-run state -- event
         heap, in-flight and retransmission-queue packets, sequence

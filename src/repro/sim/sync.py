@@ -431,21 +431,50 @@ class SyncSimulator:
             if self.step() == 0:
                 break
         else:
-            raise SimulationTimeout(
-                f"simulation did not quiesce within {max_steps} steps",
-                cycles=self.step_count,
-                stats=self.stats,
-                sink_progress={
-                    self.graph.cells[cid].params["stream"]: (
-                        len(rec.values),
-                        self.graph.cells[cid].params.get("limit"),
-                    )
-                    for cid, rec in self.sink_records.items()
-                },
-            )
+            # Budget exhausted -- but a graph whose final firing landed
+            # exactly on the last allowed step has quiesced, not timed
+            # out.  Probe enabledness from pre-state (no step consumed)
+            # before declaring an overrun.
+            if self._any_enabled():
+                raise SimulationTimeout(
+                    f"simulation did not quiesce within {max_steps} steps",
+                    cycles=self.step_count,
+                    stats=self.stats,
+                    sink_progress={
+                        self.graph.cells[cid].params["stream"]: (
+                            len(rec.values),
+                            self.graph.cells[cid].params.get("limit"),
+                        )
+                        for cid, rec in self.sink_records.items()
+                    },
+                )
         if raise_on_deadlock:
             self._check_complete()
         return self.stats
+
+    def _any_enabled(self) -> bool:
+        """Whether any cell (or FIFO shift) could act next step.
+
+        Read-only: reuses the pre-state firing planners without
+        applying them.  A cell whose firing would raise (e.g. division
+        by zero on the next step) counts as enabled -- the graph has
+        not quiesced either way.
+        """
+        for cid in sorted(self._candidates):
+            cell = self.graph.cells.get(cid)
+            if cell is None:
+                continue
+            if cell.op is Op.FIFO:
+                consumed, writes, updates = self._advance_fifo(cell)
+                if consumed or writes or updates:
+                    return True
+            else:
+                try:
+                    if self._try_fire(cell) is not None:
+                        return True
+                except SimulationError:
+                    return True
+        return False
 
     def _check_complete(self) -> None:
         pending = 0

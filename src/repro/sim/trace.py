@@ -1,17 +1,76 @@
-"""Trace formatting and utilization reporting for simulator runs.
+"""Trace formatting, event capture and utilization reporting.
 
-These helpers turn raw :class:`~repro.sim.sync.SyncSimulator` state into
-human-readable reports; the examples use them to show the pipeline
-filling and draining the way Figure 2 of the paper describes.
+These helpers turn raw simulator state into human-readable reports; the
+examples use them to show the pipeline filling and draining the way
+Figure 2 of the paper describes.  :class:`EventCapture` and
+:func:`first_divergence` are the shared forensics primitives: the
+machine-level simulator records executed events into a capture during a
+replay-bisection window, and the diff pinpoints the first event where
+two executions drifted apart.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional, Sequence
 
 from ..graph.graph import DataflowGraph
 from ..graph.opcodes import Op
 from .sync import SimStats, SyncSimulator
+
+
+class EventCapture:
+    """Bounded capture of executed simulator events.
+
+    Attached to :attr:`repro.machine.Machine.capture` while re-running
+    one divergence window, it records every executed non-auxiliary
+    event ``(time, kind, args)`` from ``start_cycle`` on, up to
+    ``limit`` events (``truncated`` flags an overflowing window).
+    Unlike :class:`repro.checkpoint.EventTrace` -- which compresses the
+    whole run into one chained digest plus a short tail -- a capture
+    keeps the events themselves, so two captures of the same window can
+    be diffed event by event.
+    """
+
+    __slots__ = ("start_cycle", "limit", "events", "truncated")
+
+    def __init__(self, start_cycle: int = 0, limit: int = 200_000) -> None:
+        self.start_cycle = start_cycle
+        self.limit = limit
+        self.events: list[tuple[int, str, tuple]] = []
+        self.truncated = False
+
+    def record(self, time: int, kind: str, args: tuple) -> None:
+        if time < self.start_cycle:
+            return
+        if len(self.events) >= self.limit:
+            self.truncated = True
+            return
+        self.events.append((time, kind, args))
+
+    def formatted(self) -> list[str]:
+        """The captured events in the ``time:kind:args`` text form the
+        :class:`~repro.checkpoint.EventTrace` tail uses."""
+        return [format_event(e) for e in self.events]
+
+
+def format_event(event: tuple[int, str, tuple]) -> str:
+    time, kind, args = event
+    return f"{time}:{kind}:{args!r}"
+
+
+def first_divergence(
+    a: Sequence[Any], b: Sequence[Any]
+) -> Optional[int]:
+    """Index of the first position where two event sequences differ.
+
+    Returns the length of the shorter sequence when one is a strict
+    prefix of the other, and ``None`` when they are identical.
+    """
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n if len(a) != len(b) else None
 
 
 def format_trace(

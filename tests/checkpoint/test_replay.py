@@ -16,7 +16,7 @@ from repro.checkpoint import (
     read_manifest,
     replay_bundle,
 )
-from repro.errors import DeadlockError, SnapshotError
+from repro.errors import DeadlockError, ManifestError, SnapshotError
 from repro.faults import FaultPlan
 from repro.graph.graph import DataflowGraph
 from repro.graph.opcodes import Op
@@ -142,6 +142,54 @@ class TestBundleValidation:
         (tmp_path / "manifest.json").write_text('{"schema": 99}')
         with pytest.raises(SnapshotError, match="unsupported schema"):
             read_manifest(tmp_path)
+
+    def test_missing_manifest_mid_run_raises_typed_error(self, tmp_path):
+        # regression: _update_manifest used to fabricate a fresh default
+        # manifest, silently resurrecting a damaged bundle
+        g, inputs = _chain_graph()
+        machine = _record(tmp_path, g, inputs)
+        machine._start()
+        (tmp_path / "manifest.json").unlink()
+        with pytest.raises(ManifestError, match="disappeared"):
+            machine.ckpt._update_manifest(status="completed")
+        assert not (tmp_path / "manifest.json").exists()
+
+    def test_corrupt_manifest_mid_run_raises_typed_error(self, tmp_path):
+        g, inputs = _chain_graph()
+        machine = _record(tmp_path, g, inputs)
+        machine._start()
+        (tmp_path / "manifest.json").write_text("{definitely not json")
+        with pytest.raises(ManifestError, match="damaged mid-run"):
+            machine.ckpt._update_manifest(status="completed")
+        # the evidence was not overwritten with a fresh default
+        assert (
+            tmp_path / "manifest.json"
+        ).read_text() == "{definitely not json"
+
+    def test_non_object_manifest_raises_typed_error(self, tmp_path):
+        g, inputs = _chain_graph()
+        machine = _record(tmp_path, g, inputs)
+        machine._start()
+        (tmp_path / "manifest.json").write_text("[1, 2, 3]")
+        with pytest.raises(ManifestError, match="JSON object"):
+            machine.ckpt._update_manifest(status="completed")
+
+    def test_manifest_error_is_a_snapshot_error(self):
+        assert issubclass(ManifestError, SnapshotError)
+
+    def test_save_failure_warns_instead_of_masking_the_error(self, tmp_path):
+        # a damaged manifest discovered while the run is already dying
+        # must not replace the original DeadlockError
+        g, inputs = _chain_graph()
+        plan = FaultPlan(seed=3, drop_result=0.3)
+        machine = _record(
+            tmp_path, g, inputs, fault_plan=plan, recovery=False
+        )
+        machine._start()
+        (tmp_path / "manifest.json").write_text("{broken")
+        with pytest.warns(RuntimeWarning, match="damaged mid-run"):
+            with pytest.raises(DeadlockError):
+                machine.run()
 
     def test_untraced_snapshot_cannot_replay(self, tmp_path):
         from repro.checkpoint import save_snapshot

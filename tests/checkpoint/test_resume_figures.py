@@ -17,7 +17,9 @@ import sys
 import pytest
 
 from repro.checkpoint import CheckpointConfig, load_machine
+from repro.errors import DeadlockError, SimulationTimeout
 from repro.faults import FaultPlan
+from repro.machine.config import MachineConfig
 from repro.machine.machine import Machine
 from repro.workloads.figures import FIGURES
 
@@ -142,3 +144,102 @@ class TestCrashAndResumeSubprocess:
             assert loaded.now == int(path.stem.split("-")[1])
             cycles.append(loaded.now)
         assert cycles == sorted(cycles) and len(set(cycles)) == len(cycles)
+
+
+class TestResumeAfterFailure:
+    def _wedge_mid_run(self, tmp_path):
+        """Run fig6 into an unrecoverable all-FU outage at cycle 100,
+        checkpointing every 30 cycles on the way there."""
+        cp, inputs = _workload("fig6")
+        n_fus = MachineConfig().n_fus
+        plan = FaultPlan(
+            seed=1,
+            unit_faults=tuple(
+                {"unit": "fu", "index": i, "start": 100, "kind": "outage"}
+                for i in range(n_fus)
+            ),
+        )
+        cfg = CheckpointConfig(tmp_path, interval=30, retain=2)
+        machine = Machine(
+            cp.graph, inputs=inputs, fault_plan=plan, recovery=False,
+            checkpoint=cfg,
+        )
+        with pytest.raises(DeadlockError) as exc_info:
+            machine.run()
+        return exc_info.value
+
+    def test_resume_directory_picks_last_good_snapshot(self, tmp_path):
+        # regression: latest_snapshot() used to hand back the newer
+        # failure-*.snap, so resuming a deadlocked directory re-wedged
+        # instantly instead of restarting from the last good state
+        error = self._wedge_mid_run(tmp_path)
+        failure = sorted(tmp_path.glob("failure-*.snap"))
+        periodic = sorted(tmp_path.glob("ckpt-*.snap"))
+        assert failure and periodic
+        failure_cycle = int(failure[-1].stem.split("-")[1])
+        last_good = int(periodic[-1].stem.split("-")[1])
+        assert failure_cycle > last_good  # the trap this guards against
+
+        resumed = Machine.resume(tmp_path)
+        assert resumed.now == last_good
+        assert str(error.snapshot_path) == str(failure[-1])
+
+    def test_wedged_snapshot_loads_only_by_explicit_name(self, tmp_path):
+        error = self._wedge_mid_run(tmp_path)
+        pinned = Machine.resume(error.snapshot_path)
+        assert pinned.now > Machine.resume(tmp_path).now
+
+    def test_timed_out_run_resumes_to_completion(self, tmp_path):
+        cp, inputs = _workload("fig6")
+        baseline = _baseline(cp, inputs, None)
+        cfg = CheckpointConfig(tmp_path, interval=0)
+        machine = Machine(cp.graph, inputs=inputs, checkpoint=cfg)
+        with pytest.raises(SimulationTimeout):
+            machine.run(max_cycles=80)
+        # a timeout is not a wedge: its snapshot is named timeout-* and
+        # is a legitimate resume point
+        assert list(tmp_path.glob("timeout-*.snap"))
+        assert not list(tmp_path.glob("failure-*.snap"))
+        resumed = Machine.resume(tmp_path)
+        resumed.run()
+        assert resumed.outputs() == baseline.outputs()
+        assert resumed.sink_times == baseline.sink_times
+
+
+class TestRetentionAcrossResume:
+    def test_pruning_and_stats_continue_across_resume(self, tmp_path):
+        """The retention window and CheckpointStats counters ride inside
+        the snapshot: an interrupted-and-resumed run must end with the
+        same snapshot files and the same cumulative counters as an
+        uninterrupted one."""
+        cp, inputs = _workload("fig6")
+        base_dir, cut_dir = tmp_path / "base", tmp_path / "cut"
+
+        baseline = Machine(
+            cp.graph, inputs=inputs,
+            checkpoint=CheckpointConfig(base_dir, interval=30, retain=2),
+        )
+        baseline.run()
+        base_stats = baseline.ckpt.stats
+        assert base_stats.snapshots_pruned > 0  # retention actually bit
+
+        interrupted = Machine(
+            cp.graph, inputs=inputs,
+            checkpoint=CheckpointConfig(cut_dir, interval=30, retain=2),
+        )
+        interrupted.run(stop_at_checkpoint=90)  # pause, then abandon
+
+        resumed = Machine.resume(cut_dir)
+        assert resumed.now == 60  # newest periodic snapshot
+        resumed.run()
+
+        cut_stats = resumed.ckpt.stats
+        assert cut_stats.snapshots_written == base_stats.snapshots_written
+        assert cut_stats.snapshots_pruned == base_stats.snapshots_pruned
+        assert (
+            cut_stats.last_snapshot_cycle == base_stats.last_snapshot_cycle
+        )
+        assert sorted(p.name for p in cut_dir.glob("ckpt-*.snap")) == sorted(
+            p.name for p in base_dir.glob("ckpt-*.snap")
+        )
+        assert resumed.outputs() == baseline.outputs()

@@ -6,6 +6,7 @@ future format version -- must surface as a typed
 :class:`~repro.errors.SnapshotError` *before* any unpickling happens.
 """
 
+import os
 import struct
 
 import pytest
@@ -18,7 +19,7 @@ from repro.checkpoint import (
     save_snapshot,
     snapshot_cycle,
 )
-from repro.checkpoint.snapshot import _HEADER, MAGIC
+from repro.checkpoint.snapshot import _HEADER, MAGIC, _atomic_write
 from repro.errors import SnapshotError
 from repro.graph.graph import DataflowGraph
 from repro.graph.opcodes import Op
@@ -120,12 +121,43 @@ class TestLatestSnapshot:
         save_snapshot(m, tmp_path / "ckpt-000000000100.snap")
         save_snapshot(m, tmp_path / "failure-000000000100.snap")
         assert latest_snapshot(tmp_path).name == "ckpt-000000000100.snap"
+        assert (
+            latest_snapshot(tmp_path, include_failures=True).name
+            == "ckpt-000000000100.snap"
+        )
 
-    def test_failure_snapshot_found_when_newest(self, tmp_path):
+    def test_newer_failure_snapshot_does_not_hijack_resume(self, tmp_path):
+        # regression: a failure snapshot pins an already-wedged machine;
+        # resume-from-directory must prefer the last *good* periodic
+        # snapshot even when the failure one is newer
         m = _machine()
         save_snapshot(m, tmp_path / "ckpt-000000000100.snap")
         save_snapshot(m, tmp_path / "failure-000000000250.snap")
-        assert latest_snapshot(tmp_path).name == "failure-000000000250.snap"
+        assert latest_snapshot(tmp_path).name == "ckpt-000000000100.snap"
+        assert (
+            latest_snapshot(tmp_path, include_failures=True).name
+            == "failure-000000000250.snap"
+        )
+
+    def test_timeout_snapshot_stays_resumable(self, tmp_path):
+        # a timed-out machine was still making progress; its snapshot
+        # is a valid (if last-ranked) resume point
+        m = _machine()
+        save_snapshot(m, tmp_path / "ckpt-000000000100.snap")
+        save_snapshot(m, tmp_path / "timeout-000000000250.snap")
+        assert latest_snapshot(tmp_path).name == "timeout-000000000250.snap"
+
+    def test_failure_only_directory_refuses_implicit_load(self, tmp_path):
+        m = _machine()
+        save_snapshot(m, tmp_path / "failure-000000000250.snap")
+        assert latest_snapshot(tmp_path) is None
+        with pytest.raises(SnapshotError, match="wedged"):
+            load_machine(tmp_path)
+        # naming the file explicitly still loads it for forensics
+        loaded = load_machine(
+            tmp_path / "failure-000000000250.snap", expected_cls=Machine
+        )
+        assert isinstance(loaded, Machine)
 
     def test_unrelated_files_ignored(self, tmp_path):
         m = _machine()
@@ -133,3 +165,47 @@ class TestLatestSnapshot:
         (tmp_path / "random-junk.snap").write_bytes(b"xx")
         (tmp_path / "manifest.json").write_text("{}")
         assert latest_snapshot(tmp_path).name == "ckpt-000000000100.snap"
+
+
+class TestAtomicWrite:
+    def test_another_writers_in_flight_temp_survives(self, tmp_path):
+        # regression: the temp name used to be the fixed sibling
+        # <name>.tmp, so a second writer truncated the first one's
+        # in-flight data; per-writer unique names must leave it alone
+        target = tmp_path / "x.snap"
+        in_flight = tmp_path / "x.snap.tmp"
+        in_flight.write_bytes(b"other writer's partial snapshot")
+        _atomic_write(target, b"mine")
+        assert in_flight.read_bytes() == b"other writer's partial snapshot"
+        assert target.read_bytes() == b"mine"
+
+    def test_temp_names_unique_and_cleaned_up(self, tmp_path, monkeypatch):
+        import repro.checkpoint.snapshot as snap_mod
+
+        target = tmp_path / "x.snap"
+        seen = []
+        real_replace = os.replace
+
+        def recording_replace(src, dst):
+            seen.append(str(src))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(snap_mod.os, "replace", recording_replace)
+        _atomic_write(target, b"one")
+        _atomic_write(target, b"two")
+        assert len(set(seen)) == 2
+        assert target.read_bytes() == b"two"
+        assert list(tmp_path.glob("*.tmp*")) == []
+
+    def test_failed_write_leaves_no_temp_behind(self, tmp_path, monkeypatch):
+        import repro.checkpoint.snapshot as snap_mod
+
+        target = tmp_path / "x.snap"
+
+        def failing_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(snap_mod.os, "replace", failing_replace)
+        with pytest.raises(OSError, match="disk full"):
+            _atomic_write(target, b"doomed")
+        assert list(tmp_path.iterdir()) == []

@@ -8,7 +8,7 @@ even-loop-length requirement, FIFO semantics, gating and merging.
 
 import pytest
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, SimulationError, SimulationTimeout
 from repro.graph import (
     GATE_PORT,
     MERGE_CONTROL_PORT,
@@ -414,3 +414,35 @@ class TestToddCounter:
         g.connect(cmp_cell, sink, 0)
         res = run_graph(g, {})
         assert res.outputs["y"] == [True] * 5 + [False] * 5
+
+
+class TestMaxStepsBoundary:
+    """``run(max_steps=N)`` allows N steps; a graph whose final firing
+    lands exactly on step N has quiesced, not overrun the budget."""
+
+    def _steps_to_quiesce(self):
+        full = SyncSimulator(chain_graph(1), {"x": [1, 2, 3]})
+        full.run()
+        # the counted final step fired nothing (that is how quiescence
+        # is detected), so the last *firing* step is one earlier
+        return full.step_count - 1, full
+
+    def test_quiescing_on_the_final_allowed_step_is_not_a_timeout(self):
+        last_firing, full = self._steps_to_quiesce()
+        sim = SyncSimulator(chain_graph(1), {"x": [1, 2, 3]})
+        stats = sim.run(max_steps=last_firing)  # regression: used to raise
+        assert stats.total_firings == full.stats.total_firings
+        assert sim.sink_records == full.sink_records
+
+    def test_one_step_short_still_times_out(self):
+        last_firing, _ = self._steps_to_quiesce()
+        sim = SyncSimulator(chain_graph(1), {"x": [1, 2, 3]})
+        with pytest.raises(SimulationTimeout):
+            sim.run(max_steps=last_firing - 1)
+
+    def test_genuinely_unfinished_graph_times_out_at_the_boundary(self):
+        # plenty of tokens left: exhausting the budget mid-stream must
+        # still raise even though the final step did fire something
+        sim = SyncSimulator(chain_graph(1), {"x": list(range(50))})
+        with pytest.raises(SimulationTimeout):
+            sim.run(max_steps=5)
