@@ -1,15 +1,21 @@
-"""Crash-consistent checkpointing, resume and deterministic replay.
+"""Crash-consistent checkpointing, resume, replay and supervision.
 
-The three layers (see DESIGN.md section 8):
+The four layers (see DESIGN.md section 8):
 
 * :mod:`repro.checkpoint.snapshot` -- the versioned, checksummed,
-  atomically-written on-disk snapshot format;
+  atomically-written on-disk snapshot format (v2: self-describing
+  JSON metadata over a restricted-unpickler payload; legacy v1 reads
+  behind ``allow_legacy=True`` and migrates in place);
 * :mod:`repro.checkpoint.manager` -- periodic snapshot scheduling,
-  retention, failure diagnosis bundles and the record manifest;
+  retention, out-of-band live snapshots, failure diagnosis bundles and
+  the record manifest;
 * :mod:`repro.checkpoint.replay` -- event-trace digests, bit-exact
   re-execution of recorded runs, and binary search over the digest
   ledger for the first divergent checkpoint window
-  (:func:`bisect_divergence`).
+  (:func:`bisect_divergence`);
+* :mod:`repro.checkpoint.supervisor` -- an always-on crash-recovery
+  loop (resume on crash with exponential backoff + jitter, restart
+  budget, poisoned-snapshot quarantine and step-back).
 
 Quick use::
 
@@ -22,7 +28,7 @@ Quick use::
     m.run()                                          # bit-identical finish
 """
 
-from ..errors import ManifestError, SnapshotError
+from ..errors import ManifestError, SnapshotError, SupervisorError
 from .manager import CheckpointConfig, CheckpointManager
 from .replay import (
     DivergenceReport,
@@ -35,27 +41,44 @@ from .replay import (
 )
 from .snapshot import (
     FORMAT_VERSION,
+    LEGACY_VERSION,
     latest_snapshot,
     load_machine,
+    migrate_snapshot,
+    read_metadata,
     read_snapshot,
     save_snapshot,
     snapshot_cycle,
 )
+from .supervisor import (
+    AttemptRecord,
+    Supervisor,
+    SupervisorConfig,
+    SupervisorReport,
+)
 
 __all__ = [
+    "AttemptRecord",
     "CheckpointConfig",
     "CheckpointManager",
     "DivergenceReport",
     "EventTrace",
     "FORMAT_VERSION",
+    "LEGACY_VERSION",
     "ManifestError",
     "ReplayReport",
     "SnapshotError",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisorError",
+    "SupervisorReport",
     "bisect_divergence",
     "latest_snapshot",
     "load_machine",
+    "migrate_snapshot",
     "outputs_digest",
     "read_manifest",
+    "read_metadata",
     "read_snapshot",
     "replay_bundle",
     "save_snapshot",

@@ -117,6 +117,21 @@ class CheckpointManager:
             )
         return path
 
+    def save_live(self, machine: Any, reason: str = "live") -> Path:
+        """Snapshot a live run at an out-of-band request point.
+
+        Written as ``live-<cycle>.snap`` when the event loop drains a
+        :meth:`repro.machine.Machine.request_snapshot` (e.g. from the
+        SIGUSR1 handler or a supervising process).  Live snapshots are
+        full resume points but are neither retention-pruned nor added
+        to the record ledger -- they are taken between events rather
+        than at a ``checkpoint_tick``, so a replay probe could not
+        pause at their capture point to compare digests.
+        """
+        name = f"live-{machine.now:012d}.snap"
+        self.stats.live_snapshots += 1
+        return self._save(machine, name, reason)
+
     def save_failure(self, machine: Any, error: Exception) -> Path:
         """Snapshot the wedged machine and write a diagnosis bundle,
         then attach the snapshot path to the error.
@@ -177,7 +192,13 @@ class CheckpointManager:
         self.stats.last_snapshot_cycle = machine.now
         t0 = time.perf_counter()
         path = save_snapshot(machine, self.directory / name, reason)
-        self.stats.seconds_spent += time.perf_counter() - t0
+        elapsed = time.perf_counter() - t0
+        self.stats.seconds_spent += elapsed
+        # per-snapshot latency samples for p50/p99 reporting; bounded
+        # so a service-length run cannot grow its own snapshots
+        self.stats.latencies.append(elapsed)
+        if len(self.stats.latencies) > 8192:
+            del self.stats.latencies[:4096]
         self.stats.bytes_written += path.stat().st_size
         return path
 

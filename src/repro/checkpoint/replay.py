@@ -327,6 +327,9 @@ class _PassiveCheckpoint:
         )
         return None
 
+    def save_live(self, machine: Any, reason: str = "live") -> None:
+        return None
+
     def save_failure(self, machine: Any, error: Exception) -> None:
         return None
 

@@ -3,32 +3,52 @@
 A snapshot file carries one serialized :class:`repro.machine.Machine`
 mid-run -- event heap, operand registers, retransmission queues,
 sequence numbers, fault-plan RNG cursor, unit health and statistics --
-wrapped in a self-describing binary envelope:
+wrapped in a self-describing **format v2** envelope:
 
 ====== ======= ====================================================
 offset size    field
 ====== ======= ====================================================
 0      8       magic ``b"RPROSNAP"``
-8      4       format version (big-endian; currently 1)
-12     8       payload length in bytes (big-endian)
-20     32      SHA-256 of the payload
-52     n       payload: pickled ``{"machine", "cycle", "reason"}``
+8      4       format version (big-endian; currently 2)
+12     8       metadata length in bytes (big-endian)
+20     32      SHA-256 of the metadata section
+52     8       payload length in bytes (big-endian)
+60     32      SHA-256 of the payload
+92     m       metadata: UTF-8 JSON object (format/code version,
+               workload id, cycle, reason, run statistics)
+92+m   n       payload: pickled ``{"machine", "cycle", "reason"}``
 ====== ======= ====================================================
 
-The envelope is validated *before* any unpickling, so a truncated,
-corrupted or foreign file raises a typed
-:class:`~repro.errors.SnapshotError` instead of a pickle crash.  Writes
-go to a temporary file in the target directory, are fsynced, and are
-published with an atomic ``os.replace`` -- a snapshot either exists
-completely or not at all.
+The metadata section is plain JSON and is readable (and checksum
+verifiable) without deserializing any machine state --
+:func:`read_metadata` and ``repro snapshot inspect`` never touch the
+payload.  The payload itself is decoded through a **restricted
+unpickler**: only classes defined inside the ``repro`` package plus a
+short allowlist of stdlib container types may be referenced; any other
+global (``os.system``, ``builtins.eval``, a dotted attribute chain)
+raises a typed :class:`~repro.errors.SnapshotError` *before* any
+object is constructed.  Snapshots therefore no longer need to be
+treated as a trusted format -- hostile or stale bytes fail closed.
 
-Snapshots contain pickled code references and are a *trusted* format:
-only load files your own runs produced.
+The envelope is validated (magic, version, lengths, both checksums)
+before any decoding, so a truncated, corrupted or foreign file raises
+a typed :class:`~repro.errors.SnapshotError` instead of a pickle
+crash.  Writes go to a temporary file in the target directory, are
+fsynced, and are published with an atomic ``os.replace`` -- a snapshot
+either exists completely or not at all.
+
+Format v1 files (the pre-v2 layout: one 52-byte header over an
+unrestricted pickle) still load behind an explicit
+``allow_legacy=True`` / ``--allow-v1`` opt-in, and
+:func:`migrate_snapshot` (CLI: ``repro snapshot migrate``) rewrites
+them to v2 in place with checksum verification on both sides.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
+import json
 import os
 import pickle
 import struct
@@ -39,12 +59,86 @@ from typing import Any, Optional, Union
 from ..errors import SnapshotError
 
 MAGIC = b"RPROSNAP"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: the pre-metadata, unrestricted-pickle format still readable behind
+#: ``allow_legacy=True``
+LEGACY_VERSION = 1
 
-#: magic(8s) + version(I) + payload length(Q) + payload sha256(32s)
-_HEADER = struct.Struct(">8sIQ32s")
+#: v2: magic(8s) + version(I) + meta len(Q) + meta sha256(32s)
+#:     + payload length(Q) + payload sha256(32s)
+_HEADER = struct.Struct(">8sIQ32sQ32s")
+#: v1: magic(8s) + version(I) + payload length(Q) + payload sha256(32s)
+_HEADER_V1 = struct.Struct(">8sIQ32s")
 
 
+# ----------------------------------------------------------------------
+# restricted unpickling
+# ----------------------------------------------------------------------
+#: stdlib globals a machine pickle may legitimately reference.  The
+#: set is deliberately tiny -- container types and the seeded RNG --
+#: and was derived by enumerating ``find_class`` calls over real
+#: snapshots of every paper-figure workload.
+_STDLIB_ALLOWLIST: dict[str, frozenset[str]] = {
+    "builtins": frozenset(
+        {"set", "frozenset", "complex", "bytearray", "range", "slice",
+         "object"}
+    ),
+    "collections": frozenset({"deque", "OrderedDict", "Counter"}),
+    "random": frozenset({"Random"}),
+}
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Unpickler that refuses every global outside the allowlist.
+
+    ``find_class`` is the only gate through which a pickle stream can
+    reach callables, so rejecting here stops gadget payloads
+    (``os.system``, ``builtins.eval``, ...) before any object is
+    constructed.  Dotted names are rejected outright: protocol-4
+    ``STACK_GLOBAL`` resolves them with a ``getattr`` chain, which
+    would let ``("repro.checkpoint.snapshot", "os.system")`` escape a
+    plain module prefix check.
+    """
+
+    def find_class(self, module: str, name: str) -> Any:
+        if "." in name:
+            raise SnapshotError(
+                f"snapshot payload references dotted global "
+                f"{module}.{name}; refusing to traverse attributes"
+            )
+        if module == "repro" or module.startswith("repro."):
+            obj = super().find_class(module, name)
+            # a bare `import os` inside a repro module would otherwise
+            # be reachable as ("repro.x", "os"); require the resolved
+            # object to be *defined* in this package
+            if getattr(obj, "__module__", "").split(".")[0] != "repro":
+                raise SnapshotError(
+                    f"snapshot payload references {module}.{name}, which "
+                    f"is not defined inside the repro package"
+                )
+            return obj
+        allowed = _STDLIB_ALLOWLIST.get(module)
+        if allowed is not None and name in allowed:
+            return super().find_class(module, name)
+        raise SnapshotError(
+            f"snapshot payload references forbidden global "
+            f"{module}.{name}; only repro.* classes and allowlisted "
+            f"stdlib containers may appear in a snapshot"
+        )
+
+
+def _restricted_loads(payload: bytes, where: str) -> Any:
+    try:
+        return _RestrictedUnpickler(io.BytesIO(payload)).load()
+    except SnapshotError:
+        raise
+    except Exception as exc:   # checksummed yet undecodable: version skew
+        raise SnapshotError(f"{where} cannot be deserialized: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# atomic writes
+# ----------------------------------------------------------------------
 def _atomic_write(path: Path, data: bytes) -> None:
     """Write ``data`` to ``path`` with write-then-rename atomicity.
 
@@ -79,14 +173,76 @@ def _atomic_write(path: Path, data: bytes) -> None:
         os.close(dirfd)
 
 
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def snapshot_metadata(machine: Any, reason: str = "periodic") -> dict[str, Any]:
+    """The self-describing JSON metadata section for one snapshot.
+
+    Everything here is derivable without the payload, deliberately
+    free of wall-clock timestamps (snapshots of identical machine
+    states are byte-identical), and safe to show for an untrusted
+    file -- ``repro snapshot inspect`` prints exactly this.
+    """
+    from .. import __version__
+
+    stats: dict[str, Any] = {
+        "events_pending": len(getattr(machine, "_events", ())),
+        "progress": getattr(machine, "_progress", 0),
+    }
+    sink_progress = getattr(machine, "_sink_progress", None)
+    if callable(sink_progress):
+        stats["sinks"] = {
+            stream: list(pair) for stream, pair in sink_progress().items()
+        }
+    ckpt = getattr(machine, "ckpt", None)
+    if ckpt is not None:
+        stats["snapshots_written"] = ckpt.stats.snapshots_written
+    return {
+        "format": FORMAT_VERSION,
+        "code_version": __version__,
+        "workload": getattr(machine, "workload_id", None),
+        "cycle": machine.now,
+        "reason": reason,
+        "stats": stats,
+    }
+
+
+def _pack_envelope(meta: dict[str, Any], payload: bytes) -> bytes:
+    meta_bytes = json.dumps(meta, sort_keys=True, default=repr).encode("utf-8")
+    header = _HEADER.pack(
+        MAGIC,
+        FORMAT_VERSION,
+        len(meta_bytes),
+        hashlib.sha256(meta_bytes).digest(),
+        len(payload),
+        hashlib.sha256(payload).digest(),
+    )
+    return header + meta_bytes + payload
+
+
 def snapshot_bytes(machine: Any, reason: str = "periodic") -> bytes:
-    """Serialize ``machine`` into the snapshot envelope."""
+    """Serialize ``machine`` into the v2 snapshot envelope."""
     payload = pickle.dumps(
         {"machine": machine, "cycle": machine.now, "reason": reason},
         protocol=pickle.HIGHEST_PROTOCOL,
     )
-    header = _HEADER.pack(
-        MAGIC, FORMAT_VERSION, len(payload), hashlib.sha256(payload).digest()
+    return _pack_envelope(snapshot_metadata(machine, reason), payload)
+
+
+def _snapshot_bytes_v1(machine: Any, reason: str = "periodic") -> bytes:
+    """Serialize ``machine`` into the legacy v1 envelope.
+
+    Kept (private) so the migration fixtures and the v1-vs-v2 codec
+    benchmark can produce bit-faithful legacy files; nothing in the
+    write path uses it.
+    """
+    payload = pickle.dumps(
+        {"machine": machine, "cycle": machine.now, "reason": reason},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    header = _HEADER_V1.pack(
+        MAGIC, LEGACY_VERSION, len(payload), hashlib.sha256(payload).digest()
     )
     return header + payload
 
@@ -101,61 +257,209 @@ def save_snapshot(
     return path
 
 
-def read_snapshot(path: Union[str, Path]) -> dict[str, Any]:
-    """Validate and deserialize one snapshot file into its payload dict.
-
-    Raises :class:`SnapshotError` for every damage mode: missing file,
-    bad magic, unsupported format version, truncation, or checksum
-    mismatch.
-    """
-    path = Path(path)
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def _read_raw(path: Path) -> bytes:
     try:
-        raw = path.read_bytes()
+        return path.read_bytes()
     except FileNotFoundError:
         raise SnapshotError(f"snapshot {path} does not exist") from None
     except OSError as exc:
         raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
-    if len(raw) < _HEADER.size:
+
+
+def _split_envelope(path: Path, raw: bytes) -> tuple[int, bytes, bytes]:
+    """Validate the envelope and return ``(version, meta_bytes,
+    payload)``; ``meta_bytes`` is empty for v1 files.
+
+    Every check here runs before any JSON or pickle decoding: magic,
+    version, section lengths (no truncation, no trailing garbage) and
+    both SHA-256 checksums.
+    """
+    if len(raw) < _HEADER_V1.size:
         raise SnapshotError(
             f"snapshot {path} is truncated: {len(raw)} bytes is shorter "
-            f"than the {_HEADER.size}-byte header"
+            f"than the {_HEADER_V1.size}-byte header"
         )
-    magic, version, length, digest = _HEADER.unpack_from(raw)
+    magic, version = struct.unpack_from(">8sI", raw)
     if magic != MAGIC:
         raise SnapshotError(f"{path} is not a repro snapshot (bad magic)")
+    if version == LEGACY_VERSION:
+        _, _, length, digest = _HEADER_V1.unpack_from(raw)
+        payload = raw[_HEADER_V1.size:]
+        if len(payload) != length:
+            raise SnapshotError(
+                f"snapshot {path} is truncated: header promises {length} "
+                f"payload bytes, file holds {len(payload)}"
+            )
+        if hashlib.sha256(payload).digest() != digest:
+            raise SnapshotError(
+                f"snapshot {path} failed its checksum: the file is corrupted"
+            )
+        return version, b"", payload
     if version != FORMAT_VERSION:
         raise SnapshotError(
             f"snapshot {path} has format version {version}; this build "
-            f"reads version {FORMAT_VERSION}"
+            f"reads versions {LEGACY_VERSION} and {FORMAT_VERSION}"
         )
-    payload = raw[_HEADER.size:]
-    if len(payload) != length:
+    if len(raw) < _HEADER.size:
         raise SnapshotError(
-            f"snapshot {path} is truncated: header promises {length} "
-            f"payload bytes, file holds {len(payload)}"
+            f"snapshot {path} is truncated: {len(raw)} bytes is shorter "
+            f"than the {_HEADER.size}-byte v2 header"
         )
-    if hashlib.sha256(payload).digest() != digest:
+    (_, _, meta_len, meta_digest, payload_len, payload_digest) = (
+        _HEADER.unpack_from(raw)
+    )
+    expected = _HEADER.size + meta_len + payload_len
+    if len(raw) != expected:
         raise SnapshotError(
-            f"snapshot {path} failed its checksum: the file is corrupted"
+            f"snapshot {path} is damaged: header promises {expected} "
+            f"bytes total, file holds {len(raw)}"
         )
+    meta_bytes = raw[_HEADER.size:_HEADER.size + meta_len]
+    payload = raw[_HEADER.size + meta_len:]
+    if hashlib.sha256(meta_bytes).digest() != meta_digest:
+        raise SnapshotError(
+            f"snapshot {path} failed its metadata checksum: the file is "
+            f"corrupted"
+        )
+    if hashlib.sha256(payload).digest() != payload_digest:
+        raise SnapshotError(
+            f"snapshot {path} failed its payload checksum: the file is "
+            f"corrupted"
+        )
+    return version, meta_bytes, payload
+
+
+def _decode_meta(path: Path, meta_bytes: bytes) -> dict[str, Any]:
     try:
-        data = pickle.loads(payload)
-    except Exception as exc:   # checksummed yet unpicklable: version skew
+        meta = json.loads(meta_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise SnapshotError(
-            f"snapshot {path} cannot be deserialized: {exc}"
+            f"snapshot {path} has an unreadable metadata section: {exc}"
         ) from exc
+    if not isinstance(meta, dict):
+        raise SnapshotError(
+            f"snapshot {path} metadata is not a JSON object"
+        )
+    return meta
+
+
+def read_metadata(path: Union[str, Path]) -> dict[str, Any]:
+    """Read a snapshot's self-describing metadata without deserializing
+    any machine state.
+
+    For v2 files this returns the embedded JSON metadata section (with
+    ``"checksum": "ok"`` added -- both section checksums are verified
+    on the way).  For v1 files, which carry no metadata, it returns
+    what the envelope alone reveals plus a migration hint.  The
+    payload is never unpickled, so this is safe on untrusted files.
+    """
+    path = Path(path)
+    raw = _read_raw(path)
+    version, meta_bytes, payload = _split_envelope(path, raw)
+    if version == LEGACY_VERSION:
+        return {
+            "format": LEGACY_VERSION,
+            "payload_bytes": len(payload),
+            "checksum": "ok",
+            "hint": (
+                "legacy v1 snapshot (no metadata section, unrestricted "
+                "pickle); run `repro snapshot migrate` to rewrite it as "
+                "v2, or load it with --allow-v1 / allow_legacy=True"
+            ),
+        }
+    meta = _decode_meta(path, meta_bytes)
+    meta["payload_bytes"] = len(payload)
+    meta["checksum"] = "ok"
+    return meta
+
+
+def read_snapshot(
+    path: Union[str, Path], allow_legacy: bool = False
+) -> dict[str, Any]:
+    """Validate and deserialize one snapshot file into its payload dict.
+
+    Raises :class:`SnapshotError` for every damage mode: missing file,
+    bad magic, unsupported format version, truncation, trailing
+    garbage, checksum mismatch on either section, undecodable
+    metadata, or a payload that references any global outside the
+    restricted-unpickler allowlist.  Legacy v1 files are refused
+    unless ``allow_legacy=True`` (they decode through the same
+    restricted unpickler).  The returned dict carries the payload
+    fields (``machine``, ``cycle``, ``reason``) plus the metadata
+    section under ``"meta"``.
+    """
+    path = Path(path)
+    raw = _read_raw(path)
+    version, meta_bytes, payload = _split_envelope(path, raw)
+    if version == LEGACY_VERSION:
+        if not allow_legacy:
+            raise SnapshotError(
+                f"snapshot {path} uses legacy format v1; migrate it with "
+                f"`repro snapshot migrate {path}`, or opt in explicitly "
+                f"with --allow-v1 / allow_legacy=True"
+            )
+        meta: dict[str, Any] = {"format": LEGACY_VERSION}
+    else:
+        meta = _decode_meta(path, meta_bytes)
+    data = _restricted_loads(payload, f"snapshot {path}")
     if not isinstance(data, dict) or "machine" not in data:
         raise SnapshotError(f"snapshot {path} has an unexpected payload")
+    data["meta"] = meta
     return data
 
 
-def snapshot_cycle(path: Union[str, Path]) -> int:
-    """The cycle a snapshot was taken at, from the envelope payload."""
-    return int(read_snapshot(path)["cycle"])
+def snapshot_cycle(
+    path: Union[str, Path], allow_legacy: bool = False
+) -> int:
+    """The cycle a snapshot was taken at.
+
+    Read from the v2 metadata section when available (no payload
+    deserialization); v1 files fall back to decoding the payload and
+    honour the same ``allow_legacy`` gate as :func:`read_snapshot`.
+    """
+    meta = read_metadata(path)
+    if "cycle" in meta:
+        return int(meta["cycle"])
+    return int(read_snapshot(path, allow_legacy=allow_legacy)["cycle"])
+
+
+def migrate_snapshot(path: Union[str, Path]) -> str:
+    """Rewrite a legacy v1 snapshot to format v2 in place.
+
+    The v1 payload checksum is verified before decoding (through the
+    restricted unpickler), the rewritten file is re-read and
+    re-verified end to end before the function returns, and the write
+    itself is atomic -- a crash mid-migration leaves the original
+    file untouched.  Returns ``"migrated"`` or ``"already-v2"``.
+    """
+    path = Path(path)
+    raw = _read_raw(path)
+    version, _, payload = _split_envelope(path, raw)
+    if version == FORMAT_VERSION:
+        return "already-v2"
+    data = _restricted_loads(payload, f"snapshot {path}")
+    if not isinstance(data, dict) or "machine" not in data:
+        raise SnapshotError(f"snapshot {path} has an unexpected payload")
+    reason = str(data.get("reason", "migrated"))
+    meta = snapshot_metadata(data["machine"], reason)
+    # keep the original payload byte-for-byte: migration must not
+    # re-serialize state it merely re-wraps
+    _atomic_write(path, _pack_envelope(meta, payload))
+    check = read_snapshot(path)
+    if check["cycle"] != data.get("cycle") or check["reason"] != reason:
+        raise SnapshotError(
+            f"migration self-check failed for {path}: rewritten payload "
+            f"does not match the original"
+        )
+    return "migrated"
 
 
 #: snapshot name prefixes ranked for resume preference at equal cycles
-_PREFIX_RANK = {"initial": 3, "ckpt": 2, "timeout": 1, "failure": 0}
+_PREFIX_RANK = {"initial": 4, "ckpt": 3, "live": 2, "timeout": 1,
+                "failure": 0}
 
 
 def latest_snapshot(
@@ -164,19 +468,21 @@ def latest_snapshot(
     """The newest *resumable* snapshot in a checkpoint directory.
 
     File names encode their cycle (``ckpt-<cycle>.snap``,
-    ``timeout-<cycle>.snap``, ``failure-<cycle>.snap``;
-    ``initial.snap`` is cycle 0), so no file needs to be opened to pick
-    the resume point.
+    ``live-<cycle>.snap``, ``timeout-<cycle>.snap``,
+    ``failure-<cycle>.snap``; ``initial.snap`` is cycle 0), so no file
+    needs to be opened to pick the resume point.
 
     Resume-from-directory wants the last *good* state: a
     ``failure-*.snap`` pins a machine that is already wedged, so
     resuming it would immediately re-fail.  By default only
-    initial/periodic/timeout snapshots are considered -- a timed-out
-    machine was still making progress and resumes usefully with a
-    larger ``max_cycles`` -- and failure snapshots are loadable only
-    when named explicitly (or with ``include_failures=True``).  At
-    equal cycles a periodic snapshot beats a timeout one beats a
-    failure one.
+    initial/periodic/live/timeout snapshots are considered -- a
+    timed-out machine was still making progress and resumes usefully
+    with a larger ``max_cycles`` -- and failure snapshots are loadable
+    only when named explicitly (or with ``include_failures=True``).
+    At equal cycles a periodic snapshot beats a live (out-of-band) one
+    beats a timeout one beats a failure one.  Quarantined snapshots
+    (renamed ``*.snap.poisoned`` by the supervisor) no longer match
+    the glob and are skipped naturally.
     """
     directory = Path(directory)
     best: Optional[tuple[int, int, Path]] = None
@@ -197,12 +503,16 @@ def latest_snapshot(
 
 
 def load_machine(
-    source: Union[str, Path], expected_cls: Optional[type] = None
+    source: Union[str, Path],
+    expected_cls: Optional[type] = None,
+    allow_legacy: bool = False,
 ) -> Any:
     """Load the machine held by a snapshot file or checkpoint directory.
 
     The deserialized event heap is checked against the machine's event
     vocabulary so a tampered payload cannot smuggle handler names in.
+    ``allow_legacy`` gates v1 files exactly as in
+    :func:`read_snapshot`.
     """
     path = Path(source)
     if path.is_dir():
@@ -218,7 +528,7 @@ def load_machine(
                 )
             raise SnapshotError(f"no snapshots in directory {path}")
         path = found
-    machine = read_snapshot(path)["machine"]
+    machine = read_snapshot(path, allow_legacy=allow_legacy)["machine"]
     if expected_cls is not None and not isinstance(machine, expected_cls):
         raise SnapshotError(
             f"snapshot {path} holds a {type(machine).__name__}, "
@@ -230,4 +540,7 @@ def load_machine(
             raise SnapshotError(
                 f"snapshot {path} schedules unknown event kind {kind!r}"
             )
+    # machines pickled by builds that predate out-of-band snapshots
+    # lack the request queue; backfill so the event loop can run them
+    machine.__dict__.setdefault("_snap_requests", [])
     return machine

@@ -12,6 +12,13 @@ programs from the shell.
     python -m repro resume ckpts
     python -m repro replay ckpts
     python -m repro bisect ckpts --perturb-plan perturb.json
+    python -m repro snapshot inspect ckpts/ckpt-000000005000.snap
+    python -m repro snapshot migrate old-ckpts/
+    python -m repro supervise fig7 --dir ckpts --interval 5000
+
+While ``checkpoint``/``resume``/``supervise`` children run, SIGUSR1
+takes an out-of-band ``live-<cycle>.snap`` snapshot without stopping
+the simulation.
 
 Inputs are a JSON object mapping array names to lists (or to
 ``[lo, [values...]]`` pairs for arrays with a nonzero lower bound).
@@ -21,12 +28,22 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+from pathlib import Path
 from typing import Any, Optional
 
-from .checkpoint import CheckpointConfig, bisect_divergence, replay_bundle
+from .checkpoint import (
+    CheckpointConfig,
+    Supervisor,
+    SupervisorConfig,
+    bisect_divergence,
+    migrate_snapshot,
+    read_metadata,
+    replay_bundle,
+)
 from .compiler import compile_program
-from .errors import DeadlockError, ReproError, SimulationTimeout
+from .errors import DeadlockError, ReproError, SimulationTimeout, SnapshotError
 from .faults import FaultPlan
 from .graph.asm import read_asm, to_asm
 from .graph.dot import to_dot
@@ -217,9 +234,33 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if ok else 3
 
 
+def _install_live_snapshot_handler(machine: Machine) -> None:
+    """Wire SIGUSR1 to an out-of-band snapshot of the running machine.
+
+    A supervising process (or an operator) can snapshot a live run
+    without stopping it: the handler only queues a request, which the
+    event loop drains at its next safe point.  No-op on platforms
+    without SIGUSR1 or off the main thread.
+    """
+    if machine.ckpt is None or not hasattr(signal, "SIGUSR1"):
+        return
+
+    def handler(signum, frame):
+        try:
+            machine.request_snapshot("sigusr1")
+        except SnapshotError:
+            pass        # manager detached mid-run; nothing to write to
+
+    try:
+        signal.signal(signal.SIGUSR1, handler)
+    except ValueError:  # not the main thread
+        pass
+
+
 def _finish_run(machine: Machine, max_cycles: int,
                 crash_at: Optional[int] = None) -> int:
     """Run ``machine`` to completion, reporting failure snapshots."""
+    _install_live_snapshot_handler(machine)
     try:
         stats = machine.run(max_cycles=max_cycles, crash_at=crash_at)
     except (DeadlockError, SimulationTimeout) as exc:
@@ -248,6 +289,7 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
     machine = Machine(
         program.graph, inputs=inputs, fault_plan=plan, checkpoint=cfg
     )
+    machine.workload_id = f"{args.workload}[m={args.size}]"
     if plan is not None:
         print(f"# plan: {plan.describe()}", file=sys.stderr)
     print(
@@ -259,9 +301,101 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
-    machine = Machine.resume(args.snapshot)
+    machine = Machine.resume(args.snapshot, allow_legacy=args.allow_v1)
     print(f"# resumed at cycle {machine.now}", file=sys.stderr)
-    return _finish_run(machine, args.max_cycles)
+    return _finish_run(machine, args.max_cycles, crash_at=args.crash_at)
+
+
+def cmd_snapshot_inspect(args: argparse.Namespace) -> int:
+    meta = read_metadata(args.file)
+    meta["path"] = str(args.file)
+    json.dump(meta, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    if meta.get("format") == 1:
+        print(
+            f"# legacy v1 snapshot; migrate with: "
+            f"python -m repro snapshot migrate {args.file}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_snapshot_migrate(args: argparse.Namespace) -> int:
+    path = Path(args.target)
+    files = sorted(path.glob("*.snap")) if path.is_dir() else [path]
+    if not files:
+        print(f"error: no *.snap files in {path}", file=sys.stderr)
+        return 1
+    migrated = 0
+    for snap in files:
+        outcome = migrate_snapshot(snap)
+        print(f"{snap}: {outcome}", file=sys.stderr)
+        migrated += outcome == "migrated"
+    print(
+        f"# migrated {migrated} of {len(files)} snapshot(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_supervise(args: argparse.Namespace) -> int:
+    start_argv = [
+        sys.executable, "-m", "repro", "checkpoint", args.workload,
+        "--size", str(args.size), "--input-seed", str(args.input_seed),
+        "--dir", args.dir, "--interval", str(args.interval),
+        "--retain", str(args.retain), "--max-cycles", str(args.max_cycles),
+    ]
+    if args.record:
+        start_argv.append("--record")
+    if args.plan:
+        start_argv += ["--plan", args.plan]
+    if args.seed is not None:
+        start_argv += ["--seed", str(args.seed)]
+    for flag in ("drop_result", "dup_result", "corrupt_result",
+                 "drop_ack", "dup_ack"):
+        value = getattr(args, flag)
+        if value:
+            start_argv += [f"--{flag.replace('_', '-')}", str(value)]
+
+    def resume_argv(directory: Path) -> list[str]:
+        return [
+            sys.executable, "-m", "repro", "resume", str(directory),
+            "--max-cycles", str(args.max_cycles),
+        ]
+
+    extra = [
+        ["--crash-at", cycle]
+        for cycle in (args.inject_crash.split(",") if args.inject_crash
+                      else [])
+    ]
+    supervisor = Supervisor(
+        start_argv,
+        SupervisorConfig(
+            args.dir,
+            max_restarts=args.max_restarts,
+            backoff_base=args.backoff_base,
+            backoff_factor=args.backoff_factor,
+            backoff_max=args.backoff_max,
+            jitter=args.backoff_jitter,
+            seed=args.backoff_seed,
+        ),
+        resume_argv=resume_argv,
+        extra_args=extra,
+    )
+    report = supervisor.run()
+    print(f"# {report.summary()}", file=sys.stderr)
+    if args.report_json:
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"# wrote {args.report_json}", file=sys.stderr)
+    if report.completed:
+        # republish the successful child's stdout byte-for-byte, so
+        # `repro supervise ... > out.json` matches an uninterrupted run
+        sys.stdout.buffer.write(report.stdout or b"")
+        sys.stdout.buffer.flush()
+        return 0
+    return 2
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -431,7 +565,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("snapshot", help="snapshot file or checkpoint directory")
     p.add_argument("--max-cycles", type=int, default=50_000_000)
+    p.add_argument("--allow-v1", action="store_true",
+                   help="opt in to loading legacy format-v1 snapshots "
+                   "(unrestricted-pickle era files; prefer "
+                   "`repro snapshot migrate`)")
+    p.add_argument("--crash-at", type=int, default=None, metavar="CYCLE",
+                   help="hard-kill the process (exit 137) once simulated "
+                   "time reaches CYCLE; used to exercise crash recovery")
     p.set_defaults(fn=cmd_resume)
+
+    p = sub.add_parser(
+        "snapshot",
+        help="inspect or migrate snapshot files without running anything",
+    )
+    snap_sub = p.add_subparsers(dest="snapshot_command", required=True)
+    sp = snap_sub.add_parser(
+        "inspect",
+        help="print a snapshot's self-describing metadata (format, "
+        "cycle, reason, workload, checksum status) without "
+        "deserializing any machine state",
+    )
+    sp.add_argument("file", help="snapshot file")
+    sp.set_defaults(fn=cmd_snapshot_inspect)
+    sp = snap_sub.add_parser(
+        "migrate",
+        help="rewrite legacy v1 snapshots to format v2 in place "
+        "(checksum-verified on both sides)",
+    )
+    sp.add_argument("target", help="snapshot file or directory of *.snap")
+    sp.set_defaults(fn=cmd_snapshot_migrate)
+
+    p = sub.add_parser(
+        "supervise",
+        help="run a checkpointed workload under a crash-supervision "
+        "loop: resume on crash with exponential backoff, quarantine "
+        "poisoned snapshots, stop at a restart budget",
+    )
+    workload_args(p)
+    fault_args(p)
+    p.add_argument("--dir", required=True,
+                   help="snapshot directory (created if missing; if it "
+                   "already holds snapshots the first attempt resumes)")
+    p.add_argument("--interval", type=int, default=10_000, metavar="N",
+                   help="cycles between snapshots (default 10000)")
+    p.add_argument("--retain", type=int, default=3, metavar="K",
+                   help="periodic snapshots to keep, 0 = all (default 3)")
+    p.add_argument("--record", action="store_true",
+                   help="record a replay bundle on the initial start")
+    p.add_argument("--max-cycles", type=int, default=50_000_000)
+    p.add_argument("--max-restarts", type=int, default=8, metavar="N",
+                   help="restart budget after the free initial start "
+                   "(default 8)")
+    p.add_argument("--backoff-base", type=float, default=0.5,
+                   metavar="SECONDS")
+    p.add_argument("--backoff-factor", type=float, default=2.0)
+    p.add_argument("--backoff-max", type=float, default=30.0,
+                   metavar="SECONDS")
+    p.add_argument("--backoff-jitter", type=float, default=0.1,
+                   metavar="FRAC",
+                   help="fractional jitter on each backoff (default 0.1)")
+    p.add_argument("--backoff-seed", type=int, default=0,
+                   help="seed for the jitter RNG (restart schedule is "
+                   "reproducible)")
+    p.add_argument("--inject-crash", metavar="CYCLE[,CYCLE...]",
+                   help="test hook: pass --crash-at CYCLE to successive "
+                   "child attempts (one cycle per attempt), simulating "
+                   "SIGKILL mid-run")
+    p.add_argument("--report-json", metavar="OUT",
+                   help="also write the SupervisorReport as JSON here")
+    p.set_defaults(fn=cmd_supervise)
 
     p = sub.add_parser(
         "replay",

@@ -147,6 +147,19 @@ class ManifestError(SnapshotError):
     """
 
 
+class SupervisorError(ReproError):
+    """Raised when the crash-supervision loop cannot be set up or
+    cannot make progress at all (no way to start the workload, or a
+    configuration that can never resume).
+
+    Ordinary child crashes are *not* errors -- the supervisor's whole
+    job is to absorb them; exhaustion of the restart budget is
+    reported through the returned
+    :class:`repro.checkpoint.supervisor.SupervisorReport` instead of
+    an exception, so callers always get the full attempt history.
+    """
+
+
 class AnalysisError(ReproError):
     """Raised by the static rate/balance analyses."""
 

@@ -206,6 +206,13 @@ class Machine:
         if isinstance(checkpoint, CheckpointConfig):
             checkpoint = CheckpointManager(checkpoint)
         self.ckpt: Optional[CheckpointManager] = checkpoint
+        #: free-form run identity carried into snapshot metadata (the
+        #: CLI sets e.g. ``"fig7[m=60]"``); purely descriptive
+        self.workload_id: Optional[str] = None
+        #: pending out-of-band snapshot requests ``(reason, path)``,
+        #: appended by :meth:`request_snapshot` (possibly from a signal
+        #: handler) and drained by the event loop between events
+        self._snap_requests: list[tuple[str, Optional[str]]] = []
         self.trace: Optional[EventTrace] = (
             EventTrace()
             if trace or (checkpoint is not None and checkpoint.config.record)
@@ -824,6 +831,40 @@ class Machine:
         )
         self.ckpt.save_periodic(self)
 
+    def request_snapshot(
+        self, reason: str = "live", path: Optional[str] = None
+    ) -> None:
+        """Ask for an out-of-band snapshot at the next safe point.
+
+        Async-signal-safe by construction: the call only appends to a
+        list, and the event loop drains pending requests between
+        events -- the next quiescent point where the machine state is
+        self-consistent and therefore resumable.  With ``path`` the
+        snapshot is written there; otherwise it goes through the
+        checkpoint manager as ``live-<cycle>.snap``.  Requesting with
+        neither a path nor an attached manager raises
+        :class:`~repro.errors.SnapshotError` immediately (there would
+        be nowhere to write).
+        """
+        if path is None and self.ckpt is None:
+            from ..errors import SnapshotError
+
+            raise SnapshotError(
+                "request_snapshot needs a checkpoint manager or an "
+                "explicit path; this machine has neither"
+            )
+        self._snap_requests.append((reason, path))
+
+    def _drain_snapshot_requests(self) -> None:
+        from ..checkpoint.snapshot import save_snapshot
+
+        while self._snap_requests:
+            reason, path = self._snap_requests.pop(0)
+            if path is not None:
+                save_snapshot(self, path, reason=reason)
+            elif self.ckpt is not None:
+                self.ckpt.save_live(self, reason)
+
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
@@ -896,6 +937,10 @@ class Machine:
         ``stop_at_checkpoint`` boundary, False when the heap drained."""
         capture = getattr(self, "capture", None)
         while self._events:
+            if self._snap_requests:
+                # between events the state is self-consistent: a
+                # snapshot taken here resumes exactly like a periodic one
+                self._drain_snapshot_requests()
             entry = heapq.heappop(self._events)
             time, _seq, kind, args, aux = entry
             if (
@@ -931,6 +976,10 @@ class Machine:
                 if capture is not None:
                     capture.record(time, kind, args)
             self._execute(kind, args)
+        if self._snap_requests:
+            # requests that arrived after the last event still get
+            # their snapshot: the quiesced state is self-consistent
+            self._drain_snapshot_requests()
         return False
 
     def _check_complete(self) -> None:
@@ -957,15 +1006,17 @@ class Machine:
         return diagnose(self)
 
     @classmethod
-    def resume(cls, source) -> "Machine":
+    def resume(cls, source, allow_legacy: bool = False) -> "Machine":
         """Load a machine from a snapshot file (or the newest *good*
         snapshot in a checkpoint directory) and return it ready to
         continue.
 
         Resuming from a directory picks the newest periodic (or
-        initial/timeout) snapshot; ``failure-*.snap`` files pin an
-        already-wedged machine and are only loaded when named
-        explicitly.
+        initial/live/timeout) snapshot; ``failure-*.snap`` files pin
+        an already-wedged machine and are only loaded when named
+        explicitly.  Legacy v1 snapshot files are refused unless
+        ``allow_legacy=True`` (see
+        :func:`repro.checkpoint.snapshot.read_snapshot`).
 
         The loaded machine carries its complete mid-run state -- event
         heap, in-flight and retransmission-queue packets, sequence
@@ -975,7 +1026,8 @@ class Machine:
         """
         from ..checkpoint.snapshot import load_machine
 
-        return load_machine(source, expected_cls=cls)
+        return load_machine(source, expected_cls=cls,
+                            allow_legacy=allow_legacy)
 
     # ------------------------------------------------------------------
     # results

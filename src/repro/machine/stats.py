@@ -51,16 +51,27 @@ class CheckpointStats:
     bytes_written: int = 0
     snapshots_pruned: int = 0
     failure_snapshots: int = 0
+    #: out-of-band (``request_snapshot``/SIGUSR1) snapshots taken
+    live_snapshots: int = 0
     last_snapshot_cycle: int = -1
     #: wall-clock seconds spent serializing + writing snapshots (the
     #: simulated clock never sees checkpointing)
     seconds_spent: float = 0.0
+    #: per-snapshot write latencies in seconds (bounded by the manager
+    #: so long service runs cannot grow their own snapshots)
+    latencies: list = field(default_factory=list)
+
+    def __setstate__(self, state) -> None:
+        # snapshots written by older builds predate some counters;
+        # backfill defaults so a migrated snapshot resumes cleanly
+        self.__dict__.update(CheckpointStats().__dict__)
+        self.__dict__.update(state)
 
     def summary(self) -> str:
         return (
             f"checkpoints: {self.snapshots_written} snapshots "
             f"({self.bytes_written} bytes, {self.snapshots_pruned} pruned, "
-            f"{self.failure_snapshots} failure, "
+            f"{self.failure_snapshots} failure, {self.live_snapshots} live, "
             f"{self.seconds_spent * 1000:.1f} ms), "
             f"last at cycle {self.last_snapshot_cycle}"
         )

@@ -1,0 +1,65 @@
+"""Regenerate the committed legacy (format v1) snapshot fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/checkpoint/fixtures/generate.py
+
+Each fixture is a paper-figure workload paused at its first periodic
+checkpoint and serialized with the *legacy v1* envelope (via the
+private ``_snapshot_bytes_v1`` codec kept for exactly this purpose).
+``fixtures.json`` records the generation parameters so the tests can
+rebuild the matching clean baseline; the checkpoint manager is
+detached before serializing so a resumed fixture does not try to keep
+checkpointing into the generation machine's temp directory.
+"""
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.checkpoint import CheckpointConfig
+from repro.checkpoint.snapshot import _snapshot_bytes_v1
+from repro.machine import Machine
+from repro.workloads.figures import figure_workload
+
+HERE = Path(__file__).resolve().parent
+
+FIXTURES = {
+    "fig2-v1.snap": {"workload": "fig2", "m": 12, "input_seed": 7,
+                     "stop_at": 60},
+    "fig7-v1.snap": {"workload": "fig7", "m": 16, "input_seed": 7,
+                     "stop_at": 100},
+}
+
+
+def build_paused_machine(spec):
+    workload = figure_workload(spec["workload"])
+    program = workload.compile(m=spec["m"])
+    inputs = workload.make_inputs(program, seed=spec["input_seed"])
+    with tempfile.TemporaryDirectory() as scratch:
+        machine = Machine(
+            program.graph, inputs=inputs,
+            checkpoint=CheckpointConfig(scratch, interval=spec["stop_at"]),
+        )
+        machine.workload_id = f"{spec['workload']}[m={spec['m']}]"
+        machine.run(stop_at_checkpoint=spec["stop_at"])
+        machine.ckpt = None
+    return machine
+
+
+def main():
+    for name, spec in FIXTURES.items():
+        machine = build_paused_machine(spec)
+        data = _snapshot_bytes_v1(machine, reason="periodic")
+        (HERE / name).write_bytes(data)
+        print(f"wrote {name}: cycle {machine.now}, {len(data)} bytes")
+    (HERE / "fixtures.json").write_text(
+        json.dumps(FIXTURES, indent=2, sort_keys=True) + "\n"
+    )
+    print("wrote fixtures.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

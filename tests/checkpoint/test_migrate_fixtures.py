@@ -1,0 +1,107 @@
+"""Committed legacy-v1 fixtures: the migration path on real paper
+workloads, end to end.
+
+The fixtures under ``fixtures/`` are fig2/fig7 machines paused
+mid-run and serialized in the *old* v1 envelope (see
+``fixtures/generate.py``).  Migrating one and resuming it must produce
+outputs bit-identical to an uninterrupted run of the same workload --
+this is the compatibility contract of `repro snapshot migrate`.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint import (
+    FORMAT_VERSION,
+    LEGACY_VERSION,
+    load_machine,
+    migrate_snapshot,
+    read_metadata,
+)
+from repro.errors import SnapshotError
+from repro.machine import Machine
+from repro.workloads.figures import figure_workload
+
+FIXTURE_DIR = Path(__file__).resolve().parent / "fixtures"
+SPECS = json.loads((FIXTURE_DIR / "fixtures.json").read_text())
+
+
+def _clean_outputs(spec):
+    workload = figure_workload(spec["workload"])
+    program = workload.compile(m=spec["m"])
+    inputs = workload.make_inputs(program, seed=spec["input_seed"])
+    machine = Machine(program.graph, inputs=inputs)
+    machine.run()
+    return machine.outputs()
+
+
+def _cli(*argv):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, env=env,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SPECS))
+class TestFixtures:
+    def test_fixture_is_genuinely_v1(self, name):
+        assert read_metadata(FIXTURE_DIR / name)["format"] == LEGACY_VERSION
+
+    def test_migrate_then_resume_bit_identical(self, name, tmp_path):
+        spec = SPECS[name]
+        path = tmp_path / name
+        shutil.copy(FIXTURE_DIR / name, path)
+        # refused before migration...
+        with pytest.raises(SnapshotError, match="migrate"):
+            load_machine(path)
+        assert migrate_snapshot(path) == "migrated"
+        meta = read_metadata(path)
+        assert meta["format"] == FORMAT_VERSION
+        assert meta["workload"] == f"{spec['workload']}[m={spec['m']}]"
+        machine = load_machine(path, expected_cls=Machine)
+        assert machine.now == spec["stop_at"] - 1
+        machine.run()
+        assert machine.outputs() == _clean_outputs(spec)
+
+    def test_allow_legacy_resume_matches_without_migration(self, name):
+        spec = SPECS[name]
+        machine = load_machine(
+            FIXTURE_DIR / name, expected_cls=Machine, allow_legacy=True
+        )
+        machine.run()
+        assert machine.outputs() == _clean_outputs(spec)
+
+
+class TestFixtureCli:
+    def test_resume_refuses_v1_then_migrates_then_resumes(self, tmp_path):
+        name = "fig2-v1.snap"
+        spec = SPECS[name]
+        path = tmp_path / name
+        shutil.copy(FIXTURE_DIR / name, path)
+
+        refused = _cli("resume", str(path))
+        assert refused.returncode == 1
+        assert b"snapshot migrate" in refused.stderr
+
+        allowed = _cli("resume", str(path), "--allow-v1")
+        assert allowed.returncode == 0, allowed.stderr
+
+        migrated = _cli("snapshot", "migrate", str(path))
+        assert migrated.returncode == 0, migrated.stderr
+        resumed = _cli("resume", str(path))
+        assert resumed.returncode == 0, resumed.stderr
+        # --allow-v1 on the original and plain resume on the migrated
+        # file emit byte-identical outputs
+        assert resumed.stdout == allowed.stdout
+        outputs = json.loads(resumed.stdout)
+        clean = _clean_outputs(spec)
+        assert outputs == {k: list(v) for k, v in clean.items()}

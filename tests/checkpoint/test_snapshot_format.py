@@ -95,11 +95,18 @@ class TestDamageDetection:
 
     def test_future_format_version(self, snap):
         raw = snap.read_bytes()
-        payload = raw[_HEADER.size:]
-        header = struct.unpack(">8sIQ32s", raw[: _HEADER.size])
+        body = raw[_HEADER.size:]
+        header = struct.unpack(_HEADER.format, raw[: _HEADER.size])
         bumped = _HEADER.pack(MAGIC, FORMAT_VERSION + 1, *header[2:])
-        snap.write_bytes(bumped + payload)
+        snap.write_bytes(bumped + body)
         with pytest.raises(SnapshotError, match="format version"):
+            read_snapshot(snap)
+
+    def test_flipped_metadata_byte_fails_checksum(self, snap):
+        raw = bytearray(snap.read_bytes())
+        raw[_HEADER.size + 2] ^= 0xFF
+        snap.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="checksum"):
             read_snapshot(snap)
 
 
