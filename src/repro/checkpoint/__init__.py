@@ -51,6 +51,7 @@ from .snapshot import (
     snapshot_cycle,
 )
 from .supervisor import (
+    EXIT_SNAPSHOT_UNLOADABLE,
     AttemptRecord,
     Supervisor,
     SupervisorConfig,
@@ -62,6 +63,7 @@ __all__ = [
     "CheckpointConfig",
     "CheckpointManager",
     "DivergenceReport",
+    "EXIT_SNAPSHOT_UNLOADABLE",
     "EventTrace",
     "FORMAT_VERSION",
     "LEGACY_VERSION",

@@ -23,12 +23,14 @@ The metadata section is plain JSON and is readable (and checksum
 verifiable) without deserializing any machine state --
 :func:`read_metadata` and ``repro snapshot inspect`` never touch the
 payload.  The payload itself is decoded through a **restricted
-unpickler**: only classes defined inside the ``repro`` package plus a
-short allowlist of stdlib container types may be referenced; any other
-global (``os.system``, ``builtins.eval``, a dotted attribute chain)
-raises a typed :class:`~repro.errors.SnapshotError` *before* any
-object is constructed.  Snapshots therefore no longer need to be
-treated as a trusted format -- hostile or stale bytes fail closed.
+unpickler**: only an explicit allowlist of state-bearing ``repro``
+classes plus a short allowlist of stdlib container types may be
+referenced; any other global (``os.system``, ``builtins.eval``, a
+dotted attribute chain, a ``repro`` module-level *function* such as
+``repro.cli.main``) raises a typed
+:class:`~repro.errors.SnapshotError` *before* any object is
+constructed.  Snapshots therefore no longer need to be treated as a
+trusted format -- hostile or stale bytes fail closed.
 
 The envelope is validated (magic, version, lengths, both checksums)
 before any decoding, so a truncated, corrupted or foreign file raises
@@ -87,17 +89,53 @@ _STDLIB_ALLOWLIST: dict[str, frozenset[str]] = {
     "random": frozenset({"Random"}),
 }
 
+#: ``repro`` globals a machine pickle may legitimately reference: the
+#: state-bearing classes of a serialized machine, pinned per defining
+#: module.  Derived the same way as the stdlib list -- by enumerating
+#: ``find_class`` calls over real snapshots of every paper-figure
+#: workload (initial, mid-run, timeout and failure states, with and
+#: without fault plans and record mode).  Pinning names, rather than
+#: admitting anything importable from ``repro.*``, keeps module-level
+#: *functions* out of reach: pickle's ``REDUCE`` opcode calls whatever
+#: ``find_class`` returns with arguments taken from the stream, so
+#: admitting e.g. ``repro.cli.main`` would hand a checksummed-but-
+#: hostile file arbitrary code execution.
+_REPRO_ALLOWLIST: dict[str, frozenset[str]] = {
+    "repro.checkpoint.manager": frozenset(
+        {"CheckpointConfig", "CheckpointManager"}
+    ),
+    "repro.checkpoint.replay": frozenset({"EventTrace"}),
+    "repro.faults.injector": frozenset({"FaultInjector", "FaultStats"}),
+    "repro.faults.plan": frozenset({"FaultPlan", "UnitFault"}),
+    "repro.graph.cell": frozenset({"Arc", "Cell", "_NoTokenType"}),
+    "repro.graph.graph": frozenset({"DataflowGraph"}),
+    "repro.graph.opcodes": frozenset({"Op"}),
+    "repro.machine.config": frozenset({"MachineConfig"}),
+    "repro.machine.machine": frozenset(
+        {"Machine", "_CellState", "_UnitState"}
+    ),
+    "repro.machine.packets": frozenset({"PacketCounters"}),
+    "repro.machine.stats": frozenset(
+        {"CheckpointStats", "ReliabilityStats"}
+    ),
+}
+
 
 class _RestrictedUnpickler(pickle.Unpickler):
-    """Unpickler that refuses every global outside the allowlist.
+    """Unpickler that refuses every global outside the allowlists.
 
     ``find_class`` is the only gate through which a pickle stream can
     reach callables, so rejecting here stops gadget payloads
-    (``os.system``, ``builtins.eval``, ...) before any object is
-    constructed.  Dotted names are rejected outright: protocol-4
-    ``STACK_GLOBAL`` resolves them with a ``getattr`` chain, which
-    would let ``("repro.checkpoint.snapshot", "os.system")`` escape a
-    plain module prefix check.
+    (``os.system``, ``builtins.eval``, ``repro.cli.main``, ...) before
+    any object is constructed.  Dotted names are rejected outright:
+    protocol-4 ``STACK_GLOBAL`` resolves them with a ``getattr``
+    chain, which would let ``("repro.checkpoint.snapshot",
+    "os.system")`` escape a plain module prefix check.  Whatever an
+    allowlisted name resolves to must additionally be a *class*
+    defined in its allowlist's package -- a function (or a module
+    rebound over an allowlisted name) executes under ``REDUCE``
+    instead of merely constructing state, so non-classes are refused
+    even if a future allowlist edit names one by mistake.
     """
 
     def find_class(self, module: str, name: str) -> Any:
@@ -106,25 +144,27 @@ class _RestrictedUnpickler(pickle.Unpickler):
                 f"snapshot payload references dotted global "
                 f"{module}.{name}; refusing to traverse attributes"
             )
-        if module == "repro" or module.startswith("repro."):
-            obj = super().find_class(module, name)
-            # a bare `import os` inside a repro module would otherwise
-            # be reachable as ("repro.x", "os"); require the resolved
-            # object to be *defined* in this package
-            if getattr(obj, "__module__", "").split(".")[0] != "repro":
-                raise SnapshotError(
-                    f"snapshot payload references {module}.{name}, which "
-                    f"is not defined inside the repro package"
-                )
-            return obj
-        allowed = _STDLIB_ALLOWLIST.get(module)
-        if allowed is not None and name in allowed:
-            return super().find_class(module, name)
-        raise SnapshotError(
-            f"snapshot payload references forbidden global "
-            f"{module}.{name}; only repro.* classes and allowlisted "
-            f"stdlib containers may appear in a snapshot"
-        )
+        allowed = _REPRO_ALLOWLIST.get(module, _STDLIB_ALLOWLIST.get(module))
+        if allowed is None or name not in allowed:
+            raise SnapshotError(
+                f"snapshot payload references forbidden global "
+                f"{module}.{name}; only allowlisted repro state classes "
+                f"and stdlib containers may appear in a snapshot"
+            )
+        obj = super().find_class(module, name)
+        if not isinstance(obj, type):
+            raise SnapshotError(
+                f"snapshot payload references {module}.{name}, which is "
+                f"not a class; refusing a callable that REDUCE would "
+                f"invoke"
+            )
+        if (module in _REPRO_ALLOWLIST
+                and getattr(obj, "__module__", "").split(".")[0] != "repro"):
+            raise SnapshotError(
+                f"snapshot payload references {module}.{name}, which "
+                f"is not defined inside the repro package"
+            )
+        return obj
 
 
 def _restricted_loads(payload: bytes, where: str) -> Any:

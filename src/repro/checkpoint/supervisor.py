@@ -47,6 +47,15 @@ from ..errors import SupervisorError
 from .replay import MANIFEST_NAME, MANIFEST_SCHEMA
 from .snapshot import _atomic_write, latest_snapshot
 
+#: exit code ``repro resume`` returns when the snapshot itself cannot
+#: be loaded (a typed :class:`~repro.errors.SnapshotError` before the
+#: run even starts).  Distinct from the generic error exit 1 so the
+#: supervisor can tell "this snapshot is poison" from "the child
+#: resumed fine but hit an unrelated error" (disk full writing a later
+#: snapshot, a missing plan file, ...), which must go through the
+#: two-strike counter instead of quarantining a good snapshot.
+EXIT_SNAPSHOT_UNLOADABLE = 4
+
 
 @dataclass
 class SupervisorConfig:
@@ -185,7 +194,11 @@ class Supervisor:
     ``resume_argv``
         Callable mapping the checkpoint directory to the command that
         resumes it (defaults to ``repro resume <dir>`` via the current
-        interpreter).
+        interpreter).  A custom resume command should exit
+        :data:`EXIT_SNAPSHOT_UNLOADABLE` when the snapshot itself
+        cannot be loaded -- that is the only exit code that
+        quarantines the snapshot immediately; every other nonzero
+        exit counts as an ordinary crash strike.
     ``extra_args``
         Per-attempt extra argv lists consumed in order (attempt 1 gets
         ``extra_args[0]``, ...); the CLI's ``--inject-crash`` test hook
@@ -310,14 +323,19 @@ class Supervisor:
                 f"# supervise: attempt {attempt.index} ({mode}) exited "
                 f"{proc.returncode}"
             )
-            if mode == "resume" and proc.returncode == 1:
+            if (mode == "resume"
+                    and proc.returncode == EXIT_SNAPSHOT_UNLOADABLE):
                 # the child could not even load the snapshot (typed
-                # SnapshotError path): poisoned beyond doubt, step back
-                # to N-1 immediately
+                # SnapshotError path, dedicated exit code): poisoned
+                # beyond doubt, step back to N-1 immediately.  Generic
+                # exit 1 (any other ReproError after a clean load)
+                # falls through to the strike counter below.
                 self._quarantine(
                     report, resume_from.name,
-                    f"failed to load (exit 1, attempt {attempt.index})",
+                    f"failed to load (exit {proc.returncode}, "
+                    f"attempt {attempt.index})",
                 )
+                strikes.pop(resume_from.name, None)
             else:
                 key = resume_from.name if resume_from is not None else None
                 newest = latest_snapshot(self.directory)
@@ -326,9 +344,10 @@ class Supervisor:
                     and (resume_from is None or newest.name != key)
                 )
                 if progressed:
-                    # the crash happened past a fresh snapshot; the old
-                    # strike slate is irrelevant
-                    strikes.clear()
+                    # the crash happened past a fresh snapshot, so only
+                    # the resumed-from snapshot's slate is wiped; other
+                    # snapshots keep their accumulated strikes
+                    strikes.pop(key, None)
                 else:
                     strikes[key] = strikes.get(key, 0) + 1
                     if key is not None and strikes[key] >= self.config.strikes:

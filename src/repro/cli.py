@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Any, Optional
 
 from .checkpoint import (
+    EXIT_SNAPSHOT_UNLOADABLE,
     CheckpointConfig,
     Supervisor,
     SupervisorConfig,
@@ -301,7 +302,14 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
-    machine = Machine.resume(args.snapshot, allow_legacy=args.allow_v1)
+    try:
+        machine = Machine.resume(args.snapshot, allow_legacy=args.allow_v1)
+    except SnapshotError as exc:
+        # dedicated exit code: only a snapshot that cannot even be
+        # loaded may be quarantined by the supervisor; errors after a
+        # clean load exit 1 like every other ReproError
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_SNAPSHOT_UNLOADABLE
     print(f"# resumed at cycle {machine.now}", file=sys.stderr)
     return _finish_run(machine, args.max_cycles, crash_at=args.crash_at)
 
@@ -326,16 +334,23 @@ def cmd_snapshot_migrate(args: argparse.Namespace) -> int:
     if not files:
         print(f"error: no *.snap files in {path}", file=sys.stderr)
         return 1
-    migrated = 0
+    migrated = failed = 0
     for snap in files:
-        outcome = migrate_snapshot(snap)
+        try:
+            outcome = migrate_snapshot(snap)
+        except SnapshotError as exc:
+            # one corrupt file must not strand the rest of the batch
+            print(f"{snap}: error: {exc}", file=sys.stderr)
+            failed += 1
+            continue
         print(f"{snap}: {outcome}", file=sys.stderr)
         migrated += outcome == "migrated"
     print(
-        f"# migrated {migrated} of {len(files)} snapshot(s)",
+        f"# migrated {migrated} of {len(files)} snapshot(s)"
+        + (f", {failed} failed" if failed else ""),
         file=sys.stderr,
     )
-    return 0
+    return 1 if failed else 0
 
 
 def cmd_supervise(args: argparse.Namespace) -> int:

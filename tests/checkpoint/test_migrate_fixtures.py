@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.checkpoint import (
+    EXIT_SNAPSHOT_UNLOADABLE,
     FORMAT_VERSION,
     LEGACY_VERSION,
     load_machine,
@@ -89,7 +90,9 @@ class TestFixtureCli:
         shutil.copy(FIXTURE_DIR / name, path)
 
         refused = _cli("resume", str(path))
-        assert refused.returncode == 1
+        # an unloadable snapshot exits with the dedicated code the
+        # supervisor keys its quarantine decision on, not a generic 1
+        assert refused.returncode == EXIT_SNAPSHOT_UNLOADABLE
         assert b"snapshot migrate" in refused.stderr
 
         allowed = _cli("resume", str(path), "--allow-v1")
@@ -105,3 +108,21 @@ class TestFixtureCli:
         outputs = json.loads(resumed.stdout)
         clean = _clean_outputs(spec)
         assert outputs == {k: list(v) for k, v in clean.items()}
+
+    def test_migrate_batch_continues_past_corrupt_file(self, tmp_path):
+        # a corrupt file mid-batch is reported and counted, but must
+        # not strand the files after it or suppress the summary line
+        for name in SPECS:
+            shutil.copy(FIXTURE_DIR / name, tmp_path / name)
+        bad = tmp_path / "aaa-corrupt.snap"   # sorts before the fixtures
+        bad.write_bytes(b"RPROSNAP" + bytes(64))
+
+        out = _cli("snapshot", "migrate", str(tmp_path))
+        assert out.returncode == 1
+        assert b"aaa-corrupt.snap: error:" in out.stderr
+        assert (
+            f"# migrated {len(SPECS)} of {len(SPECS) + 1} snapshot(s), "
+            f"1 failed".encode() in out.stderr
+        )
+        for name in SPECS:
+            assert read_metadata(tmp_path / name)["format"] == FORMAT_VERSION

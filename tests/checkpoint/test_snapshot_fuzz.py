@@ -194,6 +194,44 @@ class TestGadgetEnvelopes:
                     read_snapshot(path, allow_legacy=True)
                 assert not TRIPPED, "gadget executed during decode"
 
+    def test_repro_function_gadgets_rejected(self, tmp_path):
+        # the repro branch of the allowlist must not admit module-level
+        # functions: REDUCE would call them with attacker-chosen
+        # arguments (repro.cli.main would run a whole workload and
+        # write files to attacker-chosen paths).  Assert the typed
+        # error AND that the side effect never happened.
+        import repro.cli
+        from repro.checkpoint.snapshot import _atomic_write
+
+        evil_dir = tmp_path / "evil-ckpts"
+        evil_file = tmp_path / "evil-write"
+
+        class CliMain:
+            def __reduce__(self):
+                return (repro.cli.main, (
+                    ["checkpoint", "fig2", "--size", "4",
+                     "--dir", str(evil_dir)],
+                ))
+
+        class AtomicWrite:
+            def __reduce__(self):
+                return (_atomic_write, (evil_file, b"pwned"))
+
+        path = tmp_path / "gadget.snap"
+        cases = [
+            (CliMain(), "repro.cli.main", evil_dir),
+            (AtomicWrite(), "_atomic_write", evil_file),
+        ]
+        for gadget, pattern, side_effect in cases:
+            payload = pickle.dumps({"machine": gadget, "cycle": 0})
+            for wrap in (self._wrap_v2, self._wrap_v1):
+                path.write_bytes(wrap(payload))
+                with pytest.raises(SnapshotError, match=pattern):
+                    read_snapshot(path, allow_legacy=True)
+                assert not side_effect.exists(), (
+                    f"{pattern} gadget executed during decode"
+                )
+
     def test_sentinel_actually_works(self):
         # guard against a vacuous test: bypassing the restriction must
         # trip the sentinel

@@ -168,7 +168,8 @@ class TestRestrictedUnpickler:
 
     def test_bare_module_reimport_rejected(self):
         # ("repro.checkpoint.snapshot", "os") resolves to the os module
-        # imported inside a repro module; __module__ gate must refuse it
+        # imported inside a repro module; the per-module allowlist
+        # refuses the name before it is even resolved
         out = io.BytesIO()
         out.write(pickle.PROTO + bytes([4]))
         mod = b"repro.checkpoint.snapshot"
@@ -176,8 +177,39 @@ class TestRestrictedUnpickler:
         out.write(pickle.SHORT_BINUNICODE + bytes([2]) + b"os")
         out.write(pickle.STACK_GLOBAL)
         out.write(pickle.STOP)
-        with pytest.raises(SnapshotError, match="not defined inside"):
+        with pytest.raises(SnapshotError, match="forbidden global"):
             _restricted_loads(out.getvalue(), "test")
+
+    def test_repro_module_level_function_rejected(self):
+        # pickle REDUCE calls whatever find_class returns with stream-
+        # controlled arguments, so a repro *function* (repro.cli.main,
+        # _atomic_write, ...) is as dangerous as os.system; the
+        # allowlist admits only pinned state-bearing classes
+        for mod, name in (
+            ("repro.cli", "main"),
+            ("repro.checkpoint.snapshot", "_atomic_write"),
+            ("repro.checkpoint.snapshot", "save_snapshot"),
+        ):
+            out = io.BytesIO()
+            out.write(pickle.PROTO + bytes([4]))
+            out.write(pickle.SHORT_BINUNICODE
+                      + bytes([len(mod.encode())]) + mod.encode())
+            out.write(pickle.SHORT_BINUNICODE
+                      + bytes([len(name.encode())]) + name.encode())
+            out.write(pickle.STACK_GLOBAL)
+            out.write(pickle.STOP)
+            with pytest.raises(SnapshotError, match="forbidden global"):
+                _restricted_loads(out.getvalue(), "test")
+
+    def test_unlisted_repro_class_rejected(self):
+        # even a genuine repro class is refused unless its name is
+        # pinned on the allowlist (its constructor could have side
+        # effects REDUCE would trigger with hostile arguments)
+        from repro.checkpoint.supervisor import Supervisor
+
+        payload = pickle.dumps(Supervisor)
+        with pytest.raises(SnapshotError, match="forbidden global"):
+            _restricted_loads(payload, "test")
 
     def test_real_snapshot_round_trips(self, tmp_path):
         # the allowlist is tight but must still cover everything a real
@@ -219,10 +251,13 @@ class TestRestrictedUnpickler:
 
     def test_every_real_snapshot_global_is_allowlisted(self):
         # enumerate the GLOBAL/STACK_GLOBAL opcodes of a genuine
-        # mid-run snapshot payload; each must be either repro.* or on
-        # the stdlib allowlist -- this is the empirical basis for the
-        # allowlist and will fail if new state sneaks in a new type
-        from repro.checkpoint.snapshot import _STDLIB_ALLOWLIST
+        # mid-run snapshot payload; each must be pinned on the repro or
+        # stdlib allowlist -- this is the empirical basis for both
+        # lists and will fail if new state sneaks in a new type
+        from repro.checkpoint.snapshot import (
+            _REPRO_ALLOWLIST,
+            _STDLIB_ALLOWLIST,
+        )
 
         m = _machine()
         m.run(stop_at_checkpoint=True)
@@ -245,10 +280,12 @@ class TestRestrictedUnpickler:
         for mod, name in seen:
             if mod is None:
                 continue
-            root = mod.split(".")[0]
-            assert root == "repro" or name in _STDLIB_ALLOWLIST.get(
-                mod, frozenset()
-            ), f"unexpected snapshot global {mod}.{name}"
+            allowed = _REPRO_ALLOWLIST.get(
+                mod, _STDLIB_ALLOWLIST.get(mod, frozenset())
+            )
+            assert name in allowed, (
+                f"unexpected snapshot global {mod}.{name}"
+            )
 
 
 # ----------------------------------------------------------------------

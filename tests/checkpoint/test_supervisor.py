@@ -17,6 +17,7 @@ from types import SimpleNamespace
 import pytest
 
 from repro.checkpoint import (
+    EXIT_SNAPSHOT_UNLOADABLE,
     Supervisor,
     SupervisorConfig,
     save_snapshot,
@@ -202,14 +203,33 @@ class TestQuarantine:
     def test_load_failure_quarantines_immediately(self, tmp_path):
         _snap(tmp_path, "ckpt-000000000100.snap")
         _snap(tmp_path, "ckpt-000000000200.snap")
-        # exit 1 from a resume = the child could not even load the
-        # snapshot; no second strike needed
-        outcomes = [(1, None), (0, None)]
+        # the dedicated exit code from a resume = the child could not
+        # even load the snapshot; no second strike needed
+        outcomes = [(EXIT_SNAPSHOT_UNLOADABLE, None), (0, None)]
         sup, _, _ = _supervisor(tmp_path, outcomes)
         report = sup.run()
         assert report.completed
         assert report.quarantined == ["ckpt-000000000200.snap"]
         assert report.attempts[1].resume_snapshot == "ckpt-000000000100.snap"
+
+    def test_generic_exit_1_does_not_quarantine_on_first_strike(
+        self, tmp_path
+    ):
+        _snap(tmp_path, "ckpt-000000000100.snap")
+        _snap(tmp_path, "ckpt-000000000200.snap")
+        # exit 1 means ANY ReproError -- disk full while writing a
+        # later snapshot, a missing plan file -- not necessarily a bad
+        # snapshot; it must go through the two-strike counter, never
+        # poison a good snapshot on the first strike
+        outcomes = [(1, None), (1, None), (0, None)]
+        sup, _, _ = _supervisor(tmp_path, outcomes)
+        report = sup.run()
+        assert report.completed
+        # first exit 1 left the snapshot alone; the second strike in
+        # the same window quarantined it as usual
+        assert report.quarantined == ["ckpt-000000000200.snap"]
+        assert report.attempts[1].resume_snapshot == "ckpt-000000000200.snap"
+        assert report.attempts[2].resume_snapshot == "ckpt-000000000100.snap"
 
     def test_progress_clears_strikes(self, tmp_path):
         _snap(tmp_path, "ckpt-000000000100.snap")
@@ -225,7 +245,7 @@ class TestQuarantine:
 
     def test_all_snapshots_poisoned_restarts_from_scratch(self, tmp_path):
         _snap(tmp_path, "ckpt-000000000100.snap")
-        outcomes = [(1, None), (0, None)]
+        outcomes = [(EXIT_SNAPSHOT_UNLOADABLE, None), (0, None)]
         sup, runner, _ = _supervisor(tmp_path, outcomes)
         report = sup.run()
         assert report.completed

@@ -195,7 +195,12 @@ class TestCheckpointCommands:
         assert "reproduced the recorded completed run" in out
 
     def test_resume_of_missing_directory_is_an_error(self, tmp_path, capsys):
-        assert main(["resume", str(tmp_path / "empty")]) == 1
+        from repro.checkpoint import EXIT_SNAPSHOT_UNLOADABLE
+
+        # a snapshot that cannot be loaded exits with the dedicated
+        # code the supervisor keys its quarantine decision on
+        rc = main(["resume", str(tmp_path / "empty")])
+        assert rc == EXIT_SNAPSHOT_UNLOADABLE
         assert "error:" in capsys.readouterr().err
 
     def test_replay_without_manifest_is_an_error(self, tmp_path, capsys):
