@@ -1,0 +1,75 @@
+"""Experiment sharded -- multi-process scaling of the machine model.
+
+The sharded backend trades pipe traffic on the partition cut for
+parallel event loops.  This experiment measures delivered throughput
+(output elements per wall-clock second) for each figure-7 workload
+size at K in {1, 2, 4} worker processes, checks that every sharded
+run stays bit-identical to the single-process machine, and records
+the elements/sec table under ``benchmarks/results/``.
+
+The paper constrains none of these wall-clock numbers -- the point of
+the table is that the coordination machinery (conservative lockstep
+windows + sequenced cut packets) has bounded overhead, not that a
+Python simulator scales linearly.
+"""
+
+import time
+
+import pytest
+
+from repro.machine import Machine, MachineConfig, run_sharded
+from repro.workloads import figure_workload
+
+from _common import bench_once, extra, record_rows
+
+SHARD_COUNTS = [1, 2, 4]
+M = 48
+
+_rows: dict[int, tuple] = {}
+
+
+def _workload():
+    wl = figure_workload("fig7")
+    cp = wl.compile(m=M)
+    return cp.graph, cp.prepare_inputs(wl.make_inputs(cp))
+
+
+def _reference(graph, streams):
+    machine = Machine(graph, MachineConfig.unit_time(), inputs=streams)
+    machine.run()
+    return machine.outputs()
+
+
+def _timed_sharded(graph, streams, k):
+    start = time.perf_counter()
+    outputs, stats, _ = run_sharded(
+        graph, streams, shards=k,
+        config=MachineConfig.unit_time(), processes=(k > 1),
+    )
+    elapsed = time.perf_counter() - start
+    elements = sum(len(v) for v in outputs.values())
+    return outputs, stats, elements, elapsed
+
+
+@pytest.mark.benchmark(group="sharded")
+@pytest.mark.parametrize("k", SHARD_COUNTS)
+def test_sharded_scaling(benchmark, k):
+    graph, streams = _workload()
+    reference = _reference(graph, streams)
+    outputs, stats, elements, elapsed = bench_once(
+        benchmark, _timed_sharded, graph, streams, k, rounds=2
+    )
+    assert outputs == reference, f"K={k} diverged from single-process"
+    eps = elements / elapsed
+    extra(benchmark, shards=k, elements_per_sec=round(eps, 1),
+          cycles=stats.cycles)
+    _rows[k] = (k, elements, stats.cycles, f"{elapsed:.3f}",
+                f"{eps:.1f}")
+    record_rows(
+        "sharded_scaling",
+        "K  elements  cycles  seconds  elements_per_sec",
+        [_rows[key] for key in sorted(_rows)],
+        note=f"fig7 (Todd for-iter) m={M}, unit-time config; K>1 uses "
+             f"real worker processes; outputs bit-identical to the "
+             f"single-process machine at every K",
+    )

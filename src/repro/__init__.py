@@ -7,7 +7,7 @@ and analyses needed to demonstrate the paper's theorems.
 
 Quickstart
 ----------
->>> from repro import compile_program
+>>> import repro
 >>> src = '''
 ... X : array[real] :=
 ...   for i : integer := 1; T : array[real] := [0: 0.] do
@@ -17,12 +17,19 @@ Quickstart
 ...     endif
 ...   endfor
 ... '''
->>> cp = compile_program(src, params={"m": 4})
+>>> cp = repro.compile_program(src, params={"m": 4})
 >>> result = cp.run({"A": [1.0] * 4, "B": [1.0] * 4})
 >>> result.outputs["X"].to_list()
 [0.0, 1.0, 2.0, 3.0, 4.0]
 >>> result.initiation_interval("X")  # 2.0 == maximally pipelined
 2.0
+
+Any compiled program (or raw graph, or Val source) also runs through
+the unified backend facade -- the unit-delay simulator, the
+packet-level machine, or K machine shards in separate processes::
+
+    result = repro.run(src, {"A": [1.0] * 4, "B": [1.0] * 4},
+                       params={"m": 4}, backend="sharded", shards=4)
 
 Packages
 --------
@@ -38,6 +45,15 @@ Packages
 * :mod:`repro.workloads` -- canonical programs and generators.
 """
 
+from .api import (
+    BACKENDS,
+    BackendProtocol,
+    RunRequest,
+    RunResult,
+    register_backend,
+    resume,
+    run,
+)
 from .compiler import CompiledProgram, ProgramResult, compile_program
 from .errors import (
     AnalysisError,
@@ -55,14 +71,22 @@ from .errors import (
 )
 from .checkpoint import CheckpointConfig, replay_bundle
 from .faults import FaultInjector, FaultPlan, FaultStats, UnitFault
-from .machine import Machine, MachineConfig, run_machine
-from .sim import RunResult, SyncSimulator, run_graph
+from .machine import (
+    Machine,
+    MachineConfig,
+    ShardedRunner,
+    run_machine,
+    run_sharded,
+)
+from .sim import SyncSimulator, run_graph
 from .val import ValArray, parse_program, run_program
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisError",
+    "BACKENDS",
+    "BackendProtocol",
     "CheckpointConfig",
     "ClassificationError",
     "CompileError",
@@ -77,7 +101,9 @@ __all__ = [
     "ProgramResult",
     "RecurrenceError",
     "ReproError",
+    "RunRequest",
     "RunResult",
+    "ShardedRunner",
     "SimulationError",
     "SimulationTimeout",
     "SnapshotError",
@@ -89,8 +115,12 @@ __all__ = [
     "__version__",
     "compile_program",
     "parse_program",
+    "register_backend",
     "replay_bundle",
+    "resume",
+    "run",
     "run_graph",
     "run_machine",
     "run_program",
+    "run_sharded",
 ]

@@ -5,9 +5,12 @@
   acknowledge arcs);
 * :mod:`repro.analysis.paths` -- equal-path-length (balance) checking;
 * :mod:`repro.analysis.traffic` -- operation-packet destination
-  breakdown (function units vs array memories vs local).
+  breakdown (function units vs array memories vs local);
+* :mod:`repro.analysis.partition` -- K-way shard assignment for the
+  multi-process runner (level min-cut with round-robin fallback).
 """
 
+from .partition import Partition, PartitionError, partition_graph
 from .paths import (
     BalanceReport,
     check_balance,
@@ -31,6 +34,8 @@ __all__ = [
     "BlockReport",
     "ProgramReport",
     "MAX_RATE",
+    "Partition",
+    "PartitionError",
     "RateReport",
     "TrafficReport",
     "analyze_program",
@@ -41,6 +46,7 @@ __all__ = [
     "initiation_interval_bound",
     "is_fully_pipelined",
     "longest_path_levels",
+    "partition_graph",
     "pipeline_depth",
     "static_traffic_estimate",
     "traffic_breakdown",

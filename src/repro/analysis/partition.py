@@ -1,0 +1,191 @@
+"""Partition a machine-level instruction graph into K shards.
+
+The sharded runner (:mod:`repro.machine.sharded`) executes each shard's
+event loop in its own worker and routes every cross-shard arc as
+packets over a pipe, so the partitioner's job is to keep the cut --
+the number of arcs whose endpoints land on different shards -- small
+while keeping the shards roughly the same size.
+
+Two schemes:
+
+``levels``
+    For acyclic graphs.  Cells are laid out in pipeline order by their
+    :func:`~repro.analysis.paths.longest_path_levels` level (ties by
+    cell id), and a small dynamic program picks the K-1 split points
+    of that linear order that minimize the number of arcs crossing a
+    split, subject to a balance constraint (every shard holds between
+    half and twice the ideal ``n/K`` cells).  Cutting between pipeline
+    stages is exactly the min-cut a pipelined graph wants: one stage's
+    results flow forward across the cut once per wavefront.
+
+``round_robin``
+    Fallback for cyclic graphs (e.g. the Todd for-iter scheme of
+    fig7, whose feedback arcs defeat a topological layout) and a
+    degenerate safety net: cell ``i`` of the sorted cell-id order goes
+    to shard ``i % K``.
+
+``auto`` picks ``levels`` when the graph is acyclic and
+``round_robin`` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..graph.graph import DataflowGraph, GraphError
+from .paths import longest_path_levels
+
+_INF = float("inf")
+
+
+class PartitionError(ReproError):
+    """Raised on unsatisfiable partition requests."""
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Assignment of every cell to one of ``k`` shards."""
+
+    k: int
+    scheme: str
+    owner: dict[int, int]           # cid -> shard index
+    cut_arcs: tuple[int, ...]       # aids crossing shard boundaries
+
+    @property
+    def sizes(self) -> list[int]:
+        counts = [0] * self.k
+        for shard in self.owner.values():
+            counts[shard] += 1
+        return counts
+
+    def describe(self) -> str:
+        return (
+            f"Partition(k={self.k}, scheme={self.scheme}, "
+            f"sizes={self.sizes}, cut={len(self.cut_arcs)} arcs)"
+        )
+
+
+def partition_graph(
+    graph: DataflowGraph, k: int, scheme: str = "auto"
+) -> Partition:
+    """Assign every cell of ``graph`` to one of ``k`` shards."""
+    if k < 1:
+        raise PartitionError(f"shard count must be >= 1, got {k}")
+    cids = sorted(graph.cells)
+    if not cids:
+        raise PartitionError("cannot partition an empty graph")
+    if k > len(cids):
+        raise PartitionError(
+            f"cannot split {len(cids)} cells into {k} shards; every "
+            f"shard needs at least one cell"
+        )
+    if scheme not in ("auto", "levels", "round_robin"):
+        raise PartitionError(
+            f"unknown partition scheme {scheme!r}; expected "
+            f"'auto', 'levels' or 'round_robin'"
+        )
+    if k == 1:
+        return _finish(graph, k, "single", {cid: 0 for cid in cids})
+
+    if scheme in ("auto", "levels"):
+        try:
+            levels = longest_path_levels(graph)
+        except GraphError:
+            if scheme == "levels":
+                raise PartitionError(
+                    "scheme 'levels' needs an acyclic graph; use "
+                    "'round_robin' (or 'auto') for graphs with "
+                    "feedback arcs"
+                )
+            levels = None
+        if levels is not None:
+            owner = _levels_cut(graph, k, cids, levels)
+            if owner is not None:
+                return _finish(graph, k, "levels", owner)
+    return _finish(
+        graph, k, "round_robin",
+        {cid: i % k for i, cid in enumerate(cids)},
+    )
+
+
+def _finish(
+    graph: DataflowGraph, k: int, scheme: str, owner: dict[int, int]
+) -> Partition:
+    cut = tuple(
+        aid
+        for aid, arc in sorted(graph.arcs.items())
+        if owner[arc.src] != owner[arc.dst]
+    )
+    return Partition(k=k, scheme=scheme, owner=owner, cut_arcs=cut)
+
+
+def _levels_cut(
+    graph: DataflowGraph,
+    k: int,
+    cids: list[int],
+    levels: dict[int, int],
+) -> dict[int, int] | None:
+    """Min-cut over the pipeline-level linear order, or None when the
+    balance constraint is unsatisfiable (caller falls back)."""
+    order = sorted(cids, key=lambda cid: (levels[cid], cid))
+    n = len(order)
+    if n < k:
+        return None
+    index = {cid: i for i, cid in enumerate(order)}
+
+    # cross[p] = number of arcs spanning the boundary between
+    # positions p-1 and p of the linear order (difference array)
+    diff = [0] * (n + 2)
+    for arc in graph.arcs.values():
+        a, b = sorted((index[arc.src], index[arc.dst]))
+        if a != b:
+            diff[a + 1] += 1
+            diff[b + 1] -= 1
+    cross = [0] * (n + 1)
+    run = 0
+    for p in range(1, n + 1):
+        run += diff[p]
+        cross[p] = run
+
+    ideal = n / k
+    lo = max(1, int(ideal / 2))
+    hi = max(lo, int(ideal * 2) + 1)
+
+    # dp[j][i]: cheapest total boundary cost putting the first i cells
+    # into j shards; a boundary placed before position i costs cross[i]
+    dp = [[_INF] * (n + 1) for _ in range(k + 1)]
+    back: list[list[int]] = [[-1] * (n + 1) for _ in range(k + 1)]
+    for i in range(lo, min(hi, n) + 1):
+        dp[1][i] = 0
+    for j in range(2, k + 1):
+        for i in range(j, n + 1):
+            best, best_prev = _INF, -1
+            for size in range(lo, hi + 1):
+                prev = i - size
+                if prev < j - 1:
+                    break
+                c = dp[j - 1][prev]
+                if c is not _INF and c + cross[prev] < best:
+                    best = c + cross[prev]
+                    best_prev = prev
+            dp[j][i] = best
+            back[j][i] = best_prev
+    if dp[k][n] is _INF or dp[k][n] == _INF:
+        return None
+
+    bounds = [n]
+    i = n
+    for j in range(k, 1, -1):
+        i = back[j][i]
+        if i < 0:
+            return None
+        bounds.append(i)
+    bounds.append(0)
+    bounds.reverse()
+
+    owner: dict[int, int] = {}
+    for shard in range(k):
+        for pos in range(bounds[shard], bounds[shard + 1]):
+            owner[order[pos]] = shard
+    return owner

@@ -1,0 +1,426 @@
+"""One entry point over the three execution backends.
+
+The reproduction grew three ways to execute a compiled instruction
+graph -- the unit-delay synchronous simulator (:mod:`repro.sim`), the
+event-driven packet-level machine (:mod:`repro.machine`) and the
+multi-process sharded runner (:mod:`repro.machine.sharded`).  They
+share the graph IR and the stream protocol but historically each had
+its own entry point, options and result shape.  :func:`run` unifies
+them::
+
+    import repro
+
+    result = repro.run(source, params={"m": 100},
+                       backend="sharded", shards=4)
+    result.outputs["X"]            # same streams whatever the backend
+    result.initiation_interval("X")
+    result.to_json_dict()          # stable schema shared with the CLI
+
+``program`` may be Val source text (compiled on the fly), an already
+compiled :class:`~repro.compiler.CompiledProgram`, or a raw
+:class:`~repro.graph.graph.DataflowGraph`.  Each backend is an object
+satisfying :class:`BackendProtocol`, looked up in :data:`BACKENDS`;
+:func:`register_backend` lets external code plug in another engine
+(e.g. an accelerator bridge) without touching this module.
+
+The older entry points (:func:`repro.sim.run_graph`,
+:func:`repro.machine.run_machine`) still work but are deprecated thin
+wrappers over this facade's engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Protocol, Union
+
+from .errors import ReproError
+
+#: version of the dict produced by :meth:`RunResult.to_json_dict` (and
+#: therefore of the CLI's ``--json`` output); bump on shape changes
+RESULT_SCHEMA = 1
+
+
+def _steady_interval(times: list[int]) -> float:
+    """Mean inter-arrival gap after discarding the pipeline-fill half
+    (same estimator as :meth:`repro.sim.sync.SinkRecord.
+    initiation_interval`)."""
+    if len(times) < 3:
+        return float("nan")
+    skip = min(max(1, len(times) // 2), len(times) - 2)
+    window = times[skip:]
+    return (window[-1] - window[0]) / (len(window) - 1)
+
+
+@dataclass
+class RunResult:
+    """Backend-independent outcome of one end-to-end run.
+
+    ``cycles`` counts whatever clock the backend uses: instruction
+    times for ``sync``, machine cycles for ``event`` and ``sharded``
+    (so absolute numbers are comparable only within a backend, while
+    initiation intervals are comparable across all of them under
+    unit-time configs).
+    """
+
+    backend: str
+    outputs: dict[str, list[Any]]
+    #: per-stream arrival time of every output element
+    sink_times: dict[str, list[int]]
+    cycles: int
+    stats: Any
+    #: the engine that ran (SyncSimulator / Machine / ShardedRunner);
+    #: backend-specific, for callers that need to dig deeper
+    engine: Any = None
+    shards: int = 1
+
+    def initiation_interval(self, stream: Optional[str] = None) -> float:
+        """Steady-state clock ticks between successive outputs of
+        ``stream`` (the only output stream when omitted)."""
+        return _steady_interval(self._times(stream))
+
+    def throughput(self, stream: Optional[str] = None) -> float:
+        ii = self.initiation_interval(stream)
+        return 1.0 / ii if ii and ii == ii else 0.0
+
+    def latency(self, stream: Optional[str] = None) -> int:
+        """Tick at which the first output of ``stream`` arrived."""
+        times = self._times(stream)
+        return times[0] if times else -1
+
+    def _times(self, stream: Optional[str]) -> list[int]:
+        if stream is None:
+            if len(self.sink_times) != 1:
+                raise ValueError(
+                    f"stream must be named; outputs: "
+                    f"{sorted(self.sink_times)}"
+                )
+            return next(iter(self.sink_times.values()))
+        try:
+            return self.sink_times[stream]
+        except KeyError:
+            raise ValueError(
+                f"no output stream {stream!r}; outputs: "
+                f"{sorted(self.sink_times)}"
+            ) from None
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """The stable JSON shape shared by the CLI's ``--json`` flag."""
+        streams = {}
+        for name in sorted(self.outputs):
+            streams[name] = {
+                "values": list(self.outputs[name]),
+                "times": list(self.sink_times.get(name, [])),
+            }
+            ii = self.initiation_interval(name)
+            streams[name]["initiation_interval"] = (
+                None if ii != ii else round(ii, 6)
+            )
+        stats: dict[str, Any] = {
+            "total_firings": getattr(self.stats, "total_firings", None),
+            "summary": self.stats.summary()
+            if hasattr(self.stats, "summary") else None,
+        }
+        return {
+            "schema": RESULT_SCHEMA,
+            "backend": self.backend,
+            "shards": self.shards,
+            "cycles": self.cycles,
+            "streams": streams,
+            "stats": stats,
+        }
+
+
+@dataclass
+class RunRequest:
+    """Everything a backend needs to execute one run (normalized by
+    :func:`run`; ``graph`` and ``inputs`` are already stream-level)."""
+
+    graph: Any
+    inputs: dict[str, list[Any]]
+    shards: int = 1
+    config: Any = None                  # MachineConfig, machine backends
+    faults: Any = None                  # FaultPlan
+    recovery: bool = True
+    checkpoint: Any = None              # CheckpointConfig
+    max_cycles: Optional[int] = None
+    processes: Optional[bool] = None    # sharded: real workers or not
+    partition: str = "auto"             # sharded: partition scheme
+    workload_id: Optional[str] = None
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def reject(self, backend: str, *names: str) -> None:
+        """Fail loudly on options the backend cannot honor -- silently
+        dropping a fault plan or checkpoint config would let a caller
+        believe a run was fault-injected or recoverable when it was
+        neither."""
+        for name in names:
+            if getattr(self, name) not in (None, True, "auto", 1):
+                raise ReproError(
+                    f"backend {backend!r} does not support {name!r}"
+                )
+
+
+class BackendProtocol(Protocol):
+    """An execution engine pluggable into :func:`run`."""
+
+    name: str
+
+    def execute(self, request: RunRequest) -> RunResult:
+        """Run to quiescence and report backend-independent results."""
+        ...
+
+
+class SyncBackend:
+    """Unit-delay synchronous simulator (:mod:`repro.sim.sync`)."""
+
+    name = "sync"
+
+    def execute(self, request: RunRequest) -> RunResult:
+        from .sim.sync import SyncSimulator
+
+        request.reject(
+            self.name, "shards", "config", "faults", "checkpoint",
+            "processes", "partition", "recovery",
+        )
+        sim = SyncSimulator(
+            request.graph, request.inputs,
+            **{k: request.options[k] for k in ("record_trace",)
+               if k in request.options},
+        )
+        sim.run(max_steps=request.max_cycles or 1_000_000)
+        records = {r.stream: r for r in sim.sink_records.values()}
+        return RunResult(
+            backend=self.name,
+            outputs=sim.outputs(),
+            sink_times={s: list(r.times) for s, r in records.items()},
+            cycles=sim.stats.steps,
+            stats=sim.stats,
+            engine=sim,
+        )
+
+
+class EventBackend:
+    """Single-process event-driven machine (:mod:`repro.machine`)."""
+
+    name = "event"
+
+    def execute(self, request: RunRequest) -> RunResult:
+        from .machine.machine import Machine
+
+        request.reject(self.name, "shards", "processes", "partition")
+        machine = Machine(
+            request.graph,
+            config=request.config,
+            inputs=request.inputs,
+            fault_plan=request.faults,
+            recovery=request.recovery,
+            checkpoint=request.checkpoint,
+            **{k: request.options[k]
+               for k in ("policy", "reliable", "trace")
+               if k in request.options},
+        )
+        if request.workload_id is not None:
+            machine.workload_id = request.workload_id
+        stats = machine.run(max_cycles=request.max_cycles or 50_000_000)
+        outputs = machine.outputs()
+        return RunResult(
+            backend=self.name,
+            outputs=outputs,
+            sink_times={
+                s: list(machine.sink_arrival_times(s)) for s in outputs
+            },
+            cycles=stats.cycles,
+            stats=stats,
+            engine=machine,
+        )
+
+
+class ShardedBackend:
+    """Multi-process sharded machine (:mod:`repro.machine.sharded`)."""
+
+    name = "sharded"
+
+    def execute(self, request: RunRequest) -> RunResult:
+        from .machine.sharded import ShardedRunner
+
+        runner = ShardedRunner(
+            request.graph,
+            request.inputs,
+            shards=request.shards,
+            config=request.config,
+            fault_plan=request.faults,
+            recovery=request.recovery,
+            checkpoint=request.checkpoint,
+            partition=request.partition,
+            processes=request.processes,
+            workload_id=request.workload_id,
+            **{k: request.options[k] for k in ("policy",)
+               if k in request.options},
+        )
+        stats = runner.run(max_cycles=request.max_cycles or 50_000_000)
+        outputs = runner.outputs()
+        return RunResult(
+            backend=self.name,
+            outputs=outputs,
+            sink_times={
+                s: list(runner.sink_arrival_times(s)) for s in outputs
+            },
+            cycles=stats.cycles,
+            stats=stats,
+            engine=runner,
+            shards=request.shards,
+        )
+
+
+#: backend registry; :func:`run` resolves ``backend=`` names here
+BACKENDS: dict[str, BackendProtocol] = {
+    b.name: b for b in (SyncBackend(), EventBackend(), ShardedBackend())
+}
+
+
+def register_backend(backend: BackendProtocol) -> None:
+    """Add (or replace) an engine under ``backend.name``."""
+    BACKENDS[backend.name] = backend
+
+
+def _normalize(program: Any, inputs: Optional[Mapping[str, Any]],
+               params: Optional[Mapping[str, int]]) -> tuple[Any, dict]:
+    """Accept Val source, a CompiledProgram or a raw graph; return the
+    stream-level ``(graph, input streams)`` every backend consumes."""
+    from .compiler.pipeline import CompiledProgram, compile_program
+    from .graph.graph import DataflowGraph
+
+    if isinstance(program, str):
+        program = compile_program(program, params=dict(params or {}))
+    if isinstance(program, CompiledProgram):
+        return program.graph, program.prepare_inputs(dict(inputs or {}))
+    if isinstance(program, DataflowGraph):
+        if params:
+            raise ReproError(
+                "params= only applies when compiling Val source"
+            )
+        return program, {k: list(v) for k, v in (inputs or {}).items()}
+    raise ReproError(
+        f"cannot run a {type(program).__name__}; expected Val source, "
+        f"a CompiledProgram or a DataflowGraph"
+    )
+
+
+def run(
+    program: Any,
+    inputs: Optional[Mapping[str, Any]] = None,
+    *,
+    backend: str = "event",
+    shards: int = 1,
+    params: Optional[Mapping[str, int]] = None,
+    config: Any = None,
+    faults: Any = None,
+    recovery: bool = True,
+    checkpoint: Any = None,
+    max_cycles: Optional[int] = None,
+    processes: Optional[bool] = None,
+    partition: str = "auto",
+    workload_id: Optional[str] = None,
+    **options: Any,
+) -> RunResult:
+    """Run ``program`` on ``inputs`` with the chosen backend.
+
+    ``backend``
+        ``"sync"`` (unit-delay simulator), ``"event"`` (packet-level
+        machine, the default) or ``"sharded"`` (K event-driven workers
+        over pipes) -- or any name added via :func:`register_backend`.
+    ``shards`` / ``processes`` / ``partition``
+        Sharded-backend knobs: worker count, whether workers are real
+        processes (default: yes when ``shards > 1``), and the
+        partition scheme (``auto`` / ``levels`` / ``round_robin``).
+    ``params``
+        Compile-time constants, when ``program`` is Val source text.
+    ``config`` / ``faults`` / ``recovery`` / ``checkpoint``
+        Machine-backend knobs: :class:`~repro.machine.MachineConfig`,
+        a seeded :class:`~repro.faults.FaultPlan`, the reliability
+        layer switch, and a :class:`~repro.checkpoint.
+        CheckpointConfig` for periodic (sharded: coordinated)
+        snapshots.
+
+    Unknown keyword options are passed through to the backend, which
+    rejects what it cannot honor.
+    """
+    try:
+        engine = BACKENDS[backend]
+    except KeyError:
+        raise ReproError(
+            f"unknown backend {backend!r}; choose from "
+            f"{sorted(BACKENDS)}"
+        ) from None
+    if shards != 1 and backend != "sharded":
+        raise ReproError(
+            f"shards={shards} needs backend='sharded', not {backend!r}"
+        )
+    if shards < 1:
+        raise ReproError(f"shard count must be >= 1, got {shards}")
+    graph, streams = _normalize(program, inputs, params)
+    request = RunRequest(
+        graph=graph,
+        inputs=streams,
+        shards=shards,
+        config=config,
+        faults=faults,
+        recovery=recovery,
+        checkpoint=checkpoint,
+        max_cycles=max_cycles,
+        processes=processes,
+        partition=partition,
+        workload_id=workload_id,
+        options=dict(options),
+    )
+    return engine.execute(request)
+
+
+def resume(
+    directory: Union[str, Any],
+    *,
+    max_cycles: int = 50_000_000,
+    allow_legacy: bool = False,
+) -> RunResult:
+    """Resume a checkpointed run -- single-machine or sharded -- from
+    ``directory`` and run it to completion.
+
+    Auto-detects the directory kind: a sharded manifest resumes the
+    newest complete coordinated set via :meth:`~repro.machine.sharded.
+    ShardedRunner.resume`; anything else resumes the newest
+    single-machine snapshot via :meth:`~repro.machine.Machine.resume`.
+    """
+    from .checkpoint.coordinator import is_sharded_dir
+    from .machine.machine import Machine
+    from .machine.sharded import ShardedRunner
+
+    if is_sharded_dir(directory):
+        runner = ShardedRunner.resume(
+            directory, allow_legacy=allow_legacy
+        )
+        stats = runner.run(max_cycles=max_cycles)
+        outputs = runner.outputs()
+        return RunResult(
+            backend="sharded",
+            outputs=outputs,
+            sink_times={
+                s: list(runner.sink_arrival_times(s)) for s in outputs
+            },
+            cycles=stats.cycles,
+            stats=stats,
+            engine=runner,
+            shards=len(runner.machines),
+        )
+    machine = Machine.resume(directory, allow_legacy=allow_legacy)
+    stats = machine.run(max_cycles=max_cycles)
+    outputs = machine.outputs()
+    return RunResult(
+        backend="event",
+        outputs=outputs,
+        sink_times={
+            s: list(machine.sink_arrival_times(s)) for s in outputs
+        },
+        cycles=stats.cycles,
+        stats=stats,
+        engine=machine,
+    )

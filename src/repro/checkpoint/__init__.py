@@ -29,6 +29,14 @@ Quick use::
 """
 
 from ..errors import ManifestError, SnapshotError, SupervisorError
+from .coordinator import (
+    CoordinatedCheckpointManager,
+    is_sharded_dir,
+    latest_coordinated,
+    quarantine_coordinated,
+    read_shard_manifest,
+    shard_snapshot_name,
+)
 from .manager import CheckpointConfig, CheckpointManager
 from .replay import (
     DivergenceReport,
@@ -62,6 +70,7 @@ __all__ = [
     "AttemptRecord",
     "CheckpointConfig",
     "CheckpointManager",
+    "CoordinatedCheckpointManager",
     "DivergenceReport",
     "EXIT_SNAPSHOT_UNLOADABLE",
     "EventTrace",
@@ -75,14 +84,19 @@ __all__ = [
     "SupervisorError",
     "SupervisorReport",
     "bisect_divergence",
+    "is_sharded_dir",
+    "latest_coordinated",
     "latest_snapshot",
     "load_machine",
     "migrate_snapshot",
     "outputs_digest",
+    "quarantine_coordinated",
     "read_manifest",
     "read_metadata",
+    "read_shard_manifest",
     "read_snapshot",
     "replay_bundle",
     "save_snapshot",
+    "shard_snapshot_name",
     "snapshot_cycle",
 ]

@@ -1,0 +1,279 @@
+"""Coordinated (Chandy-Lamport) checkpoint sets for sharded runs.
+
+A sharded run (:mod:`repro.machine.sharded`) checkpoints at a lockstep
+barrier: every worker writes its own v2 shard snapshot
+(``ckpt-<cycle>.shard<k>.snap``, carrying the in-flight channel
+messages about to be injected into it as ``extra.channel_state``), and
+the coordinator commits the *set* to the directory manifest only after
+all K files have landed on disk.  The manifest entry is the unit of
+consistency:
+
+* a crash between shard writes leaves stray ``.shard<k>.snap`` files
+  but no manifest entry, so :func:`latest_coordinated` never offers a
+  partial set for resume;
+* retention prunes whole sets, never individual shard files, and drops
+  the manifest entry *before* unlinking any file -- a crash mid-prune
+  orphans files (harmless) rather than leaving a committed entry that
+  points at a half-deleted set.
+
+The single-machine :func:`~repro.checkpoint.snapshot.latest_snapshot`
+already ignores shard files (their stem's cycle part is not purely
+numeric), so a sharded directory is invisible to the single-machine
+resume path; :func:`is_sharded_dir` is how callers (CLI ``resume``,
+the supervisor) detect that a directory needs the coordinated path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from ..errors import ManifestError, SnapshotError
+from ..machine.stats import CheckpointStats
+from .manager import CheckpointConfig
+from .replay import MANIFEST_NAME, MANIFEST_SCHEMA
+from .snapshot import _atomic_write
+
+
+def shard_snapshot_name(cycle: int, shard: int) -> str:
+    """On-disk name of shard ``shard``'s member of the ``cycle`` set."""
+    return f"ckpt-{cycle:012d}.shard{shard}.snap"
+
+
+def read_shard_manifest(directory: Union[str, Path]) -> dict[str, Any]:
+    """Read and validate a sharded checkpoint directory's manifest."""
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ManifestError(f"no manifest in {directory}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ManifestError(
+            f"unreadable manifest in {directory}: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or not manifest.get("sharded"):
+        raise ManifestError(
+            f"{directory} is not a sharded checkpoint directory"
+        )
+    shards = manifest.get("shards")
+    if not isinstance(shards, int) or shards < 1:
+        raise ManifestError(
+            f"sharded manifest in {directory} has bad shard count "
+            f"{shards!r}"
+        )
+    return manifest
+
+
+def is_sharded_dir(directory: Union[str, Path]) -> bool:
+    """True when ``directory`` holds coordinated shard snapshot sets."""
+    try:
+        read_shard_manifest(directory)
+    except ManifestError:
+        return False
+    return True
+
+
+def latest_coordinated(
+    directory: Union[str, Path]
+) -> Optional[dict[str, Any]]:
+    """Newest committed coordinated set whose files all still exist.
+
+    Returns the manifest entry (``{"cycle": ..., "files": [...]}``) or
+    None.  Quarantined sets and sets with missing files are skipped --
+    the next-older complete set wins, mirroring the single-machine
+    poisoned-snapshot step-back.
+    """
+    directory = Path(directory)
+    manifest = read_shard_manifest(directory)
+    entries = manifest.get("coordinated", [])
+    quarantined = {
+        q.get("cycle")
+        for q in manifest.get("quarantined", [])
+        if isinstance(q, dict)
+    }
+    for entry in reversed(entries):
+        if not isinstance(entry, dict):
+            continue
+        files = entry.get("files", [])
+        if entry.get("cycle") in quarantined or not files:
+            continue
+        if all((directory / name).exists() for name in files):
+            return entry
+    return None
+
+
+def quarantine_coordinated(
+    directory: Union[str, Path], cycle: int, reason: str
+) -> list[str]:
+    """Quarantine the whole coordinated set at ``cycle``.
+
+    Every member file is renamed to ``<name>.poisoned`` and the cycle
+    is recorded under the manifest's ``"quarantined"`` list, so
+    :func:`latest_coordinated` steps back to the previous complete
+    set.  Returns the names that were renamed.
+    """
+    directory = Path(directory)
+    manifest = read_shard_manifest(directory)
+    renamed: list[str] = []
+    for entry in manifest.get("coordinated", []):
+        if isinstance(entry, dict) and entry.get("cycle") == cycle:
+            for name in entry.get("files", []):
+                path = directory / name
+                if path.exists():
+                    path.rename(path.with_name(path.name + ".poisoned"))
+                    renamed.append(name)
+    manifest.setdefault("quarantined", []).append(
+        {"cycle": cycle, "reason": reason}
+    )
+    _write_manifest(directory, manifest)
+    return renamed
+
+
+def _write_manifest(directory: Path, manifest: dict[str, Any]) -> None:
+    _atomic_write(
+        directory / MANIFEST_NAME,
+        (json.dumps(manifest, indent=2, default=repr) + "\n").encode(
+            "utf-8"
+        ),
+    )
+
+
+class CoordinatedCheckpointManager:
+    """Commit and retention logic for coordinated shard snapshot sets.
+
+    Owned by :class:`~repro.machine.sharded.ShardedRunner`; the runner
+    decides *when* a barrier checkpoint happens and asks each worker to
+    write its file, this class decides what counts as *committed* (all
+    K files on disk, then a manifest entry) and enforces all-or-none
+    retention over whole sets.
+    """
+
+    def __init__(self, config: CheckpointConfig, shards: int) -> None:
+        if shards < 1:
+            raise SnapshotError(
+                f"shard count must be >= 1, got {shards}"
+            )
+        if config.record:
+            raise SnapshotError(
+                "record/replay is not supported for sharded runs; "
+                "use record=False for coordinated checkpoints"
+            )
+        self.config = config
+        self.shards = shards
+        self.stats = CheckpointStats()
+        #: committed sets, oldest first: {"cycle": int, "files": [...]}
+        self._sets: list[dict[str, Any]] = []
+        self._quarantined: list[dict[str, Any]] = []
+        self._status = "created"
+        self._meta: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @property
+    def directory(self) -> Path:
+        return Path(self.config.directory)
+
+    @classmethod
+    def attach(
+        cls, directory: Union[str, Path]
+    ) -> "CoordinatedCheckpointManager":
+        """Reconstruct the manager of an existing sharded directory
+        (the resume path), preserving its committed-set history."""
+        directory = Path(directory)
+        manifest = read_shard_manifest(directory)
+        config = CheckpointConfig(
+            directory=directory,
+            interval=int(manifest.get("interval") or 10_000),
+            retain=int(manifest.get("retain") or 3),
+        )
+        self = cls(config, int(manifest["shards"]))
+        self._sets = [
+            dict(e)
+            for e in manifest.get("coordinated", [])
+            if isinstance(e, dict)
+        ]
+        self._quarantined = [
+            dict(q)
+            for q in manifest.get("quarantined", [])
+            if isinstance(q, dict)
+        ]
+        self._meta = {
+            key: manifest[key]
+            for key in ("workload", "partition_scheme")
+            if key in manifest
+        }
+        self._status = "attached"
+        if self._sets:
+            self.stats.last_snapshot_cycle = self._sets[-1]["cycle"]
+        return self
+
+    def on_start(self, runner: Any) -> None:
+        """Called once when the runner's :meth:`run` begins."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self._status != "attached":
+            self._meta = {
+                "workload": getattr(runner, "workload_id", None),
+                "partition_scheme": getattr(
+                    getattr(runner, "partition", None), "scheme", None
+                ),
+            }
+        self._status = "running"
+        self._write()
+
+    def on_complete(self, runner: Any) -> None:
+        self._status = "completed"
+        self._write()
+
+    # ------------------------------------------------------------------
+    # commits
+
+    def shard_name(self, cycle: int, shard: int) -> str:
+        return shard_snapshot_name(cycle, shard)
+
+    def commit(
+        self, cycle: int, names: list[str], sizes: list[int]
+    ) -> None:
+        """Commit one complete set: all ``names`` are on disk (the
+        workers have replied), so the manifest entry makes the set
+        visible to resume; retention then prunes whole old sets."""
+        if len(names) != self.shards:
+            raise SnapshotError(
+                f"coordinated set at cycle {cycle} has {len(names)} "
+                f"files, expected {self.shards}"
+            )
+        self._sets.append({"cycle": cycle, "files": list(names)})
+        self.stats.snapshots_written += len(names)
+        self.stats.bytes_written += sum(sizes)
+        self.stats.last_snapshot_cycle = cycle
+        self._write()
+        self._prune()
+
+    def _prune(self) -> None:
+        """All-or-none retention: drop a set from the manifest first,
+        then unlink its files, so a crash mid-prune never leaves a
+        committed entry pointing at a partially-deleted set."""
+        while len(self._sets) > self.config.retain:
+            doomed = self._sets.pop(0)
+            self._write()
+            for name in doomed["files"]:
+                try:
+                    (self.directory / name).unlink()
+                except FileNotFoundError:
+                    pass
+                self.stats.snapshots_pruned += 1
+
+    def _write(self) -> None:
+        manifest: dict[str, Any] = {
+            "schema": MANIFEST_SCHEMA,
+            "sharded": True,
+            "shards": self.shards,
+            "interval": self.config.interval,
+            "retain": self.config.retain,
+            "status": self._status,
+            "coordinated": self._sets,
+            "quarantined": self._quarantined,
+        }
+        manifest.update(self._meta)
+        _write_manifest(self.directory, manifest)

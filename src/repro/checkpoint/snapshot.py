@@ -114,6 +114,7 @@ _REPRO_ALLOWLIST: dict[str, frozenset[str]] = {
     "repro.machine.machine": frozenset(
         {"Machine", "_CellState", "_UnitState"}
     ),
+    "repro.machine.sharded": frozenset({"ShardMachine"}),
     "repro.machine.packets": frozenset({"PacketCounters"}),
     "repro.machine.stats": frozenset(
         {"CheckpointStats", "ReliabilityStats"}
@@ -238,7 +239,7 @@ def snapshot_metadata(machine: Any, reason: str = "periodic") -> dict[str, Any]:
     ckpt = getattr(machine, "ckpt", None)
     if ckpt is not None:
         stats["snapshots_written"] = ckpt.stats.snapshots_written
-    return {
+    meta = {
         "format": FORMAT_VERSION,
         "code_version": __version__,
         "workload": getattr(machine, "workload_id", None),
@@ -246,6 +247,13 @@ def snapshot_metadata(machine: Any, reason: str = "periodic") -> dict[str, Any]:
         "reason": reason,
         "stats": stats,
     }
+    shard = getattr(machine, "shard_index", None)
+    if shard is not None:
+        # one member of a coordinated shard set: resumable only as a
+        # complete set through the coordinated manifest
+        meta["shard"] = shard
+        meta["shards"] = getattr(machine, "n_shards", None)
+    return meta
 
 
 def _pack_envelope(meta: dict[str, Any], payload: bytes) -> bytes:
@@ -261,12 +269,23 @@ def _pack_envelope(meta: dict[str, Any], payload: bytes) -> bytes:
     return header + meta_bytes + payload
 
 
-def snapshot_bytes(machine: Any, reason: str = "periodic") -> bytes:
-    """Serialize ``machine`` into the v2 snapshot envelope."""
-    payload = pickle.dumps(
-        {"machine": machine, "cycle": machine.now, "reason": reason},
-        protocol=pickle.HIGHEST_PROTOCOL,
-    )
+def snapshot_bytes(
+    machine: Any,
+    reason: str = "periodic",
+    extra: Optional[dict[str, Any]] = None,
+) -> bytes:
+    """Serialize ``machine`` into the v2 snapshot envelope.
+
+    ``extra`` rides along in the payload (same restricted-unpickler
+    rules apply on load); the coordinated sharded checkpoint stores
+    each shard's in-flight channel state there.
+    """
+    data: dict[str, Any] = {
+        "machine": machine, "cycle": machine.now, "reason": reason,
+    }
+    if extra is not None:
+        data["extra"] = extra
+    payload = pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL)
     return _pack_envelope(snapshot_metadata(machine, reason), payload)
 
 
@@ -288,12 +307,15 @@ def _snapshot_bytes_v1(machine: Any, reason: str = "periodic") -> bytes:
 
 
 def save_snapshot(
-    machine: Any, path: Union[str, Path], reason: str = "periodic"
+    machine: Any,
+    path: Union[str, Path],
+    reason: str = "periodic",
+    extra: Optional[dict[str, Any]] = None,
 ) -> Path:
     """Atomically write one snapshot of ``machine`` and return its path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    _atomic_write(path, snapshot_bytes(machine, reason))
+    _atomic_write(path, snapshot_bytes(machine, reason, extra=extra))
     return path
 
 
@@ -546,13 +568,16 @@ def load_machine(
     source: Union[str, Path],
     expected_cls: Optional[type] = None,
     allow_legacy: bool = False,
+    with_extra: bool = False,
 ) -> Any:
     """Load the machine held by a snapshot file or checkpoint directory.
 
     The deserialized event heap is checked against the machine's event
     vocabulary so a tampered payload cannot smuggle handler names in.
     ``allow_legacy`` gates v1 files exactly as in
-    :func:`read_snapshot`.
+    :func:`read_snapshot`.  With ``with_extra=True`` the return value
+    is ``(machine, extra)`` where ``extra`` is the payload's side
+    channel (e.g. a shard snapshot's in-flight messages) or ``None``.
     """
     path = Path(source)
     if path.is_dir():
@@ -568,7 +593,8 @@ def load_machine(
                 )
             raise SnapshotError(f"no snapshots in directory {path}")
         path = found
-    machine = read_snapshot(path, allow_legacy=allow_legacy)["machine"]
+    data = read_snapshot(path, allow_legacy=allow_legacy)
+    machine = data["machine"]
     if expected_cls is not None and not isinstance(machine, expected_cls):
         raise SnapshotError(
             f"snapshot {path} holds a {type(machine).__name__}, "
@@ -583,4 +609,7 @@ def load_machine(
     # machines pickled by builds that predate out-of-band snapshots
     # lack the request queue; backfill so the event loop can run them
     machine.__dict__.setdefault("_snap_requests", [])
+    if with_extra:
+        extra = data.get("extra")
+        return machine, extra if isinstance(extra, dict) else None
     return machine

@@ -44,6 +44,11 @@ from pathlib import Path
 from typing import Any, Callable, Optional, Union
 
 from ..errors import SupervisorError
+from .coordinator import (
+    is_sharded_dir,
+    latest_coordinated,
+    quarantine_coordinated,
+)
 from .replay import MANIFEST_NAME, MANIFEST_SCHEMA
 from .snapshot import _atomic_write, latest_snapshot
 
@@ -55,6 +60,23 @@ from .snapshot import _atomic_write, latest_snapshot
 #: snapshot, a missing plan file, ...), which must go through the
 #: two-strike counter instead of quarantining a good snapshot.
 EXIT_SNAPSHOT_UNLOADABLE = 4
+
+#: pseudo snapshot-name prefix for a sharded run's coordinated set;
+#: the supervisor's strike/quarantine bookkeeping works on names, and
+#: a coordinated set has no single file, so it gets a synthetic one
+COORDINATED_SET_PREFIX = "coordinated-set-"
+
+
+@dataclass(frozen=True)
+class _CoordinatedResumePoint:
+    """Stand-in for a :class:`~pathlib.Path` snapshot: the newest
+    complete coordinated set of a sharded checkpoint directory."""
+
+    cycle: int
+
+    @property
+    def name(self) -> str:
+        return f"{COORDINATED_SET_PREFIX}{self.cycle:012d}"
 
 
 @dataclass
@@ -266,12 +288,27 @@ class Supervisor:
             delay *= self._rng.uniform(1 - cfg.jitter, 1 + cfg.jitter)
         return delay
 
+    def _latest(self) -> Optional[Any]:
+        """Newest resumable point: a snapshot path, a coordinated set
+        of a sharded directory, or None."""
+        if is_sharded_dir(self.directory):
+            entry = latest_coordinated(self.directory)
+            if entry is None:
+                return None
+            return _CoordinatedResumePoint(int(entry["cycle"]))
+        return latest_snapshot(self.directory)
+
     def _quarantine(self, report: SupervisorReport, snap_name: str,
                     reason: str) -> None:
-        path = self.directory / snap_name
-        if path.exists():
-            path.rename(path.with_name(path.name + ".poisoned"))
-        _record_quarantine(self.directory, snap_name, reason)
+        if snap_name.startswith(COORDINATED_SET_PREFIX):
+            # a sharded run's set: all K shard files go together
+            cycle = int(snap_name[len(COORDINATED_SET_PREFIX):])
+            quarantine_coordinated(self.directory, cycle, reason)
+        else:
+            path = self.directory / snap_name
+            if path.exists():
+                path.rename(path.with_name(path.name + ".poisoned"))
+            _record_quarantine(self.directory, snap_name, reason)
         report.quarantined.append(snap_name)
         self.log(f"# supervise: quarantined {snap_name} ({reason})")
 
@@ -284,7 +321,7 @@ class Supervisor:
         strikes: dict[Optional[str], int] = {}
         restarts = 0
         while True:
-            resume_from = latest_snapshot(self.directory)
+            resume_from = self._latest()
             mode = "resume" if resume_from is not None else "start"
             if mode == "resume":
                 argv = self.resume_argv(self.directory)
@@ -338,7 +375,7 @@ class Supervisor:
                 strikes.pop(resume_from.name, None)
             else:
                 key = resume_from.name if resume_from is not None else None
-                newest = latest_snapshot(self.directory)
+                newest = self._latest()
                 progressed = (
                     newest is not None
                     and (resume_from is None or newest.name != key)
@@ -364,7 +401,7 @@ class Supervisor:
                 self.log(f"# supervise: {report.gave_up}")
                 return report
             if (
-                latest_snapshot(self.directory) is None
+                self._latest() is None
                 and mode == "resume"
             ):
                 # every snapshot has been quarantined and there is no

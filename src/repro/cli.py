@@ -5,10 +5,12 @@ programs from the shell.
 
     python -m repro compile prog.val -p m=100 --describe --dot prog.dot
     python -m repro run prog.val -p m=100 --inputs inputs.json
+    python -m repro run prog.val -p m=100 --backend sharded --shards 4
     python -m repro interpret prog.val -p m=100 --inputs inputs.json
     python -m repro simulate prog.dfasm --inputs inputs.json
     python -m repro faults fig6 --drop-result 0.05 --dup-result 0.05
     python -m repro checkpoint fig7 --dir ckpts --interval 5000
+    python -m repro checkpoint fig7 --dir ckpts --backend sharded --shards 4
     python -m repro resume ckpts
     python -m repro replay ckpts
     python -m repro bisect ckpts --perturb-plan perturb.json
@@ -16,9 +18,17 @@ programs from the shell.
     python -m repro snapshot migrate old-ckpts/
     python -m repro supervise fig7 --dir ckpts --interval 5000
 
-While ``checkpoint``/``resume``/``supervise`` children run, SIGUSR1
-takes an out-of-band ``live-<cycle>.snap`` snapshot without stopping
-the simulation.
+``run``, ``checkpoint``, ``resume`` and ``supervise`` accept
+``--backend {sync,event,sharded}`` (plus ``--shards K`` for the
+sharded backend); ``resume`` auto-detects whether a directory holds
+single-machine snapshots or coordinated shard sets.  ``run``,
+``resume``, ``replay`` and ``bisect`` accept ``--json``, which prints
+one stable JSON envelope to stdout (see README "JSON output"):
+``{"schema": 1, "command": ..., "ok": ..., "result": ...}``.
+
+While single-machine ``checkpoint``/``resume``/``supervise`` children
+run, SIGUSR1 takes an out-of-band ``live-<cycle>.snap`` snapshot
+without stopping the simulation.
 
 Inputs are a JSON object mapping array names to lists (or to
 ``[lo, [values...]]`` pairs for arrays with a nonzero lower bound).
@@ -33,14 +43,18 @@ import sys
 from pathlib import Path
 from typing import Any, Optional
 
+from . import api
 from .checkpoint import (
     EXIT_SNAPSHOT_UNLOADABLE,
     CheckpointConfig,
     Supervisor,
     SupervisorConfig,
     bisect_divergence,
+    is_sharded_dir,
+    latest_coordinated,
     migrate_snapshot,
     read_metadata,
+    read_shard_manifest,
     replay_bundle,
 )
 from .compiler import compile_program
@@ -48,11 +62,17 @@ from .errors import DeadlockError, ReproError, SimulationTimeout, SnapshotError
 from .faults import FaultPlan
 from .graph.asm import read_asm, to_asm
 from .graph.dot import to_dot
-from .machine import Machine, run_machine
-from .sim import run_graph
+from .machine import Machine, ShardCrashError, ShardedRunner
+from .machine.machine import _run_machine
+from .sim.runner import _run_graph
 from .val import parse_program, run_program
 from .val.values import ValArray
 from .workloads.figures import FIGURES, figure_workload
+
+#: exit code when a sharded worker died (mirrors the 128+SIGKILL=137 a
+#: hard-killed single process reports, so the supervisor treats both
+#: the same way)
+EXIT_SHARD_CRASH = 137
 
 
 def _parse_params(items: list[str]) -> dict[str, int]:
@@ -95,6 +115,52 @@ def _emit_outputs(outputs: dict[str, Any]) -> None:
     sys.stdout.write("\n")
 
 
+def _emit_envelope(command: str, ok: bool, result: dict[str, Any]) -> None:
+    """The one ``--json`` shape every subcommand shares (see README):
+    the ``result`` payload varies by command, the envelope does not."""
+    json.dump(
+        {
+            "schema": api.RESULT_SCHEMA,
+            "command": command,
+            "ok": ok,
+            "result": result,
+        },
+        sys.stdout,
+        indent=2,
+        default=repr,
+    )
+    sys.stdout.write("\n")
+
+
+def _machine_result(machine: Machine, stats: Any) -> api.RunResult:
+    outputs = machine.outputs()
+    return api.RunResult(
+        backend="event",
+        outputs=outputs,
+        sink_times={
+            s: list(machine.sink_arrival_times(s)) for s in outputs
+        },
+        cycles=stats.cycles,
+        stats=stats,
+        engine=machine,
+    )
+
+
+def _sharded_result(runner: ShardedRunner, stats: Any) -> api.RunResult:
+    outputs = runner.outputs()
+    return api.RunResult(
+        backend="sharded",
+        outputs=outputs,
+        sink_times={
+            s: list(runner.sink_arrival_times(s)) for s in outputs
+        },
+        cycles=stats.cycles,
+        stats=stats,
+        engine=runner,
+        shards=len(runner.machines),
+    )
+
+
 def _compile_opts(args: argparse.Namespace) -> dict[str, Any]:
     opts: dict[str, Any] = {
         "forall_scheme": args.forall_scheme,
@@ -130,20 +196,43 @@ def cmd_run(args: argparse.Namespace) -> int:
     cp = compile_program(
         source, params=_parse_params(args.param), **_compile_opts(args)
     )
-    result = cp.run(_load_inputs(args.inputs))
+    if args.backend == "sync" and not args.json:
+        # historical stdout shape: ValArray outputs as [lo, [...]]
+        result = cp.run(_load_inputs(args.inputs))
+        _emit_outputs(result.outputs)
+        if args.stats:
+            for stream in result.outputs:
+                print(
+                    f"# {stream}: II = "
+                    f"{result.initiation_interval(stream):.3f} "
+                    f"instruction times/element",
+                    file=sys.stderr,
+                )
+            print(
+                f"# total: {result.stats.steps} instruction times, "
+                f"{result.stats.total_firings} firings",
+                file=sys.stderr,
+            )
+        return 0
+    result = api.run(
+        cp,
+        _load_inputs(args.inputs),
+        backend=args.backend,
+        shards=args.shards,
+    )
+    if args.json:
+        _emit_envelope("run", True, result.to_json_dict())
+        return 0
     _emit_outputs(result.outputs)
     if args.stats:
         for stream in result.outputs:
             print(
-                f"# {stream}: II = {result.initiation_interval(stream):.3f} "
-                f"instruction times/element",
+                f"# {stream}: II = "
+                f"{result.initiation_interval(stream):.3f} "
+                f"cycles/element",
                 file=sys.stderr,
             )
-        print(
-            f"# total: {result.stats.steps} instruction times, "
-            f"{result.stats.total_firings} firings",
-            file=sys.stderr,
-        )
+        print(f"# total: {result.cycles} cycles", file=sys.stderr)
     return 0
 
 
@@ -165,7 +254,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         # raw machine graphs take plain streams; drop any lower-bound
         # annotation from the JSON form
         streams[name] = list(value[1]) if isinstance(value, tuple) else value
-    res = run_graph(g, streams)
+    res = _run_graph(g, streams)
     _emit_outputs(res.outputs)
     return 0
 
@@ -203,14 +292,14 @@ def cmd_faults(args: argparse.Namespace) -> int:
     inputs = workload.make_inputs(program, seed=args.input_seed)
     plan = _build_fault_plan(args)
 
-    clean_out, clean_stats, _ = run_machine(program.graph, inputs)
+    clean_out, clean_stats, _ = _run_machine(program.graph, inputs)
     print(
         f"# {args.workload}: fault-free run took {clean_stats.cycles} cycles",
         file=sys.stderr,
     )
     print(f"# plan: {plan.describe()}", file=sys.stderr)
     try:
-        out, stats, _ = run_machine(
+        out, stats, _ = _run_machine(
             program.graph,
             inputs,
             fault_plan=plan,
@@ -259,7 +348,8 @@ def _install_live_snapshot_handler(machine: Machine) -> None:
 
 
 def _finish_run(machine: Machine, max_cycles: int,
-                crash_at: Optional[int] = None) -> int:
+                crash_at: Optional[int] = None,
+                command: Optional[str] = None) -> int:
     """Run ``machine`` to completion, reporting failure snapshots."""
     _install_live_snapshot_handler(machine)
     try:
@@ -272,8 +362,55 @@ def _finish_run(machine: Machine, max_cycles: int,
     print(f"# completed at cycle {stats.cycles}", file=sys.stderr)
     if stats.checkpoints is not None:
         print(f"# {stats.checkpoints.summary()}", file=sys.stderr)
-    _emit_outputs(machine.outputs())
+    if command is not None:
+        _emit_envelope(
+            command, True, _machine_result(machine, stats).to_json_dict()
+        )
+    else:
+        _emit_outputs(machine.outputs())
     return 0
+
+
+def _finish_sharded(runner: ShardedRunner, max_cycles: int,
+                    crash_at: Optional[int] = None,
+                    crash_shard: int = 0,
+                    command: Optional[str] = None) -> int:
+    """Run a sharded runner to completion; a dead worker exits like a
+    SIGKILLed process so the supervisor restarts-and-resumes it."""
+    try:
+        stats = runner.run(
+            max_cycles=max_cycles, crash_at=crash_at,
+            crash_shard=crash_shard,
+        )
+    except ShardCrashError as exc:
+        print(f"failed: {exc}", file=sys.stderr)
+        return EXIT_SHARD_CRASH
+    except (DeadlockError, SimulationTimeout) as exc:
+        print(f"failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"# completed at cycle {stats.cycles}", file=sys.stderr)
+    if stats.checkpoints is not None:
+        print(f"# {stats.checkpoints.summary()}", file=sys.stderr)
+    if command is not None:
+        _emit_envelope(
+            command, True, _sharded_result(runner, stats).to_json_dict()
+        )
+    else:
+        _emit_outputs(runner.outputs())
+    return 0
+
+
+def _keyed(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Sharded runs need per-packet (keyed) fault fates; upgrade a
+    sequence-derivation plan transparently and say so."""
+    if plan is None or plan.derivation == "keyed":
+        return plan
+    print(
+        "# note: switching fault plan to derivation=keyed (required "
+        "for sharded runs)",
+        file=sys.stderr,
+    )
+    return FaultPlan.from_dict({**plan.to_dict(), "derivation": "keyed"})
 
 
 def cmd_checkpoint(args: argparse.Namespace) -> int:
@@ -287,10 +424,29 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
         retain=args.retain,
         record=args.record,
     )
+    workload_id = f"{args.workload}[m={args.size}]"
+    if args.backend == "sharded":
+        plan = _keyed(plan)
+        runner = ShardedRunner(
+            program.graph, inputs, shards=args.shards, fault_plan=plan,
+            checkpoint=cfg, workload_id=workload_id,
+        )
+        if plan is not None:
+            print(f"# plan: {plan.describe()}", file=sys.stderr)
+        print(
+            f"# checkpointing {args.workload} (m={args.size}, "
+            f"{args.shards} shards) to {args.dir} every "
+            f"{args.interval} cycles",
+            file=sys.stderr,
+        )
+        return _finish_sharded(
+            runner, args.max_cycles, crash_at=args.crash_at,
+            crash_shard=args.crash_shard,
+        )
     machine = Machine(
         program.graph, inputs=inputs, fault_plan=plan, checkpoint=cfg
     )
-    machine.workload_id = f"{args.workload}[m={args.size}]"
+    machine.workload_id = workload_id
     if plan is not None:
         print(f"# plan: {plan.describe()}", file=sys.stderr)
     print(
@@ -302,6 +458,25 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
+    command = "resume" if args.json else None
+    target = Path(args.snapshot)
+    if target.is_dir() and is_sharded_dir(target):
+        try:
+            runner = ShardedRunner.resume(
+                target, allow_legacy=args.allow_v1
+            )
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_SNAPSHOT_UNLOADABLE
+        print(
+            f"# resumed {len(runner.machines)} shards at cycle "
+            f"{runner.machines[0].now}",
+            file=sys.stderr,
+        )
+        return _finish_sharded(
+            runner, args.max_cycles, crash_at=args.crash_at,
+            crash_shard=args.crash_shard, command=command,
+        )
     try:
         machine = Machine.resume(args.snapshot, allow_legacy=args.allow_v1)
     except SnapshotError as exc:
@@ -311,12 +486,18 @@ def cmd_resume(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_SNAPSHOT_UNLOADABLE
     print(f"# resumed at cycle {machine.now}", file=sys.stderr)
-    return _finish_run(machine, args.max_cycles, crash_at=args.crash_at)
+    return _finish_run(
+        machine, args.max_cycles, crash_at=args.crash_at, command=command
+    )
 
 
 def cmd_snapshot_inspect(args: argparse.Namespace) -> int:
     meta = read_metadata(args.file)
     meta["path"] = str(args.file)
+    if meta.get("shard") is not None:
+        # one member of a coordinated set: loadable only when all K
+        # files of its cycle are committed in the directory manifest
+        meta["coordinated"] = _coordinated_status(Path(args.file))
     json.dump(meta, sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")
     if meta.get("format") == 1:
@@ -325,7 +506,40 @@ def cmd_snapshot_inspect(args: argparse.Namespace) -> int:
             f"python -m repro snapshot migrate {args.file}",
             file=sys.stderr,
         )
+    if meta.get("shard") is not None:
+        status = meta["coordinated"]
+        note = (
+            "resumable (complete committed set)"
+            if status == "complete"
+            else f"NOT resumable alone ({status} set)"
+        )
+        print(
+            f"# shard {meta['shard']}/{meta.get('shards', '?')} of a "
+            f"coordinated snapshot set: {note}",
+            file=sys.stderr,
+        )
     return 0
+
+
+def _coordinated_status(path: Path) -> str:
+    """Whether ``path``'s coordinated set is actually resumable:
+    ``complete`` (committed, all members on disk), ``partial`` (not
+    committed -- e.g. a crash landed between shard writes) or
+    ``incomplete`` (committed but members now missing)."""
+    directory = path.parent
+    try:
+        manifest = read_shard_manifest(directory)
+    except ReproError:
+        return "partial"
+    for entry in manifest.get("coordinated", []):
+        if isinstance(entry, dict) and path.name in entry.get("files", []):
+            if all(
+                (directory / name).exists()
+                for name in entry.get("files", [])
+            ):
+                return "complete"
+            return "incomplete"
+    return "partial"
 
 
 def cmd_snapshot_migrate(args: argparse.Namespace) -> int:
@@ -360,6 +574,9 @@ def cmd_supervise(args: argparse.Namespace) -> int:
         "--dir", args.dir, "--interval", str(args.interval),
         "--retain", str(args.retain), "--max-cycles", str(args.max_cycles),
     ]
+    if args.backend != "event":
+        start_argv += ["--backend", args.backend,
+                       "--shards", str(args.shards)]
     if args.record:
         start_argv.append("--record")
     if args.plan:
@@ -417,7 +634,12 @@ def cmd_replay(args: argparse.Namespace) -> int:
     report = replay_bundle(
         args.bundle, max_cycles=args.max_cycles, bisect=args.bisect
     )
-    print(report.summary())
+    if args.json:
+        from dataclasses import asdict
+
+        _emit_envelope("replay", report.reproduced, asdict(report))
+    else:
+        print(report.summary())
     return 0 if report.reproduced else 3
 
 
@@ -434,6 +656,10 @@ def cmd_bisect(args: argparse.Namespace) -> int:
         perturb=_load_perturb_plan(args.perturb_plan),
         max_cycles=args.max_cycles,
     )
+    if args.json == "-":
+        # bare --json: the shared stdout envelope
+        _emit_envelope("bisect", not report.diverged, report.to_dict())
+        return 3 if report.diverged else 0
     print(report.summary())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -490,12 +716,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the compilation report")
     p.set_defaults(fn=cmd_compile)
 
-    p = sub.add_parser("run", help="compile and simulate on the "
-                       "unit-delay machine")
+    p = sub.add_parser("run", help="compile and run on one of the "
+                       "backends (unit-delay simulator by default)")
     common(p)
     p.add_argument("--inputs", help="JSON file of input arrays")
     p.add_argument("--stats", action="store_true",
                    help="print throughput statistics to stderr")
+    p.add_argument("--backend", default="sync",
+                   choices=["sync", "event", "sharded"],
+                   help="execution backend: unit-delay simulator "
+                   "(default), event-driven machine, or K machine "
+                   "shards in separate processes")
+    p.add_argument("--shards", type=int, default=1, metavar="K",
+                   help="worker count for --backend sharded")
+    p.add_argument("--json", action="store_true",
+                   help="print the stable JSON result envelope to "
+                   "stdout instead of the outputs object")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("interpret", help="run the reference Val interpreter")
@@ -565,12 +801,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="periodic snapshots to keep, 0 = all (default 3)")
     p.add_argument("--record", action="store_true",
                    help="also record a replay bundle (initial snapshot + "
-                   "event-trace manifest) for `repro replay`")
+                   "event-trace manifest) for `repro replay`; "
+                   "single-machine backend only")
+    p.add_argument("--backend", default="event",
+                   choices=["event", "sharded"],
+                   help="single event-driven machine (default) or K "
+                   "shards with coordinated Chandy-Lamport snapshots")
+    p.add_argument("--shards", type=int, default=2, metavar="K",
+                   help="worker count for --backend sharded (default 2)")
     p.add_argument("--max-cycles", type=int, default=50_000_000)
     p.add_argument("--crash-at", type=int, default=None, metavar="CYCLE",
                    help="hard-kill the process (exit 137, as SIGKILL "
                    "would) once simulated time reaches CYCLE; used to "
                    "exercise crash recovery")
+    p.add_argument("--crash-shard", type=int, default=0, metavar="K",
+                   help="which worker --crash-at kills on the sharded "
+                   "backend (default 0)")
     p.set_defaults(fn=cmd_checkpoint)
 
     p = sub.add_parser(
@@ -578,7 +824,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume a checkpointed run from a snapshot file or from the "
         "newest snapshot in a directory",
     )
-    p.add_argument("snapshot", help="snapshot file or checkpoint directory")
+    p.add_argument("snapshot", help="snapshot file or checkpoint directory "
+                   "(single-machine or sharded; auto-detected)")
     p.add_argument("--max-cycles", type=int, default=50_000_000)
     p.add_argument("--allow-v1", action="store_true",
                    help="opt in to loading legacy format-v1 snapshots "
@@ -587,6 +834,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--crash-at", type=int, default=None, metavar="CYCLE",
                    help="hard-kill the process (exit 137) once simulated "
                    "time reaches CYCLE; used to exercise crash recovery")
+    p.add_argument("--crash-shard", type=int, default=0, metavar="K",
+                   help="which worker --crash-at kills when resuming a "
+                   "sharded directory (default 0)")
+    p.add_argument("--json", action="store_true",
+                   help="print the stable JSON result envelope to "
+                   "stdout instead of the outputs object")
     p.set_defaults(fn=cmd_resume)
 
     p = sub.add_parser(
@@ -618,6 +871,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     workload_args(p)
     fault_args(p)
+    p.add_argument("--backend", default="event",
+                   choices=["event", "sharded"],
+                   help="backend the supervised checkpoint child uses")
+    p.add_argument("--shards", type=int, default=2, metavar="K",
+                   help="worker count for --backend sharded (default 2)")
     p.add_argument("--dir", required=True,
                    help="snapshot directory (created if missing; if it "
                    "already holds snapshots the first attempt resumes)")
@@ -661,6 +919,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bisect", action="store_true",
                    help="on divergence, binary-search the digest ledger "
                    "for the first divergent checkpoint window")
+    p.add_argument("--json", action="store_true",
+                   help="print the stable JSON result envelope to "
+                   "stdout instead of the summary line")
     p.set_defaults(fn=cmd_replay)
 
     p = sub.add_parser(
@@ -674,8 +935,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON fault plan installed on the replay side "
                    "only, to ask where that fault would first change "
                    "the recorded run")
-    p.add_argument("--json", metavar="OUT",
-                   help="also write the DivergenceReport as JSON here")
+    p.add_argument("--json", nargs="?", const="-", metavar="OUT",
+                   help="bare --json prints the stable JSON result "
+                   "envelope to stdout; --json OUT writes the raw "
+                   "DivergenceReport to OUT instead")
     p.add_argument("--max-cycles", type=int, default=50_000_000)
     p.set_defaults(fn=cmd_bisect)
 

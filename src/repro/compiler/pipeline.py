@@ -22,7 +22,7 @@ from typing import Any, Mapping, Optional, Union
 from ..errors import CompileError
 from ..graph.graph import DataflowGraph
 from ..graph.validate import validate
-from ..sim.runner import RunResult, run_graph
+from ..sim.runner import RunResult, _run_graph
 from ..val.ast_nodes import Program
 from ..val.parser import parse_program
 from ..val.typecheck import check_program
@@ -109,7 +109,7 @@ class CompiledProgram:
     ) -> ProgramResult:
         """Simulate on the unit-delay machine and collect the outputs."""
         streams = self.prepare_inputs(inputs or {})
-        rr = run_graph(self.graph, streams, max_steps=max_steps)
+        rr = _run_graph(self.graph, streams, max_steps=max_steps)
         outputs = {}
         for name, (lo, _hi) in self.output_specs.items():
             outputs[name] = ValArray(lo, tuple(rr.outputs[name]))

@@ -78,22 +78,40 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # packet fates
     # ------------------------------------------------------------------
-    def _roll(self, p: float) -> bool:
-        return p > 0.0 and self._rng.random() < p
+    def _fate_rng(self, kind: str, key: Any) -> random.Random:
+        """RNG for one packet's fate.
 
-    def result_fate(self, value: Any) -> PacketFate:
+        Sequence derivation shares the run-wide stream; keyed
+        derivation seeds a throwaway stream from ``(seed, kind, key)``
+        so the fate is a pure function of the packet's identity --
+        independent of how many unrelated draws happened before it,
+        and therefore identical across process boundaries.  The key
+        must include the current cycle: a retransmitted packet (same
+        arc, same sequence number, later cycle) needs a *fresh* fate,
+        otherwise a dropped packet would be re-dropped forever.
+        """
+        if key is None or self.plan.derivation != "keyed":
+            return self._rng
+        return random.Random(f"{self.plan.seed}:{kind}:{key}")
+
+    @staticmethod
+    def _roll(rng: random.Random, p: float) -> bool:
+        return p > 0.0 and rng.random() < p
+
+    def result_fate(self, value: Any, key: Any = None) -> PacketFate:
         """Decide drop/duplication/corruption for one result packet."""
+        rng = self._fate_rng("res", key)
         fate = PacketFate()
         copies = 1
-        if self._roll(self.plan.dup_result):
+        if self._roll(rng, self.plan.dup_result):
             copies += 1
             self.stats.results_duplicated += 1
         for _ in range(copies):
-            if self._roll(self.plan.drop_result):
+            if self._roll(rng, self.plan.drop_result):
                 self.stats.results_dropped += 1
                 fate.dropped += 1
                 continue
-            corrupted = self._roll(self.plan.corrupt_result)
+            corrupted = self._roll(rng, self.plan.corrupt_result)
             if corrupted:
                 self.stats.results_corrupted += 1
             fate.deliveries.append(
@@ -102,15 +120,16 @@ class FaultInjector:
             fate.corrupted.append(corrupted)
         return fate
 
-    def ack_fate(self) -> int:
+    def ack_fate(self, key: Any = None) -> int:
         """Number of copies of one ack packet that actually arrive."""
+        rng = self._fate_rng("ack", key)
         copies = 1
-        if self._roll(self.plan.dup_ack):
+        if self._roll(rng, self.plan.dup_ack):
             copies += 1
             self.stats.acks_duplicated += 1
         arriving = 0
         for _ in range(copies):
-            if self._roll(self.plan.drop_ack):
+            if self._roll(rng, self.plan.drop_ack):
                 self.stats.acks_dropped += 1
             else:
                 arriving += 1

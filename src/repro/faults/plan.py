@@ -117,6 +117,15 @@ class FaultPlan:
         Acknowledge packets (consumers releasing producers).
     ``unit_faults``
         Unit outage/slowdown windows (:class:`UnitFault`).
+    ``derivation``
+        How the injector draws packet fates.  ``"sequence"`` (default)
+        draws from one ``random.Random(seed)`` stream in
+        simulation-event order; ``"keyed"`` derives each fate from a
+        per-packet key ``(kind, arc, seq, cycle)`` hashed with the
+        seed, so the fate of a given packet copy does not depend on
+        the global order of unrelated draws.  Keyed derivation is what
+        lets the sharded backend inject the *same* faults as a
+        single-process run even though each shard draws independently.
     """
 
     seed: int = 0
@@ -126,6 +135,7 @@ class FaultPlan:
     drop_ack: float = 0.0
     dup_ack: float = 0.0
     unit_faults: tuple = field(default_factory=tuple)
+    derivation: str = "sequence"
 
     def __post_init__(self) -> None:
         for name in (
@@ -140,6 +150,11 @@ class FaultPlan:
                 raise FaultPlanError(
                     f"{name} must be a probability in [0, 1], got {p}"
                 )
+        if self.derivation not in ("sequence", "keyed"):
+            raise FaultPlanError(
+                f"unknown fate derivation {self.derivation!r}; expected "
+                f"'sequence' or 'keyed'"
+            )
         faults = tuple(
             f if isinstance(f, UnitFault) else UnitFault.from_dict(f)
             for f in self.unit_faults
@@ -209,6 +224,7 @@ class FaultPlan:
             "drop_ack",
             "dup_ack",
             "unit_faults",
+            "derivation",
         }
         extra = set(data) - known
         if extra:
@@ -237,6 +253,8 @@ class FaultPlan:
 
     def describe(self) -> str:
         parts = [f"seed={self.seed}"]
+        if self.derivation != "sequence":
+            parts.append(f"derivation={self.derivation}")
         for name in ("drop_result", "dup_result", "corrupt_result",
                      "drop_ack", "dup_ack"):
             p = getattr(self, name)

@@ -21,6 +21,13 @@ from .diagnose import (
     diagnose,
 )
 from .machine import Machine, run_machine
+from .sharded import (
+    ShardCrashError,
+    ShardedRunner,
+    ShardMachine,
+    merge_shard_stats,
+    run_sharded,
+)
 from .packets import (
     AckPacket,
     OperationPacket,
@@ -45,6 +52,9 @@ __all__ = [
     "PacketCounters",
     "ReliabilityStats",
     "ResultPacket",
+    "ShardCrashError",
+    "ShardMachine",
+    "ShardedRunner",
     "StarvedCell",
     "UnitClass",
     "assign_by_stage",
@@ -53,5 +63,7 @@ __all__ = [
     "classify_unit",
     "diagnose",
     "make_assignment",
+    "merge_shard_stats",
     "run_machine",
+    "run_sharded",
 ]

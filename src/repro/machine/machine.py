@@ -68,6 +68,7 @@ from __future__ import annotations
 
 import heapq
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional, Union
 
@@ -528,7 +529,17 @@ class Machine:
                 unit_state.ops += 1
                 done = start + latency
 
-        value = result
+        self._send_results(out, result, done, lost)
+        # the cell itself may refire once operands/acks return
+        self._maybe_ready(cell.cid)
+
+    def _send_results(
+        self, out: list, value: Any, done: int, lost: bool
+    ) -> None:
+        """Route one firing's result to its destination arcs through
+        whichever delivery path is active (clean, faulty or reliable).
+        The sharded runner overrides the per-copy scheduling hooks
+        underneath this to divert cross-shard packets."""
         if self._reliable:
             self._send_results_reliable(out, value, done, lost)
         elif self.injector is not None:
@@ -537,13 +548,12 @@ class Machine:
         elif not lost:
             deliver = done + self._route_delay(len(out))
             deliver = max(deliver, self.now + 1)
-            self._at(
-                deliver,
-                "deliver_results",
-                (tuple(a.aid for a in out), value),
+            self._schedule_delivery(
+                deliver, tuple(a.aid for a in out), value
             )
-        # the cell itself may refire once operands/acks return
-        self._maybe_ready(cell.cid)
+
+    def _schedule_delivery(self, when: int, aids: tuple, value: Any) -> None:
+        self._at(when, "deliver_results", (aids, value))
 
     # ------------------------------------------------------------------
     # units
@@ -621,7 +631,9 @@ class Machine:
         faults are injected but nothing protects against them."""
         base = max(done + self._route_delay(len(arcs)), self.now + 1)
         for arc in arcs:
-            fate = self.injector.result_fate(value)
+            fate = self.injector.result_fate(
+                value, key=(arc.aid, 0, self.now)
+            )
             for i, v in enumerate(fate.deliveries):
                 self._at(base + i, "deliver_one_faulty", (arc.aid, v))
 
@@ -658,17 +670,20 @@ class Machine:
         if value is _ABSENT:
             return          # acknowledged while the event was in flight
         if self.injector is not None:
-            fate = self.injector.result_fate(value)
+            fate = self.injector.result_fate(
+                value, key=(aid, seq, self.now)
+            )
             copies = list(zip(fate.deliveries, fate.corrupted))
         else:
             copies = [(value, False)]
         for i, (v, corrupted) in enumerate(copies):
             delay = max(1, self._route_delay()) + i
-            self._at(
-                self.now + delay,
-                "deliver_reliable",
-                (aid, seq, v, corrupted),
-            )
+            self._send_reliable_copy(aid, seq, v, corrupted, self.now + delay)
+
+    def _send_reliable_copy(
+        self, aid: int, seq: int, value: Any, corrupted: bool, when: int
+    ) -> None:
+        self._at(when, "deliver_reliable", (aid, seq, value, corrupted))
 
     def _deliver_reliable(
         self, aid: int, seq: int, value: Any, corrupted: bool
@@ -724,19 +739,28 @@ class Machine:
             return
         self.packets.acks += 1
         if self.injector is not None:
-            for i in range(self.injector.ack_fate()):
-                self._at(
-                    self.now + ack_delay + i, "deliver_ack", (arc.src,)
-                )
+            copies = self.injector.ack_fate(key=(arc.aid, 0, self.now))
+            for i in range(copies):
+                self._send_plain_ack(arc, self.now + ack_delay + i)
             return
-        self._at(self.now + ack_delay, "deliver_ack", (arc.src,))
+        self._send_plain_ack(arc, self.now + ack_delay)
+
+    def _send_plain_ack(self, arc, when: int) -> None:
+        self._at(when, "deliver_ack", (arc.src,))
 
     def _transmit_ack(self, aid: int, seq: int) -> None:
         self.packets.acks += 1
         ack_delay = max(1, self.config.rn_delay)
-        copies = self.injector.ack_fate() if self.injector is not None else 1
+        copies = (
+            self.injector.ack_fate(key=(aid, seq, self.now))
+            if self.injector is not None
+            else 1
+        )
         for i in range(copies):
-            self._at(self.now + ack_delay + i, "receive_ack", (aid, seq))
+            self._send_ack_copy(aid, seq, self.now + ack_delay + i)
+
+    def _send_ack_copy(self, aid: int, seq: int, when: int) -> None:
+        self._at(when, "receive_ack", (aid, seq))
 
     def _receive_ack(self, aid: int, seq: int) -> None:
         if seq < self._acked_count.get(aid, 0):
@@ -1076,7 +1100,7 @@ class Machine:
         )
 
 
-def run_machine(
+def _run_machine(
     graph: DataflowGraph,
     inputs: Optional[dict[str, list[Any]]] = None,
     config: Optional[MachineConfig] = None,
@@ -1088,7 +1112,7 @@ def run_machine(
     checkpoint: Optional[Union[CheckpointConfig, CheckpointManager]] = None,
     trace: bool = False,
 ) -> tuple[dict[str, list[Any]], MachineStats, Machine]:
-    """Convenience wrapper: build, run, and collect outputs + stats."""
+    """Build, run, and collect outputs + stats."""
     machine = Machine(
         graph,
         config=config,
@@ -1102,3 +1126,36 @@ def run_machine(
     )
     stats = machine.run(max_cycles=max_cycles)
     return machine.outputs(), stats, machine
+
+
+def run_machine(
+    graph: DataflowGraph,
+    inputs: Optional[dict[str, list[Any]]] = None,
+    config: Optional[MachineConfig] = None,
+    policy: str = "round_robin",
+    max_cycles: int = 50_000_000,
+    fault_plan: Optional[FaultPlan] = None,
+    recovery: bool = True,
+    reliable: Optional[bool] = None,
+    checkpoint: Optional[Union[CheckpointConfig, CheckpointManager]] = None,
+    trace: bool = False,
+) -> tuple[dict[str, list[Any]], MachineStats, Machine]:
+    """Deprecated: use ``repro.run(graph, inputs, backend="event")``."""
+    warnings.warn(
+        "run_machine() is deprecated; use "
+        "repro.run(..., backend='event')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_machine(
+        graph,
+        inputs,
+        config=config,
+        policy=policy,
+        max_cycles=max_cycles,
+        fault_plan=fault_plan,
+        recovery=recovery,
+        reliable=reliable,
+        checkpoint=checkpoint,
+        trace=trace,
+    )

@@ -1,0 +1,826 @@
+"""Multi-process sharded execution of one instruction graph.
+
+The graph is split into K shards by
+:func:`repro.analysis.partition.partition_graph`; each shard runs the
+ordinary event-driven :class:`~repro.machine.machine.Machine` loop over
+its own cells, and every cross-shard arc becomes a *routed* arc: the
+packets that would have been heap events on a single machine
+(``deliver_results`` / ``deliver_reliable`` / ``receive_ack`` /
+``deliver_ack``) travel between workers as plain-data messages.  The
+per-arc sequence/ack/retransmission reliability layer is unchanged --
+a dropped or corrupted cross-shard packet is retransmitted exactly
+like a local one, because the shard machines run the same handlers on
+the same per-arc state, merely split producer-side/consumer-side.
+
+Conservative lockstep
+---------------------
+
+Every packet sent at cycle ``t`` arrives at ``t + L`` or later, where
+``L = max(1, rn_delay)`` (results add at least the network delay, acks
+at least ``max(1, rn_delay)``).  The coordinator therefore runs a
+classic conservative time-window protocol: it computes the global
+minimum next-event time ``T`` over all shard heaps and in-flight
+messages, lets every shard execute events with ``time <= T + L - 1``,
+collects the messages those events emitted (all stamped ``>= T + L``),
+and delivers them at the next barrier.  No shard ever receives a
+message in its past, so the merged execution is equivalent to the
+single-heap one -- and because message injection is sorted by
+``(time, source shard, emission index)``, it is also deterministic
+run-to-run.
+
+Coordinated (Chandy-Lamport) snapshots
+--------------------------------------
+
+At a barrier, all shards have executed exactly the events before the
+barrier time and every in-flight packet is sitting in the
+coordinator's routing buffer -- which *is* the channel state of the
+cut.  When a checkpoint is due, each worker writes a v2 snapshot of
+its machine **plus** the messages about to be injected into it
+(``ckpt-<cycle>.shard<k>.snap``, payload ``extra.channel_state``), and
+only after all K files land does the coordinator commit the set to the
+manifest (see :mod:`repro.checkpoint.coordinator`) -- a crash between
+shard writes leaves a partial set that is never eligible for resume.
+:meth:`ShardedRunner.resume` loads the newest complete set,
+re-injects each shard's channel state, and continues bit-identically.
+
+Fault plans on sharded runs must use ``derivation="keyed"`` (see
+:class:`repro.faults.FaultPlan`): each packet's fate is then a pure
+function of ``(seed, arc, sequence number, cycle)``, so the shards
+inject exactly the faults the single-process run would have.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+from dataclasses import replace
+from typing import Any, Optional, Union
+
+from ..analysis.partition import Partition, partition_graph
+from ..checkpoint.manager import CheckpointConfig
+from ..errors import (
+    DeadlockError,
+    ReproError,
+    SimulationError,
+    SimulationTimeout,
+    SnapshotError,
+)
+from ..faults import FaultPlan
+from ..graph.graph import DataflowGraph
+from ..graph.lower import lower_fifos
+from ..graph.opcodes import Op
+from .config import MachineConfig
+from .machine import Machine
+from .packets import PacketCounters
+from .stats import MachineStats, ReliabilityStats
+
+#: a routed cross-shard message: (arrival cycle, event kind, args)
+Message = tuple[int, str, tuple]
+
+
+class ShardCrashError(SimulationError):
+    """A shard worker process died (crash, SIGKILL, ``--crash-at``)."""
+
+    def __init__(self, message: str, shard: int = -1,
+                 exitcode: Optional[int] = None) -> None:
+        self.shard = shard
+        self.exitcode = exitcode
+        super().__init__(message)
+
+
+class ShardMachine(Machine):
+    """One shard's machine: the full graph, but only *owned* cells run.
+
+    Every shard holds a replica of the whole (already FIFO-lowered)
+    graph and of the input streams, so cell ids, arc ids and initial
+    tokens line up exactly with the single-process machine; ownership
+    only gates which cells may become ready here.  The delivery hooks
+    divert packets for non-owned destinations into ``_outbox`` instead
+    of the local heap; the coordinator routes them.
+    """
+
+    def __init__(
+        self,
+        graph: DataflowGraph,
+        *,
+        shard_index: int,
+        n_shards: int,
+        owner: dict[int, int],
+        config: Optional[MachineConfig] = None,
+        inputs: Optional[dict[str, list[Any]]] = None,
+        policy: str = "round_robin",
+        fault_plan: Optional[FaultPlan] = None,
+        recovery: bool = True,
+    ) -> None:
+        if fault_plan is not None and n_shards > 1:
+            if fault_plan.unit_faults:
+                raise SimulationError(
+                    "unit faults are not supported on sharded runs: "
+                    "unit indices refer to each shard's private pools"
+                )
+            if fault_plan.has_packet_faults and (
+                fault_plan.derivation != "keyed" or not recovery
+            ):
+                raise SimulationError(
+                    "packet faults on a sharded run need "
+                    "derivation='keyed' and recovery=True so every "
+                    "shard derives the same per-packet fates"
+                )
+        # the ready/enabling path consults ownership, so these must
+        # exist before Machine.__init__ pre-scans the cells
+        self.shard_index = shard_index
+        self.n_shards = n_shards
+        self._owner = dict(owner)
+        self._outbox: list[tuple[int, int, str, tuple]] = []
+        super().__init__(
+            graph,
+            config=config,
+            inputs=inputs,
+            policy=policy,
+            fault_plan=fault_plan,
+            recovery=recovery,
+        )
+        if set(self._owner) != set(self.graph.cells):
+            raise SimulationError(
+                "shard owner map does not cover the graph; partition "
+                "the FIFO-lowered graph (ShardedRunner does this)"
+            )
+        # only owned sinks/arrays are this shard's outputs
+        for cid in [c for c in self.sink_values
+                    if self._owner[c] != shard_index]:
+            del self.sink_values[cid]
+            del self.sink_times[cid]
+        self.am_arrays = {
+            cell.params["stream"]: []
+            for cell in self.graph
+            if cell.op is Op.AM_WRITE and self._owner[cell.cid] == shard_index
+        }
+
+    # ------------------------------------------------------------------
+    # ownership gates
+    # ------------------------------------------------------------------
+    def _maybe_ready(self, cid: int) -> None:
+        if self._owner[cid] != self.shard_index:
+            return
+        super()._maybe_ready(cid)
+
+    def _pending_work(self) -> tuple[int, int]:
+        missing = 0
+        for cid, values in self.sink_values.items():
+            limit = self.graph.cells[cid].params.get("limit")
+            if limit is not None and len(values) < limit:
+                missing += limit - len(values)
+        undrained = 0
+        for cell in self.graph:
+            if (
+                cell.op in (Op.SOURCE, Op.AM_READ)
+                and self._owner[cell.cid] == self.shard_index
+            ):
+                seq = self._source_seq(cell)
+                pos = self.cell_state[cell.cid].source_pos
+                if pos < len(seq):
+                    undrained += len(seq) - pos
+        return missing, undrained
+
+    # ------------------------------------------------------------------
+    # packet routing: divert non-owned destinations to the outbox
+    # ------------------------------------------------------------------
+    def _emit(self, dst_shard: int, when: int, kind: str,
+              args: tuple) -> None:
+        self._outbox.append((dst_shard, when, kind, args))
+
+    def _schedule_delivery(self, when: int, aids: tuple,
+                           value: Any) -> None:
+        local = tuple(
+            a for a in aids
+            if self._owner[self.graph.arcs[a].dst] == self.shard_index
+        )
+        if local:
+            self._at(when, "deliver_results", (local, value))
+        for a in aids:
+            shard = self._owner[self.graph.arcs[a].dst]
+            if shard != self.shard_index:
+                self._emit(shard, when, "deliver_results", ((a,), value))
+
+    def _send_reliable_copy(self, aid: int, seq: int, value: Any,
+                            corrupted: bool, when: int) -> None:
+        shard = self._owner[self.graph.arcs[aid].dst]
+        if shard == self.shard_index:
+            super()._send_reliable_copy(aid, seq, value, corrupted, when)
+        else:
+            self._emit(shard, when, "deliver_reliable",
+                       (aid, seq, value, corrupted))
+
+    def _send_ack_copy(self, aid: int, seq: int, when: int) -> None:
+        shard = self._owner[self.graph.arcs[aid].src]
+        if shard == self.shard_index:
+            super()._send_ack_copy(aid, seq, when)
+        else:
+            self._emit(shard, when, "receive_ack", (aid, seq))
+
+    def _send_plain_ack(self, arc, when: int) -> None:
+        shard = self._owner[arc.src]
+        if shard == self.shard_index:
+            super()._send_plain_ack(arc, when)
+        else:
+            self._emit(shard, when, "deliver_ack", (arc.src,))
+
+    # ------------------------------------------------------------------
+    # windowed execution driven by the coordinator
+    # ------------------------------------------------------------------
+    def begin(self) -> tuple[Optional[int], int]:
+        """Start (idempotent) and report (next event time, live)."""
+        if not self._started:
+            self._start()
+        return self.frontier()
+
+    def frontier(self) -> tuple[Optional[int], int]:
+        nt = self._events[0][0] if self._events else None
+        return nt, self._live_events
+
+    def inject(self, messages: list[Message]) -> None:
+        """Deliver routed cross-shard packets into the local heap."""
+        for when, kind, args in messages:
+            self._at(when, kind, args)
+
+    def run_window(
+        self, horizon: int, max_cycles: int
+    ) -> tuple[list[tuple[int, int, str, tuple]], Optional[int], int]:
+        """Execute every event with ``time <= horizon``; return the
+        outbox of cross-shard messages plus the new frontier."""
+        while self._events and self._events[0][0] <= horizon:
+            entry = heapq.heappop(self._events)
+            time, _seq, kind, args, aux = entry
+            if time > max_cycles and not aux:
+                heapq.heappush(self._events, entry)
+                raise SimulationTimeout(
+                    f"shard {self.shard_index} exceeded {max_cycles} "
+                    f"cycles (still making progress: livelock or "
+                    f"genuinely long run)",
+                    cycles=time,
+                    stats=self.stats(),
+                    sink_progress=self._sink_progress(),
+                )
+            if kind not in ("watchdog_tick", "checkpoint_tick"):
+                self._live_events -= 1
+            self.now = time
+            if not aux:
+                self._finish = time
+            self._execute(kind, args)
+        outbox, self._outbox = self._outbox, []
+        nt, live = self.frontier()
+        return outbox, nt, live
+
+
+# ----------------------------------------------------------------------
+# worker transports
+# ----------------------------------------------------------------------
+def _maybe_crash(crash_at: Optional[int], horizon: int) -> None:
+    if crash_at is not None and horizon >= crash_at:
+        os._exit(137)       # simulated SIGKILL: no cleanup at all
+
+
+def _write_shard_snapshot(
+    machine: ShardMachine, path: str, cycle: int, messages: list[Message]
+) -> int:
+    """Chandy-Lamport shard capture: machine state *plus* the channel
+    state (the messages crossing the cut), recorded **before** the
+    messages are injected.  Returns the file size."""
+    from ..checkpoint.snapshot import save_snapshot
+
+    save_snapshot(
+        machine,
+        path,
+        reason="coordinated",
+        extra={
+            "shard": machine.shard_index,
+            "shards": machine.n_shards,
+            "barrier_cycle": cycle,
+            "channel_state": [list(m) for m in messages],
+        },
+    )
+    return os.path.getsize(path)
+
+
+def _shard_worker(conn, machine: ShardMachine,
+                  crash_at: Optional[int]) -> None:
+    """Event loop of one worker process (commands over a duplex pipe)."""
+    try:
+        while True:
+            cmd = conn.recv()
+            op = cmd[0]
+            try:
+                if op == "start":
+                    conn.send(("ok", machine.begin()))
+                elif op == "window":
+                    _, horizon, max_cycles, messages = cmd
+                    _maybe_crash(crash_at, horizon)
+                    machine.inject(messages)
+                    conn.send(("ok",
+                               machine.run_window(horizon, max_cycles)))
+                elif op == "snapshot":
+                    _, path, cycle, messages = cmd
+                    size = _write_shard_snapshot(
+                        machine, path, cycle, messages
+                    )
+                    machine.inject(messages)
+                    conn.send(("ok", size))
+                elif op == "finish":
+                    conn.send(("ok", machine))
+                    return
+                elif op == "stop":
+                    return
+                else:       # pragma: no cover - protocol bug
+                    conn.send(("error", "SimulationError",
+                               f"unknown worker op {op!r}", 0))
+                    return
+            except ReproError as exc:
+                cycle = getattr(exc, "cycle", machine.now)
+                conn.send(("error", type(exc).__name__, str(exc), cycle))
+                return
+    except (EOFError, KeyboardInterrupt, BrokenPipeError):
+        return              # coordinator went away; die quietly
+
+
+def _rebuild_error(name: str, message: str, cycle: int) -> ReproError:
+    if name == "SimulationTimeout":
+        return SimulationTimeout(message, cycles=cycle)
+    if name == "DeadlockError":
+        return DeadlockError(message, step=cycle)
+    return SimulationError(message)
+
+
+class _LocalShard:
+    """In-process transport: same protocol, no OS processes.  Used for
+    K=1, for tests that sweep many configurations quickly, and as the
+    reference the multi-process transport must agree with."""
+
+    def __init__(self, shard: int, machine: ShardMachine,
+                 crash_at: Optional[int]) -> None:
+        self.shard = shard
+        self.machine = machine
+        self.crash_at = crash_at
+        self._reply: Any = None
+
+    def post(self, cmd: tuple) -> None:
+        op = cmd[0]
+        if op == "start":
+            self._reply = self.machine.begin()
+        elif op == "window":
+            _, horizon, max_cycles, messages = cmd
+            _maybe_crash(self.crash_at, horizon)
+            self.machine.inject(messages)
+            self._reply = self.machine.run_window(horizon, max_cycles)
+        elif op == "snapshot":
+            _, path, cycle, messages = cmd
+            self._reply = _write_shard_snapshot(
+                self.machine, path, cycle, messages
+            )
+            self.machine.inject(messages)
+        elif op == "finish":
+            self._reply = self.machine
+
+    def wait(self) -> Any:
+        return self._reply
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessShard:
+    """One worker process plus the coordinator's end of its pipe."""
+
+    def __init__(self, shard: int, machine: ShardMachine,
+                 crash_at: Optional[int], ctx) -> None:
+        self.shard = shard
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_shard_worker,
+            args=(child, machine, crash_at),
+            daemon=True,
+            name=f"repro-shard-{shard}",
+        )
+        self.proc.start()
+        child.close()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid
+
+    def post(self, cmd: tuple) -> None:
+        try:
+            self.conn.send(cmd)
+        except (BrokenPipeError, OSError):
+            raise self._crash() from None
+
+    def wait(self) -> Any:
+        try:
+            reply = self.conn.recv()
+        except (EOFError, ConnectionResetError, OSError):
+            raise self._crash() from None
+        if reply[0] == "error":
+            raise _rebuild_error(*reply[1:])
+        return reply[1]
+
+    def _crash(self) -> ShardCrashError:
+        self.proc.join(timeout=5)
+        code = self.proc.exitcode
+        return ShardCrashError(
+            f"shard {self.shard} worker (pid {self.pid}) died with "
+            f"exit code {code}",
+            shard=self.shard,
+            exitcode=code,
+        )
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+        self.proc.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# the coordinator
+# ----------------------------------------------------------------------
+class ShardedRunner:
+    """Drive K shard machines in conservative lockstep to completion."""
+
+    def __init__(
+        self,
+        graph: DataflowGraph,
+        inputs: Optional[dict[str, list[Any]]] = None,
+        *,
+        shards: int = 2,
+        config: Optional[MachineConfig] = None,
+        policy: str = "round_robin",
+        fault_plan: Optional[FaultPlan] = None,
+        recovery: bool = True,
+        checkpoint: Optional[CheckpointConfig] = None,
+        partition: Union[str, Partition] = "auto",
+        processes: Optional[bool] = None,
+        workload_id: Optional[str] = None,
+    ) -> None:
+        if shards < 1:
+            raise SimulationError(f"shard count must be >= 1, got {shards}")
+        config = config or MachineConfig()
+        if graph.cells_by_op(Op.FIFO):
+            # shards replicate the graph, so lower *once* here to keep
+            # cell/arc ids identical everywhere
+            graph = lower_fifos(graph)
+        if isinstance(partition, Partition):
+            part = partition
+        else:
+            part = partition_graph(graph, shards, partition)
+        # each shard runs headless: the coordinator owns global
+        # progress (a per-shard watchdog would mistake "waiting for a
+        # cross-shard token" for a stall)
+        shard_cfg = replace(config, watchdog=False)
+        self.partition = part
+        self.shards = shards
+        self.workload_id = workload_id
+        self._lookahead = max(1, config.rn_delay)
+        self._processes = shards > 1 if processes is None else processes
+        self.machines: list[ShardMachine] = [
+            ShardMachine(
+                graph,
+                shard_index=k,
+                n_shards=shards,
+                owner=part.owner,
+                config=shard_cfg,
+                inputs=inputs,
+                policy=policy,
+                fault_plan=fault_plan,
+                recovery=recovery,
+            )
+            for k in range(shards)
+        ]
+        for m in self.machines:
+            m.workload_id = workload_id
+        self._ckpt = None
+        self._next_ckpt: Optional[int] = None
+        if checkpoint is not None:
+            from ..checkpoint.coordinator import (
+                CoordinatedCheckpointManager,
+            )
+
+            self._ckpt = CoordinatedCheckpointManager(checkpoint, shards)
+            self._next_ckpt = checkpoint.interval or None
+        self.worker_pids: list[Optional[int]] = []
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def resume(
+        cls,
+        directory,
+        *,
+        processes: Optional[bool] = None,
+        allow_legacy: bool = False,
+    ) -> "ShardedRunner":
+        """Load the newest *complete* coordinated snapshot set and
+        return a runner ready to continue bit-identically."""
+        from pathlib import Path
+
+        from ..checkpoint.coordinator import (
+            CoordinatedCheckpointManager,
+            latest_coordinated,
+            read_shard_manifest,
+        )
+        from ..checkpoint.snapshot import load_machine
+
+        directory = Path(directory)
+        manifest = read_shard_manifest(directory)
+        entry = latest_coordinated(directory)
+        if entry is None:
+            raise SnapshotError(
+                f"no complete coordinated snapshot set in {directory}"
+            )
+        machines: list[ShardMachine] = []
+        for fname in entry["files"]:
+            machine, extra = load_machine(
+                directory / fname,
+                expected_cls=ShardMachine,
+                allow_legacy=allow_legacy,
+                with_extra=True,
+            )
+            extra = extra or {}
+            machine.inject(
+                [tuple(m) for m in extra.get("channel_state", ())]
+            )
+            machines.append(machine)
+        shards = len(machines)
+        self = cls.__new__(cls)
+        self.partition = Partition(
+            k=shards,
+            scheme=str(manifest.get("partition_scheme", "resumed")),
+            owner=dict(machines[0]._owner),
+            cut_arcs=(),
+        )
+        self.shards = shards
+        self.workload_id = machines[0].workload_id
+        self._lookahead = max(1, machines[0].config.rn_delay)
+        self._processes = shards > 1 if processes is None else processes
+        self.machines = machines
+        self._ckpt = CoordinatedCheckpointManager.attach(directory)
+        interval = self._ckpt.config.interval
+        self._next_ckpt = (
+            entry["cycle"] + interval if interval else None
+        )
+        self.worker_pids = []
+        self._finished = False
+        return self
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_cycles: int = 50_000_000,
+        crash_at: Optional[int] = None,
+        crash_shard: int = 0,
+    ) -> MachineStats:
+        """Run the sharded simulation to quiescence.
+
+        ``crash_at`` hard-kills shard ``crash_shard``'s worker
+        (``os._exit(137)``) at the first barrier whose horizon reaches
+        that cycle -- the sharded analogue of :meth:`Machine.run`'s
+        SIGKILL stand-in.  With the in-process transport the whole
+        process dies, exactly like the single-machine flag.
+        """
+        if self._finished:
+            raise SimulationError("this runner has already completed")
+        if self._ckpt is not None:
+            self._ckpt.on_start(self)
+        eps = self._spawn(crash_at, crash_shard)
+        try:
+            self._drive(eps, max_cycles)
+            self.machines = [self._finish_one(ep) for ep in eps]
+        finally:
+            for ep in eps:
+                ep.close()
+        self._finished = True
+        self._check_complete()
+        if self._ckpt is not None:
+            self._ckpt.on_complete(self)
+        return self.stats()
+
+    def _spawn(self, crash_at: Optional[int], crash_shard: int):
+        eps: list[Any] = []
+        if not self._processes:
+            for k, m in enumerate(self.machines):
+                eps.append(
+                    _LocalShard(k, m, crash_at if k == crash_shard else None)
+                )
+            self.worker_pids = [None] * self.shards
+            return eps
+        ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        for k, m in enumerate(self.machines):
+            eps.append(_ProcessShard(
+                k, m, crash_at if k == crash_shard else None, ctx
+            ))
+        self.worker_pids = [ep.pid for ep in eps]
+        return eps
+
+    def _drive(self, eps, max_cycles: int) -> None:
+        for ep in eps:
+            ep.post(("start",))
+        frontier = [ep.wait() for ep in eps]
+        #: in-flight packets: (when, src shard, emission index, dst,
+        #: kind, args) -- sorted injection keeps the run deterministic
+        pending: list[tuple[int, int, int, int, str, tuple]] = []
+        while True:
+            times = [nt for nt, _ in frontier if nt is not None]
+            times.extend(m[0] for m in pending)
+            if not times:
+                return          # global quiescence
+            t_min = min(times)
+            by_dst: dict[int, list[Message]] = {}
+            for when, _src, _idx, dst, kind, args in sorted(pending):
+                by_dst.setdefault(dst, []).append((when, kind, args))
+            pending = []
+            if self._next_ckpt is not None and t_min >= self._next_ckpt:
+                self._coordinated_snapshot(eps, t_min, by_dst)
+                interval = self._ckpt.config.interval
+                while self._next_ckpt <= t_min:
+                    self._next_ckpt += interval
+                by_dst = {}     # the snapshot op already injected them
+            horizon = t_min + self._lookahead - 1
+            for k, ep in enumerate(eps):
+                ep.post(("window", horizon, max_cycles,
+                         by_dst.get(k, [])))
+            frontier = []
+            for k, ep in enumerate(eps):
+                outbox, nt, live = ep.wait()
+                for idx, (dst, when, kind, args) in enumerate(outbox):
+                    pending.append((when, k, idx, dst, kind, args))
+                frontier.append((nt, live))
+
+    def _coordinated_snapshot(
+        self, eps, cycle: int, by_dst: dict[int, list[Message]]
+    ) -> None:
+        """One Chandy-Lamport barrier: every worker records its state
+        plus its incoming channel messages, then the set is committed
+        atomically (all K files or nothing)."""
+        names = [self._ckpt.shard_name(cycle, k) for k in range(len(eps))]
+        for k, ep in enumerate(eps):
+            path = str(self._ckpt.directory / names[k])
+            ep.post(("snapshot", path, cycle, by_dst.get(k, [])))
+        sizes = [ep.wait() for ep in eps]
+        self._ckpt.commit(cycle, names, sizes)
+
+    def _finish_one(self, ep) -> ShardMachine:
+        ep.post(("finish",))
+        return ep.wait()
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def _check_complete(self) -> None:
+        missing = undrained = 0
+        for m in self.machines:
+            mm, uu = m._pending_work()
+            missing += mm
+            undrained += uu
+        if missing or undrained:
+            finish = self.finish_cycle
+            parts = [
+                f"sharded machine quiescent at cycle {finish} with "
+                f"{missing} expected outputs missing"
+            ]
+            if undrained:
+                parts.append(f"{undrained} input tokens never consumed")
+            raise DeadlockError(
+                "; ".join(parts),
+                step=finish,
+                pending=missing + undrained,
+            )
+
+    @property
+    def finish_cycle(self) -> int:
+        return max((m._finish for m in self.machines), default=0)
+
+    def outputs(self) -> dict[str, list[Any]]:
+        out: dict[str, list[Any]] = {}
+        for m in self.machines:
+            out.update(m.outputs())
+        return out
+
+    def sink_arrival_times(self, stream: str) -> list[int]:
+        for m in self.machines:
+            for cid in m.sink_values:
+                if m.graph.cells[cid].params["stream"] == stream:
+                    return m.sink_times[cid]
+        raise SimulationError(f"no sink for stream {stream!r}")
+
+    def am_arrays(self) -> dict[str, list[Any]]:
+        out: dict[str, list[Any]] = {}
+        for m in self.machines:
+            out.update(m.am_arrays)
+        return out
+
+    def stats(self) -> MachineStats:
+        return merge_shard_stats(
+            self.machines,
+            checkpoints=self._ckpt.stats if self._ckpt is not None else None,
+        )
+
+
+def _sum_dataclass(cls, items):
+    """Field-wise sum of int-counter dataclass instances."""
+    import dataclasses
+
+    out = cls()
+    for item in items:
+        if item is None:
+            continue
+        for f in dataclasses.fields(cls):
+            cur = getattr(out, f.name)
+            if isinstance(cur, int):
+                setattr(out, f.name, cur + getattr(item, f.name))
+    return out
+
+
+def merge_shard_stats(
+    machines: list[ShardMachine], checkpoints=None
+) -> MachineStats:
+    """Merge per-shard statistics into one run-level view.  Counters
+    add; unit lists concatenate (shard k's PEs come before shard
+    k+1's); a cell's fire count is taken from its owning shard."""
+    from ..faults.injector import FaultStats
+
+    fire_counts: dict[int, int] = {}
+    for m in machines:
+        for cid, st in m.cell_state.items():
+            if m._owner[cid] == m.shard_index:
+                fire_counts[cid] = st.fire_count
+    any_rel = any(
+        m._reliable or m.injector is not None for m in machines
+    )
+    any_inj = any(m.injector is not None for m in machines)
+    return MachineStats(
+        cycles=max((m._finish for m in machines), default=0),
+        packets=_sum_dataclass(
+            PacketCounters, [m.packets for m in machines]
+        ),
+        pe_ops=[u.ops for m in machines for u in m.pes],
+        fu_ops=[u.ops for m in machines for u in m.fus],
+        am_ops=[u.ops for m in machines for u in m.ams],
+        pe_busy=[u.busy_cycles for m in machines for u in m.pes],
+        fu_busy=[u.busy_cycles for m in machines for u in m.fus],
+        am_busy=[u.busy_cycles for m in machines for u in m.ams],
+        fire_counts=fire_counts,
+        reliability=(
+            _sum_dataclass(
+                ReliabilityStats, [m.rel for m in machines]
+            )
+            if any_rel
+            else None
+        ),
+        faults=(
+            _sum_dataclass(
+                FaultStats,
+                [m.injector.stats for m in machines
+                 if m.injector is not None],
+            )
+            if any_inj
+            else None
+        ),
+        checkpoints=checkpoints,
+    )
+
+
+def run_sharded(
+    graph: DataflowGraph,
+    inputs: Optional[dict[str, list[Any]]] = None,
+    *,
+    shards: int = 2,
+    config: Optional[MachineConfig] = None,
+    max_cycles: int = 50_000_000,
+    fault_plan: Optional[FaultPlan] = None,
+    recovery: bool = True,
+    checkpoint: Optional[CheckpointConfig] = None,
+    partition: Union[str, Partition] = "auto",
+    processes: Optional[bool] = None,
+    workload_id: Optional[str] = None,
+) -> tuple[dict[str, list[Any]], MachineStats, ShardedRunner]:
+    """Convenience wrapper mirroring ``run_machine`` for sharded runs."""
+    runner = ShardedRunner(
+        graph,
+        inputs,
+        shards=shards,
+        config=config,
+        fault_plan=fault_plan,
+        recovery=recovery,
+        checkpoint=checkpoint,
+        partition=partition,
+        processes=processes,
+        workload_id=workload_id,
+    )
+    stats = runner.run(max_cycles=max_cycles)
+    return runner.outputs(), stats, runner

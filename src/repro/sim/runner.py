@@ -4,10 +4,14 @@
 common protocol used by tests, examples and benchmarks: feed finite
 input streams, run to quiescence, collect output streams, and report
 throughput figures.
+
+Deprecated as a public entry point in favor of the backend-unified
+:func:`repro.run` facade (``backend="sync"``); kept as a thin wrapper.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -49,7 +53,7 @@ class RunResult:
         return self.sink_records[stream]
 
 
-def run_graph(
+def _run_graph(
     graph: DataflowGraph,
     inputs: Optional[dict[str, list[Any]]] = None,
     max_steps: int = 1_000_000,
@@ -67,6 +71,28 @@ def run_graph(
     )
 
 
+def run_graph(
+    graph: DataflowGraph,
+    inputs: Optional[dict[str, list[Any]]] = None,
+    max_steps: int = 1_000_000,
+    raise_on_deadlock: bool = True,
+    record_trace: bool = False,
+) -> RunResult:
+    """Deprecated: use ``repro.run(graph, inputs, backend="sync")``."""
+    warnings.warn(
+        "run_graph() is deprecated; use repro.run(..., backend='sync')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_graph(
+        graph,
+        inputs,
+        max_steps=max_steps,
+        raise_on_deadlock=raise_on_deadlock,
+        record_trace=record_trace,
+    )
+
+
 def measure_initiation_interval(
     graph: DataflowGraph,
     inputs: dict[str, list[Any]],
@@ -74,4 +100,6 @@ def measure_initiation_interval(
     max_steps: int = 1_000_000,
 ) -> float:
     """Shorthand: run and return the steady-state initiation interval."""
-    return run_graph(graph, inputs, max_steps=max_steps).initiation_interval(stream)
+    return _run_graph(graph, inputs, max_steps=max_steps).initiation_interval(
+        stream
+    )

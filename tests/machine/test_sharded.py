@@ -1,0 +1,231 @@
+"""Tests for the multi-process sharded runner and the partitioner.
+
+The load-bearing property is *bit-identical determinism*: for every
+figure workload and every shard count, the sharded runner must produce
+exactly the outputs AND sink arrival times of the single-process
+machine -- with and without a seeded fault plan, in-process and over
+real worker processes, and after killing a worker and resuming from a
+coordinated snapshot (covered in tests/checkpoint/test_coordinated.py).
+"""
+
+import pytest
+
+from repro.analysis import Partition, PartitionError, partition_graph
+from repro.errors import SimulationError
+from repro.faults import FaultPlan
+from repro.faults.plan import FaultPlanError
+from repro.graph import DataflowGraph
+from repro.machine import (
+    Machine,
+    MachineConfig,
+    ShardedRunner,
+    run_sharded,
+)
+from repro.workloads import figure_workload
+
+FIGS = ["fig2", "fig4", "fig5", "fig6", "fig7"]
+SHARD_COUNTS = [1, 2, 4]
+
+#: packet-fault plan usable on sharded runs (keyed derivation)
+KEYED_PLAN = FaultPlan(
+    seed=7,
+    drop_result=0.08,
+    dup_result=0.05,
+    corrupt_result=0.04,
+    drop_ack=0.08,
+    dup_ack=0.05,
+    derivation="keyed",
+)
+
+
+def _figure_graph(name, m=12):
+    wl = figure_workload(name)
+    cp = wl.compile(m=m)
+    return cp.graph, cp.prepare_inputs(wl.make_inputs(cp))
+
+
+def _reference(graph, streams, plan=None):
+    machine = Machine(
+        graph, MachineConfig.unit_time(), inputs=streams, fault_plan=plan
+    )
+    machine.run()
+    outputs = machine.outputs()
+    times = {s: machine.sink_arrival_times(s) for s in outputs}
+    return outputs, times
+
+
+class TestPartitioner:
+    def test_every_cell_owned_and_balanced(self):
+        for name in FIGS:
+            graph, _ = _figure_graph(name)
+            for k in SHARD_COUNTS:
+                part = partition_graph(graph, k)
+                assert set(part.owner) == set(graph.cells)
+                assert len(part.sizes) == k
+                assert all(size >= 1 for size in part.sizes)
+
+    def test_cut_arcs_cross_shards(self):
+        graph, _ = _figure_graph("fig6")
+        part = partition_graph(graph, 4)
+        for aid in part.cut_arcs:
+            arc = graph.arcs[aid]
+            assert part.owner[arc.src] != part.owner[arc.dst]
+        for aid, arc in graph.arcs.items():
+            if aid not in part.cut_arcs:
+                assert part.owner[arc.src] == part.owner[arc.dst]
+
+    def test_acyclic_uses_levels_cyclic_falls_back(self):
+        acyclic, _ = _figure_graph("fig2")
+        assert partition_graph(acyclic, 2).scheme == "levels"
+        cyclic, _ = _figure_graph("fig7")   # Todd for-iter feedback
+        assert partition_graph(cyclic, 2).scheme == "round_robin"
+
+    def test_levels_scheme_rejects_cyclic(self):
+        cyclic, _ = _figure_graph("fig7")
+        with pytest.raises(PartitionError):
+            partition_graph(cyclic, 2, scheme="levels")
+
+    def test_k1_is_single(self):
+        graph, _ = _figure_graph("fig2")
+        part = partition_graph(graph, 1)
+        assert part.scheme == "single"
+        assert part.cut_arcs == ()
+        assert set(part.owner.values()) == {0}
+
+    def test_bad_requests(self):
+        graph, _ = _figure_graph("fig2")
+        with pytest.raises(PartitionError):
+            partition_graph(graph, 0)
+        with pytest.raises(PartitionError):
+            partition_graph(graph, 2, scheme="bogus")
+        with pytest.raises(PartitionError):
+            partition_graph(DataflowGraph(), 2)
+
+    def test_more_shards_than_cells_fails(self):
+        g = DataflowGraph()
+        s = g.add_source("s", stream="x")
+        sink = g.add_sink("out", stream="y", limit=1)
+        g.connect(s, sink, 0)
+        with pytest.raises(PartitionError):
+            run_sharded(g, {"x": [1.0]}, shards=8, processes=False)
+
+
+class TestDeterminismMatrix:
+    """Every figure x K in {1, 2, 4}: bit-identical to single-process."""
+
+    @pytest.mark.parametrize("name", FIGS)
+    def test_clean(self, name):
+        graph, streams = _figure_graph(name)
+        ref_out, ref_times = _reference(graph, streams)
+        for k in SHARD_COUNTS:
+            out, _, runner = run_sharded(
+                graph, streams, shards=k,
+                config=MachineConfig.unit_time(), processes=False,
+            )
+            assert out == ref_out, f"{name} K={k} outputs"
+            for s in ref_out:
+                assert runner.sink_arrival_times(s) == ref_times[s], (
+                    f"{name} K={k} sink times for {s}"
+                )
+
+    @pytest.mark.parametrize("name", FIGS)
+    def test_under_faults(self, name):
+        graph, streams = _figure_graph(name)
+        ref_out, ref_times = _reference(graph, streams, plan=KEYED_PLAN)
+        for k in SHARD_COUNTS:
+            out, stats, runner = run_sharded(
+                graph, streams, shards=k, fault_plan=KEYED_PLAN,
+                config=MachineConfig.unit_time(), processes=False,
+            )
+            assert out == ref_out, f"{name} K={k} faulty outputs"
+            for s in ref_out:
+                assert runner.sink_arrival_times(s) == ref_times[s], (
+                    f"{name} K={k} faulty sink times for {s}"
+                )
+            assert stats.faults is not None
+
+    def test_real_processes_match(self):
+        # one clean + one faulty case over actual worker processes
+        for name, plan in [("fig2", None), ("fig7", KEYED_PLAN)]:
+            graph, streams = _figure_graph(name)
+            ref_out, ref_times = _reference(graph, streams, plan=plan)
+            out, _, runner = run_sharded(
+                graph, streams, shards=4, fault_plan=plan,
+                config=MachineConfig.unit_time(), processes=True,
+            )
+            assert out == ref_out
+            for s in ref_out:
+                assert runner.sink_arrival_times(s) == ref_times[s]
+
+    def test_default_config_matches_too(self):
+        # non-unit latencies exercise a different lookahead (rn_delay)
+        graph, streams = _figure_graph("fig4")
+        machine = Machine(graph, inputs=streams)
+        machine.run()
+        ref_out = machine.outputs()
+        ref_times = {s: machine.sink_arrival_times(s) for s in ref_out}
+        out, _, runner = run_sharded(
+            graph, streams, shards=4, processes=False
+        )
+        assert out == ref_out
+        for s in ref_out:
+            assert runner.sink_arrival_times(s) == ref_times[s]
+
+
+class TestShardedGuards:
+    def test_sequence_plan_rejected_for_k_gt_1(self):
+        graph, streams = _figure_graph("fig2")
+        plan = FaultPlan(seed=1, drop_result=0.05)   # derivation=sequence
+        with pytest.raises((SimulationError, FaultPlanError)):
+            run_sharded(
+                graph, streams, shards=2, fault_plan=plan,
+                processes=False,
+            )
+
+    def test_unit_faults_rejected_for_k_gt_1(self):
+        graph, streams = _figure_graph("fig2")
+        plan = FaultPlan(
+            seed=1,
+            unit_faults=({"unit": "fu", "index": 0},),
+            derivation="keyed",
+        )
+        with pytest.raises(SimulationError):
+            run_sharded(
+                graph, streams, shards=2, fault_plan=plan,
+                processes=False,
+            )
+
+    def test_stats_merge_matches_single_process(self):
+        graph, streams = _figure_graph("fig5")
+        machine = Machine(
+            graph, MachineConfig.unit_time(), inputs=streams
+        )
+        ref_stats = machine.run()
+        _, stats, _ = run_sharded(
+            graph, streams, shards=4,
+            config=MachineConfig.unit_time(), processes=False,
+        )
+        assert stats.cycles == ref_stats.cycles
+        assert stats.total_firings == ref_stats.total_firings
+        assert stats.fire_counts == ref_stats.fire_counts
+
+    def test_explicit_partition_object(self):
+        graph, streams = _figure_graph("fig2")
+        part = partition_graph(graph, 2)
+        assert isinstance(part, Partition)
+        out, _, _ = run_sharded(
+            graph, streams, shards=2, partition=part,
+            config=MachineConfig.unit_time(), processes=False,
+        )
+        ref_out, _ = _reference(graph, streams)
+        assert out == ref_out
+
+    def test_runner_cannot_run_twice(self):
+        graph, streams = _figure_graph("fig2")
+        runner = ShardedRunner(
+            graph, streams, shards=2,
+            config=MachineConfig.unit_time(), processes=False,
+        )
+        runner.run()
+        with pytest.raises(SimulationError):
+            runner.run()
