@@ -120,6 +120,9 @@ class RunResult:
             "summary": self.stats.summary()
             if hasattr(self.stats, "summary") else None,
         }
+        recovery = getattr(self.stats, "recovery", None)
+        if recovery is not None:
+            stats["recovery"] = recovery.to_dict()
         return {
             "schema": RESULT_SCHEMA,
             "backend": self.backend,
@@ -145,6 +148,7 @@ class RunRequest:
     max_cycles: Optional[int] = None
     processes: Optional[bool] = None    # sharded: real workers or not
     partition: str = "auto"             # sharded: partition scheme
+    heal: Any = None                    # sharded: self-healing policy
     workload_id: Optional[str] = None
     options: dict[str, Any] = field(default_factory=dict)
 
@@ -182,6 +186,10 @@ class SyncBackend:
             self.name, "shards", "config", "faults", "checkpoint",
             "processes", "partition", "recovery",
         )
+        if request.heal is not None:    # True slips through reject()
+            raise ReproError(
+                f"backend {self.name!r} does not support 'heal'"
+            )
         sim = SyncSimulator(
             request.graph, request.inputs,
             **{k: request.options[k] for k in ("record_trace",)
@@ -208,6 +216,10 @@ class EventBackend:
         from .machine.machine import Machine
 
         request.reject(self.name, "shards", "processes", "partition")
+        if request.heal is not None:    # True slips through reject()
+            raise ReproError(
+                f"backend {self.name!r} does not support 'heal'"
+            )
         machine = Machine(
             request.graph,
             config=request.config,
@@ -254,6 +266,7 @@ class ShardedBackend:
             partition=request.partition,
             processes=request.processes,
             workload_id=request.workload_id,
+            heal=request.heal,
             **{k: request.options[k] for k in ("policy",)
                if k in request.options},
         )
@@ -320,6 +333,7 @@ def run(
     max_cycles: Optional[int] = None,
     processes: Optional[bool] = None,
     partition: str = "auto",
+    heal: Any = None,
     workload_id: Optional[str] = None,
     **options: Any,
 ) -> RunResult:
@@ -341,6 +355,12 @@ def run(
         layer switch, and a :class:`~repro.checkpoint.
         CheckpointConfig` for periodic (sharded: coordinated)
         snapshots.
+    ``heal``
+        Sharded-backend self-healing: ``None`` auto-enables it when
+        the run has both worker processes and coordinated
+        checkpoints, ``True``/``False`` force it, and a
+        :class:`~repro.machine.ShardRecoveryPolicy` tunes deadlines,
+        restart budgets and backoff.
 
     Unknown keyword options are passed through to the backend, which
     rejects what it cannot honor.
@@ -370,6 +390,7 @@ def run(
         max_cycles=max_cycles,
         processes=processes,
         partition=partition,
+        heal=heal,
         workload_id=workload_id,
         options=dict(options),
     )
@@ -381,6 +402,7 @@ def resume(
     *,
     max_cycles: int = 50_000_000,
     allow_legacy: bool = False,
+    heal: Any = None,
 ) -> RunResult:
     """Resume a checkpointed run -- single-machine or sharded -- from
     ``directory`` and run it to completion.
@@ -396,7 +418,7 @@ def resume(
 
     if is_sharded_dir(directory):
         runner = ShardedRunner.resume(
-            directory, allow_legacy=allow_legacy
+            directory, allow_legacy=allow_legacy, heal=heal
         )
         stats = runner.run(max_cycles=max_cycles)
         outputs = runner.outputs()
@@ -410,6 +432,11 @@ def resume(
             stats=stats,
             engine=runner,
             shards=len(runner.machines),
+        )
+    if heal is not None:
+        raise ReproError(
+            "heal= applies only to sharded checkpoint directories; "
+            "single-machine runs are healed by 'repro supervise'"
         )
     machine = Machine.resume(directory, allow_legacy=allow_legacy)
     stats = machine.run(max_cycles=max_cycles)

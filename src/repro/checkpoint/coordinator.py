@@ -75,14 +75,15 @@ def is_sharded_dir(directory: Union[str, Path]) -> bool:
 
 
 def latest_coordinated(
-    directory: Union[str, Path]
+    directory: Union[str, Path], exclude: Any = ()
 ) -> Optional[dict[str, Any]]:
     """Newest committed coordinated set whose files all still exist.
 
     Returns the manifest entry (``{"cycle": ..., "files": [...]}``) or
-    None.  Quarantined sets and sets with missing files are skipped --
-    the next-older complete set wins, mirroring the single-machine
-    poisoned-snapshot step-back.
+    None.  Quarantined sets, sets with missing files and sets whose
+    cycle is in ``exclude`` (the in-process healer's barred cycles)
+    are skipped -- the next-older complete set wins, mirroring the
+    single-machine poisoned-snapshot step-back.
     """
     directory = Path(directory)
     manifest = read_shard_manifest(directory)
@@ -92,6 +93,7 @@ def latest_coordinated(
         for q in manifest.get("quarantined", [])
         if isinstance(q, dict)
     }
+    quarantined.update(exclude)
     for entry in reversed(entries):
         if not isinstance(entry, dict):
             continue
@@ -243,7 +245,15 @@ class CoordinatedCheckpointManager:
                 f"coordinated set at cycle {cycle} has {len(names)} "
                 f"files, expected {self.shards}"
             )
+        # post-rollback replay legitimately re-commits a barrier cycle
+        # that is already in the manifest; replace, don't duplicate
+        self._sets = [
+            e for e in self._sets if e.get("cycle") != cycle
+        ]
         self._sets.append({"cycle": cycle, "files": list(names)})
+        # replay can commit below a still-listed newer cycle; keep the
+        # manifest ordered oldest-first so step-back stays meaningful
+        self._sets.sort(key=lambda e: e.get("cycle", 0))
         self.stats.snapshots_written += len(names)
         self.stats.bytes_written += sum(sizes)
         self.stats.last_snapshot_cycle = cycle

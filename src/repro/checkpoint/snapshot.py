@@ -106,7 +106,9 @@ _REPRO_ALLOWLIST: dict[str, frozenset[str]] = {
     ),
     "repro.checkpoint.replay": frozenset({"EventTrace"}),
     "repro.faults.injector": frozenset({"FaultInjector", "FaultStats"}),
-    "repro.faults.plan": frozenset({"FaultPlan", "UnitFault"}),
+    "repro.faults.plan": frozenset(
+        {"FaultPlan", "ShardFault", "UnitFault"}
+    ),
     "repro.graph.cell": frozenset({"Arc", "Cell", "_NoTokenType"}),
     "repro.graph.graph": frozenset({"DataflowGraph"}),
     "repro.graph.opcodes": frozenset({"Op"}),

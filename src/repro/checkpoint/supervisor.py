@@ -29,6 +29,17 @@ an uninterrupted ``repro checkpoint`` run of the same workload.
 Determinism: the backoff jitter RNG is seeded (``SupervisorConfig.
 seed``) and the sleep function is injectable, so the restart schedule
 itself is reproducible in tests.
+
+Division of labour with in-process self-healing: sharded runs heal
+*worker* failures themselves (:mod:`repro.machine.sharded` rolls back
+to the latest coordinated set and respawns only the dead shard, see
+DESIGN.md section 10) and surface exit 137 only when that gives up
+(:class:`~repro.machine.ShardRecoveryExhausted`), so this supervisor
+is the outer loop of last resort -- it handles whole-process death,
+which no amount of in-process recovery can.  The escalation policy
+here (restart budget, seeded exponential backoff, two-strike
+step-back past a poisoned resume point) is deliberately mirrored by
+:class:`~repro.machine.ShardRecoveryPolicy` one level down.
 """
 
 from __future__ import annotations

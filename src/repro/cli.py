@@ -22,9 +22,19 @@ programs from the shell.
 ``--backend {sync,event,sharded}`` (plus ``--shards K`` for the
 sharded backend); ``resume`` auto-detects whether a directory holds
 single-machine snapshots or coordinated shard sets.  ``run``,
-``resume``, ``replay`` and ``bisect`` accept ``--json``, which prints
-one stable JSON envelope to stdout (see README "JSON output"):
-``{"schema": 1, "command": ..., "ok": ..., "result": ...}``.
+``checkpoint``, ``resume``, ``replay`` and ``bisect`` accept
+``--json``, which prints one stable JSON envelope to stdout (see
+README "JSON output"): ``{"schema": 1, "command": ..., "ok": ...,
+"result": ...}``.
+
+Sharded ``checkpoint``/``resume`` runs self-heal in process by
+default: a worker that dies or hangs mid-run is detected within the
+``--heal-deadline``, every shard rolls back to the latest complete
+coordinated set, and only the failed worker is respawned
+(``--no-self-heal`` restores the die-with-exit-137 behavior;
+``--heal-max-restarts`` and ``--degrade`` tune the escalation).
+Chaos faults (``kill_shard``/``hang_shard``/``slow_shard`` entries in
+a ``--plan`` file) exercise exactly this path deterministically.
 
 While single-machine ``checkpoint``/``resume``/``supervise`` children
 run, SIGUSR1 takes an out-of-band ``live-<cycle>.snap`` snapshot
@@ -62,7 +72,12 @@ from .errors import DeadlockError, ReproError, SimulationTimeout, SnapshotError
 from .faults import FaultPlan
 from .graph.asm import read_asm, to_asm
 from .graph.dot import to_dot
-from .machine import Machine, ShardCrashError, ShardedRunner
+from .machine import (
+    Machine,
+    ShardCrashError,
+    ShardedRunner,
+    ShardRecoveryPolicy,
+)
 from .machine.machine import _run_machine
 from .sim.runner import _run_graph
 from .val import parse_program, run_program
@@ -391,6 +406,8 @@ def _finish_sharded(runner: ShardedRunner, max_cycles: int,
     print(f"# completed at cycle {stats.cycles}", file=sys.stderr)
     if stats.checkpoints is not None:
         print(f"# {stats.checkpoints.summary()}", file=sys.stderr)
+    if stats.recovery is not None and stats.recovery.detections:
+        print(f"# {stats.recovery.summary()}", file=sys.stderr)
     if command is not None:
         _emit_envelope(
             command, True, _sharded_result(runner, stats).to_json_dict()
@@ -398,6 +415,27 @@ def _finish_sharded(runner: ShardedRunner, max_cycles: int,
     else:
         _emit_outputs(runner.outputs())
     return 0
+
+
+def _heal_from_args(args: argparse.Namespace):
+    """Resolve the sharded backend's ``heal`` argument from the CLI:
+    ``None`` (auto-enable with processes + checkpoints), ``False``
+    (``--no-self-heal``), or a tuned :class:`ShardRecoveryPolicy`."""
+    if getattr(args, "no_self_heal", False):
+        return False
+    tuned = {
+        key: value
+        for key, value in (
+            ("deadline", getattr(args, "heal_deadline", None)),
+            ("max_restarts", getattr(args, "heal_max_restarts", None)),
+        )
+        if value is not None
+    }
+    if getattr(args, "degrade", False):
+        tuned["degrade"] = True
+    if not tuned:
+        return None
+    return ShardRecoveryPolicy(**tuned)
 
 
 def _keyed(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
@@ -425,11 +463,13 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
         record=args.record,
     )
     workload_id = f"{args.workload}[m={args.size}]"
+    command = "checkpoint" if args.json else None
     if args.backend == "sharded":
         plan = _keyed(plan)
         runner = ShardedRunner(
             program.graph, inputs, shards=args.shards, fault_plan=plan,
             checkpoint=cfg, workload_id=workload_id,
+            heal=_heal_from_args(args),
         )
         if plan is not None:
             print(f"# plan: {plan.describe()}", file=sys.stderr)
@@ -441,7 +481,7 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
         )
         return _finish_sharded(
             runner, args.max_cycles, crash_at=args.crash_at,
-            crash_shard=args.crash_shard,
+            crash_shard=args.crash_shard, command=command,
         )
     machine = Machine(
         program.graph, inputs=inputs, fault_plan=plan, checkpoint=cfg
@@ -454,7 +494,9 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
         f"every {args.interval} cycles",
         file=sys.stderr,
     )
-    return _finish_run(machine, args.max_cycles, crash_at=args.crash_at)
+    return _finish_run(
+        machine, args.max_cycles, crash_at=args.crash_at, command=command
+    )
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
@@ -463,7 +505,8 @@ def cmd_resume(args: argparse.Namespace) -> int:
     if target.is_dir() and is_sharded_dir(target):
         try:
             runner = ShardedRunner.resume(
-                target, allow_legacy=args.allow_v1
+                target, allow_legacy=args.allow_v1,
+                heal=_heal_from_args(args),
             )
         except SnapshotError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -786,6 +829,24 @@ def build_parser() -> argparse.ArgumentParser:
                    "(expect a diagnosed stall)")
     p.set_defaults(fn=cmd_faults)
 
+    def heal_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--no-self-heal", action="store_true",
+                       help="disable in-process worker recovery on the "
+                       "sharded backend (a dead worker then exits 137 "
+                       "for `repro supervise` to handle)")
+        p.add_argument("--heal-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-command worker reply deadline before a "
+                       "live worker counts as hung (default 60)")
+        p.add_argument("--heal-max-restarts", type=int, default=None,
+                       metavar="N",
+                       help="per-shard respawn budget before recovery "
+                       "gives up (default 3)")
+        p.add_argument("--degrade", action="store_true",
+                       help="after a shard exhausts its restart budget, "
+                       "fold it into the coordinator and continue with "
+                       "K-1 workers instead of failing")
+
     p = sub.add_parser(
         "checkpoint",
         help="run a paper-figure workload with periodic crash-consistent "
@@ -817,6 +878,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--crash-shard", type=int, default=0, metavar="K",
                    help="which worker --crash-at kills on the sharded "
                    "backend (default 0)")
+    heal_args(p)
+    p.add_argument("--json", action="store_true",
+                   help="print the stable JSON result envelope to "
+                   "stdout instead of the outputs object")
     p.set_defaults(fn=cmd_checkpoint)
 
     p = sub.add_parser(
@@ -837,6 +902,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--crash-shard", type=int, default=0, metavar="K",
                    help="which worker --crash-at kills when resuming a "
                    "sharded directory (default 0)")
+    heal_args(p)
     p.add_argument("--json", action="store_true",
                    help="print the stable JSON result envelope to "
                    "stdout instead of the outputs object")

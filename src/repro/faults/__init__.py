@@ -17,9 +17,11 @@ from .injector import FaultInjector, FaultStats, PacketFate
 from .plan import (
     FAULT_KINDS,
     SCHEMA_VERSION,
+    SHARD_FAULT_KINDS,
     UNIT_KINDS,
     FaultPlan,
     FaultPlanError,
+    ShardFault,
     UnitFault,
 )
 
@@ -31,6 +33,8 @@ __all__ = [
     "FaultStats",
     "PacketFate",
     "SCHEMA_VERSION",
+    "SHARD_FAULT_KINDS",
+    "ShardFault",
     "UNIT_KINDS",
     "UnitFault",
 ]

@@ -4,6 +4,13 @@ The :class:`FaultInjector` is consulted by the machine simulator once
 per packet transmission (and per unit decision); every stochastic call
 draws from one seeded :class:`random.Random` stream, so a plan injects
 an identical fault sequence on every run of the same workload.
+
+Shard-level faults (``kill_shard`` / ``hang_shard`` / ``slow_shard``,
+schema 2) are *not* handled here: they target the worker process, not
+the modeled machine, so the sharded coordinator and worker transport
+execute them and the self-healing layer (DESIGN.md section 10) repairs
+the damage.  The injector only ever sees the packet- and unit-level
+entries of a plan.
 """
 
 from __future__ import annotations

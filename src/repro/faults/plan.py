@@ -27,13 +27,29 @@ class FaultPlanError(ReproError):
 
 
 #: Version of the ``--plan`` JSON schema this build writes and reads.
-SCHEMA_VERSION = 1
+#: Version 2 added worker-level ``shard_faults``; plans without them
+#: are still written as version 1 so older readers keep working.
+SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`FaultPlan.from_dict` accepts.
+READABLE_SCHEMAS = (1, 2)
 
 #: Unit kinds a :class:`UnitFault` can target.
 UNIT_KINDS = ("fu", "am", "pe")
 
 #: Fault kinds a :class:`UnitFault` can describe.
 FAULT_KINDS = ("outage", "slow")
+
+#: Fault kinds a :class:`ShardFault` can describe.
+SHARD_FAULT_KINDS = ("kill", "hang", "slow")
+
+#: accepted spellings for shard-fault kinds (the plan schema also
+#: takes the explicit ``kill_shard``/``hang_shard``/``slow_shard``)
+_SHARD_KIND_ALIASES = {
+    "kill_shard": "kill",
+    "hang_shard": "hang",
+    "slow_shard": "slow",
+}
 
 
 @dataclass(frozen=True)
@@ -105,6 +121,69 @@ class UnitFault:
 
 
 @dataclass(frozen=True)
+class ShardFault:
+    """One worker-level fault on a sharded run.
+
+    ``shard``
+        Which shard worker (0-based) the fault targets.
+    ``cycle``
+        The fault fires at the first lockstep barrier whose horizon
+        reaches this simulated cycle.  Firing is one-shot: after a
+        rollback the coordinator does not re-arm the fault, so replay
+        converges.
+    ``kind``
+        ``"kill"`` -- the worker dies with ``os._exit(137)`` (a
+        SIGKILL stand-in) before touching its machine; ``"hang"`` --
+        the worker stops responding forever (detected by the reply
+        deadline); ``"slow"`` -- the worker sleeps ``delay`` seconds
+        before handling the command (crosses the detection threshold
+        only when ``delay`` exceeds the policy deadline).
+    """
+
+    shard: int
+    cycle: int
+    kind: str = "kill"
+    delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "kind", _SHARD_KIND_ALIASES.get(self.kind, self.kind)
+        )
+        if self.kind not in SHARD_FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown shard-fault kind {self.kind!r}; expected one "
+                f"of {SHARD_FAULT_KINDS}"
+            )
+        if self.shard < 0:
+            raise FaultPlanError(
+                f"shard index must be >= 0, got {self.shard}"
+            )
+        if self.cycle < 0:
+            raise FaultPlanError(
+                f"shard-fault cycle must be >= 0, got {self.cycle}"
+            )
+        if self.kind == "slow" and self.delay <= 0:
+            raise FaultPlanError(
+                f"slow-shard delay must be > 0 seconds, got {self.delay}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ShardFault":
+        if not isinstance(data, dict):
+            raise FaultPlanError(
+                f"shard fault must be a JSON object, got {data!r}"
+            )
+        known = {"shard", "cycle", "kind", "delay"}
+        extra = set(data) - known
+        if extra:
+            raise FaultPlanError(
+                f"unknown shard-fault keys: {sorted(extra)} "
+                f"(expected a subset of {sorted(known)})"
+            )
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A seeded description of every fault injected into one run.
 
@@ -117,6 +196,12 @@ class FaultPlan:
         Acknowledge packets (consumers releasing producers).
     ``unit_faults``
         Unit outage/slowdown windows (:class:`UnitFault`).
+    ``shard_faults``
+        Worker-level faults (:class:`ShardFault`): kill, hang or slow
+        one shard worker of a sharded run at a given cycle.  Consumed
+        by the :class:`~repro.machine.sharded.ShardedRunner`
+        coordinator (the injector never sees them) and only honored
+        over real worker processes.
     ``derivation``
         How the injector draws packet fates.  ``"sequence"`` (default)
         draws from one ``random.Random(seed)`` stream in
@@ -136,6 +221,7 @@ class FaultPlan:
     dup_ack: float = 0.0
     unit_faults: tuple = field(default_factory=tuple)
     derivation: str = "sequence"
+    shard_faults: tuple = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         for name in (
@@ -160,10 +246,26 @@ class FaultPlan:
             for f in self.unit_faults
         )
         object.__setattr__(self, "unit_faults", faults)
+        shard_faults = tuple(
+            f if isinstance(f, ShardFault) else ShardFault.from_dict(f)
+            for f in self.shard_faults
+        )
+        object.__setattr__(self, "shard_faults", shard_faults)
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        # plans pickled inside snapshots written by older builds
+        # predate shard_faults; backfill so they resume cleanly
+        state.setdefault("shard_faults", ())
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
 
     # ------------------------------------------------------------------
     # queries used by the machine
     # ------------------------------------------------------------------
+    @property
+    def has_shard_faults(self) -> bool:
+        return bool(self.shard_faults)
+
     @property
     def has_packet_faults(self) -> bool:
         return any(
@@ -202,19 +304,24 @@ class FaultPlan:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         d = asdict(self)
-        d["schema"] = SCHEMA_VERSION
+        # plans without shard faults stay on schema 1 so builds that
+        # predate worker-level faults keep reading them
+        d["schema"] = SCHEMA_VERSION if self.shard_faults else 1
         d["unit_faults"] = [asdict(f) for f in self.unit_faults]
+        d["shard_faults"] = [asdict(f) for f in self.shard_faults]
+        if not self.shard_faults:
+            del d["shard_faults"]
         return d
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
         data = dict(data)
         # schema-less plans predate versioning and read as version 1
-        schema = data.pop("schema", SCHEMA_VERSION)
-        if schema != SCHEMA_VERSION:
+        schema = data.pop("schema", 1)
+        if schema not in READABLE_SCHEMAS:
             raise FaultPlanError(
                 f"fault-plan schema version {schema!r} is not supported; "
-                f"this build reads version {SCHEMA_VERSION}"
+                f"this build reads versions {READABLE_SCHEMAS}"
             )
         known = {
             "seed",
@@ -225,6 +332,7 @@ class FaultPlan:
             "dup_ack",
             "unit_faults",
             "derivation",
+            "shard_faults",
         }
         extra = set(data) - known
         if extra:
@@ -235,6 +343,10 @@ class FaultPlan:
         data["unit_faults"] = tuple(
             UnitFault.from_dict(f) if isinstance(f, dict) else f
             for f in data.get("unit_faults", ())
+        )
+        data["shard_faults"] = tuple(
+            ShardFault.from_dict(f) if isinstance(f, dict) else f
+            for f in data.get("shard_faults", ())
         )
         return cls(**data)
 
@@ -264,4 +376,7 @@ class FaultPlan:
             window = f"[{f.start},{'inf' if f.end is None else f.end})"
             detail = "" if f.kind == "outage" else f" x{f.factor:g}"
             parts.append(f"{f.unit}{f.index} {f.kind}{detail} {window}")
+        for f in self.shard_faults:
+            detail = f" {f.delay:g}s" if f.kind == "slow" else ""
+            parts.append(f"shard{f.shard} {f.kind}{detail} @{f.cycle}")
         return "FaultPlan(" + ", ".join(parts) + ")"

@@ -24,7 +24,10 @@ from .machine import Machine, run_machine
 from .sharded import (
     ShardCrashError,
     ShardedRunner,
+    ShardHangError,
     ShardMachine,
+    ShardRecoveryExhausted,
+    ShardRecoveryPolicy,
     merge_shard_stats,
     run_sharded,
 )
@@ -36,7 +39,12 @@ from .packets import (
     UnitClass,
     classify_unit,
 )
-from .stats import CheckpointStats, MachineStats, ReliabilityStats
+from .stats import (
+    CheckpointStats,
+    MachineStats,
+    RecoveryStats,
+    ReliabilityStats,
+)
 
 __all__ = [
     "AckPacket",
@@ -50,9 +58,13 @@ __all__ = [
     "OperationPacket",
     "POLICIES",
     "PacketCounters",
+    "RecoveryStats",
     "ReliabilityStats",
     "ResultPacket",
     "ShardCrashError",
+    "ShardHangError",
+    "ShardRecoveryExhausted",
+    "ShardRecoveryPolicy",
     "ShardMachine",
     "ShardedRunner",
     "StarvedCell",

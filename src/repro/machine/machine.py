@@ -117,6 +117,10 @@ class _UnitState:
 class Machine:
     """One machine instance executing one instruction graph."""
 
+    #: worker-level (shard) faults only make sense where there are
+    #: worker processes; ShardMachine flips this
+    _hosts_shard_faults = False
+
     def __init__(
         self,
         graph: DataflowGraph,
@@ -143,6 +147,16 @@ class Machine:
             graph, self.config.n_pes, policy
         )
 
+        if (
+            fault_plan is not None
+            and getattr(fault_plan, "shard_faults", ())
+            and not self._hosts_shard_faults
+        ):
+            raise SimulationError(
+                "shard-level faults (kill/hang/slow) only apply to "
+                "the sharded backend's worker processes; this backend "
+                "cannot honor them"
+            )
         self.fault_plan = fault_plan
         self.recovery = recovery
         self.injector = (

@@ -47,6 +47,27 @@ Fault plans on sharded runs must use ``derivation="keyed"`` (see
 :class:`repro.faults.FaultPlan`): each packet's fate is then a pure
 function of ``(seed, arc, sequence number, cycle)``, so the shards
 inject exactly the faults the single-process run would have.
+
+In-process self-healing
+-----------------------
+
+With real worker processes and coordinated checkpoints, the runner is
+self-healing (see DESIGN.md section 10): every reply wait carries a
+deadline with heartbeat polls, so a dead *or hung* worker is detected
+within a bounded window; on detection all shards roll back to the
+latest complete coordinated set (survivors reload in place over the
+``load`` op, the failed worker is respawned), the channel state of the
+cut is re-injected, and the lockstep windows replay forward --
+bit-identically, because windows are a pure function of shard state
+plus injected messages.  Escalation mirrors the supervisor one level
+down (:class:`ShardRecoveryPolicy`): per-shard restart budgets with
+exponential seeded backoff, two-strike same-window step-back, and on
+budget exhaustion a typed :class:`ShardRecoveryExhausted` (exit 137
+at the CLI) so ``repro supervise`` stays the outer loop of last
+resort -- or, behind ``degrade=True``, the incurable shard is folded
+into the coordinator process and the run continues with K-1 workers.
+Worker-level chaos (:class:`repro.faults.ShardFault`) makes all of
+this deterministically testable.
 """
 
 from __future__ import annotations
@@ -54,8 +75,10 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import os
-from dataclasses import replace
-from typing import Any, Optional, Union
+import random
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Optional, Union
 
 from ..analysis.partition import Partition, partition_graph
 from ..checkpoint.manager import CheckpointConfig
@@ -73,20 +96,84 @@ from ..graph.opcodes import Op
 from .config import MachineConfig
 from .machine import Machine
 from .packets import PacketCounters
-from .stats import MachineStats, ReliabilityStats
+from .stats import MachineStats, RecoveryStats, ReliabilityStats
 
 #: a routed cross-shard message: (arrival cycle, event kind, args)
 Message = tuple[int, str, tuple]
+
+#: reply deadline (seconds) for workers of runners without a healing
+#: policy -- generous, but the parent never blocks forever on a pipe
+_DEFAULT_DEADLINE = 600.0
+
+#: poll granularity (seconds) while waiting on a worker reply
+_DEFAULT_HEARTBEAT = 0.05
 
 
 class ShardCrashError(SimulationError):
     """A shard worker process died (crash, SIGKILL, ``--crash-at``)."""
 
     def __init__(self, message: str, shard: int = -1,
-                 exitcode: Optional[int] = None) -> None:
+                 exitcode: Optional[int] = None,
+                 cycle: int = -1) -> None:
         self.shard = shard
         self.exitcode = exitcode
+        #: barrier cycle of the command the worker was handling
+        self.cycle = cycle
         super().__init__(message)
+
+
+class ShardHangError(ShardCrashError):
+    """A live worker missed its reply deadline (hung, not dead)."""
+
+
+class ShardRecoveryExhausted(ShardCrashError):
+    """In-process recovery gave up: a shard blew through its restart
+    budget (or stepped back past every usable coordinated set).  A
+    subclass of :class:`ShardCrashError`, so the CLI still exits 137
+    and ``repro supervise`` remains the outer loop of last resort."""
+
+
+@dataclass
+class ShardRecoveryPolicy:
+    """Knobs of the in-process self-healing loop.
+
+    Mirrors the supervisor's escalation policy one level down: per
+    shard restart budgets, exponential backoff with seeded jitter, and
+    two-strike same-window step-back -- but rollback happens inside
+    the running coordinator, from the latest complete coordinated set,
+    without tearing the process tree down.
+    """
+
+    #: seconds a worker may take to answer one command before it
+    #: counts as hung
+    deadline: float = 60.0
+    #: poll granularity while waiting (also bounds detection jitter)
+    heartbeat: float = 0.05
+    #: respawns allowed per shard before escalating
+    max_restarts: int = 3
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+    #: failures inside the same replay window before the resume set is
+    #: barred and recovery steps back one set (supervisor parity)
+    strikes: int = 2
+    #: on budget exhaustion, fold the shard into the coordinator
+    #: process (K-1 worker processes) instead of raising
+    degrade: bool = False
+    #: injectable for tests; the backoff delays go through this
+    sleep: Callable[[float], None] = time.sleep
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Delay before restart ``attempt`` (1-based), jittered."""
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+        if self.jitter:
+            delay *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return max(0.0, delay)
 
 
 class ShardMachine(Machine):
@@ -99,6 +186,11 @@ class ShardMachine(Machine):
     divert packets for non-owned destinations into ``_outbox`` instead
     of the local heap; the coordinator routes them.
     """
+
+    #: shard-level faults are legal on this machine class -- they are
+    #: consumed by the coordinator, never by the machine itself (the
+    #: plain Machine rejects plans that carry them)
+    _hosts_shard_faults = True
 
     def __init__(
         self,
@@ -281,6 +373,37 @@ def _maybe_crash(crash_at: Optional[int], horizon: int) -> None:
         os._exit(137)       # simulated SIGKILL: no cleanup at all
 
 
+def _apply_shard_fault(fault: Optional[tuple]) -> None:
+    """Execute a coordinator-injected worker fault directive.
+
+    ``("kill",)`` dies like SIGKILL before touching the machine;
+    ``("hang",)`` stops responding forever (the parent's reply
+    deadline must catch it); ``("slow", seconds)`` delays the reply.
+    """
+    if fault is None:
+        return
+    if fault[0] == "kill":
+        os._exit(137)
+    if fault[0] == "hang":
+        while True:
+            time.sleep(3600)
+    if fault[0] == "slow":
+        time.sleep(fault[1])
+
+
+def _load_shard_machine(path: str) -> ShardMachine:
+    """Reload one shard from its coordinated-set member file, with the
+    channel state (the in-flight cut messages) re-injected."""
+    from ..checkpoint.snapshot import load_machine
+
+    machine, extra = load_machine(
+        path, expected_cls=ShardMachine, with_extra=True
+    )
+    extra = extra or {}
+    machine.inject([tuple(m) for m in extra.get("channel_state", ())])
+    return machine
+
+
 def _write_shard_snapshot(
     machine: ShardMachine, path: str, cycle: int, messages: list[Message]
 ) -> int:
@@ -305,39 +428,59 @@ def _write_shard_snapshot(
 
 def _shard_worker(conn, machine: ShardMachine,
                   crash_at: Optional[int]) -> None:
-    """Event loop of one worker process (commands over a duplex pipe)."""
+    """Event loop of one worker process (commands over a duplex pipe).
+
+    Every command arrives wrapped as ``(seq, cmd)`` and every reply is
+    sent back prefixed with the same ``seq``: after a rollback the
+    coordinator's next command must not be answered by a reply that a
+    survivor was still computing for the *failed* barrier, and the
+    sequence number lets ``_ProcessShard.wait`` discard such stragglers
+    no matter when they land on the pipe.
+    """
     try:
         while True:
-            cmd = conn.recv()
+            seq, cmd = conn.recv()
             op = cmd[0]
             try:
                 if op == "start":
-                    conn.send(("ok", machine.begin()))
+                    conn.send((seq, "ok", machine.begin()))
                 elif op == "window":
-                    _, horizon, max_cycles, messages = cmd
+                    _, horizon, max_cycles, messages, fault = cmd
                     _maybe_crash(crash_at, horizon)
+                    _apply_shard_fault(fault)
                     machine.inject(messages)
-                    conn.send(("ok",
+                    conn.send((seq, "ok",
                                machine.run_window(horizon, max_cycles)))
                 elif op == "snapshot":
-                    _, path, cycle, messages = cmd
+                    # a kill/hang fault here dies *before* the file
+                    # lands: the set stays uncommitted and recovery
+                    # must fall back to the previous complete set
+                    _, path, cycle, messages, fault = cmd
+                    _apply_shard_fault(fault)
                     size = _write_shard_snapshot(
                         machine, path, cycle, messages
                     )
                     machine.inject(messages)
-                    conn.send(("ok", size))
+                    conn.send((seq, "ok", size))
+                elif op == "load":
+                    # warm rollback: survivors reload their shard of a
+                    # coordinated set in place, keeping the process
+                    _, path = cmd
+                    machine = _load_shard_machine(path)
+                    conn.send((seq, "ok", machine.shard_index))
                 elif op == "finish":
-                    conn.send(("ok", machine))
+                    conn.send((seq, "ok", machine))
                     return
                 elif op == "stop":
                     return
                 else:       # pragma: no cover - protocol bug
-                    conn.send(("error", "SimulationError",
+                    conn.send((seq, "error", "SimulationError",
                                f"unknown worker op {op!r}", 0))
                     return
             except ReproError as exc:
                 cycle = getattr(exc, "cycle", machine.now)
-                conn.send(("error", type(exc).__name__, str(exc), cycle))
+                conn.send((seq, "error",
+                           type(exc).__name__, str(exc), cycle))
                 return
     except (EOFError, KeyboardInterrupt, BrokenPipeError):
         return              # coordinator went away; die quietly
@@ -368,32 +511,65 @@ class _LocalShard:
         if op == "start":
             self._reply = self.machine.begin()
         elif op == "window":
-            _, horizon, max_cycles, messages = cmd
+            _, horizon, max_cycles, messages, fault = cmd
+            self._refuse_fault(fault)
             _maybe_crash(self.crash_at, horizon)
             self.machine.inject(messages)
             self._reply = self.machine.run_window(horizon, max_cycles)
         elif op == "snapshot":
-            _, path, cycle, messages = cmd
+            _, path, cycle, messages, fault = cmd
+            self._refuse_fault(fault)
             self._reply = _write_shard_snapshot(
                 self.machine, path, cycle, messages
             )
             self.machine.inject(messages)
+        elif op == "load":
+            _, path = cmd
+            self.machine = _load_shard_machine(path)
+            self._reply = self.machine.shard_index
         elif op == "finish":
             self._reply = self.machine
 
-    def wait(self) -> Any:
+    @staticmethod
+    def _refuse_fault(fault: Optional[tuple]) -> None:
+        # the runner routes shard faults only to process transports; a
+        # kill/hang here would take the coordinator down with it
+        if fault is not None:   # pragma: no cover - coordinator bug
+            raise SimulationError(
+                "shard fault directive sent to an in-process shard"
+            )
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
         return self._reply
+
+    def drain(self) -> None:
+        pass
 
     def close(self) -> None:
         pass
 
 
 class _ProcessShard:
-    """One worker process plus the coordinator's end of its pipe."""
+    """One worker process plus the coordinator's end of its pipe.
+
+    Every reply wait runs under a deadline with heartbeat polls: the
+    coordinator never blocks indefinitely on ``conn.recv()``, so a
+    worker that is dead *or* hung is detected within a bounded window
+    (:class:`ShardCrashError` / :class:`ShardHangError`).
+    """
 
     def __init__(self, shard: int, machine: ShardMachine,
-                 crash_at: Optional[int], ctx) -> None:
+                 crash_at: Optional[int], ctx, *,
+                 deadline: float = _DEFAULT_DEADLINE,
+                 heartbeat: float = _DEFAULT_HEARTBEAT) -> None:
         self.shard = shard
+        self.deadline = deadline
+        self.heartbeat = heartbeat
+        #: barrier cycle of the last command posted (error context)
+        self.last_cycle = -1
+        #: sequence number of the last command posted; replies echo it
+        #: so ``wait`` can drop stragglers from before a rollback
+        self._seq = 0
         self.conn, child = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(
             target=_shard_worker,
@@ -409,19 +585,68 @@ class _ProcessShard:
         return self.proc.pid
 
     def post(self, cmd: tuple) -> None:
+        if cmd[0] == "window":
+            self.last_cycle = cmd[1]
+        elif cmd[0] == "snapshot":
+            self.last_cycle = cmd[2]
+        self._seq += 1
         try:
-            self.conn.send(cmd)
+            self.conn.send((self._seq, cmd))
         except (BrokenPipeError, OSError):
             raise self._crash() from None
 
-    def wait(self) -> Any:
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        limit = self.deadline if timeout is None else timeout
+        give_up = time.monotonic() + limit
+        reply = None
+        while reply is None:
+            try:
+                if self.conn.poll(self.heartbeat):
+                    got = self.conn.recv()
+                    if got[0] == self._seq:
+                        reply = got
+                    # else: straggler from before a rollback — a
+                    # survivor answered the failed barrier only after
+                    # drain() ran; the echoed seq exposes it
+                    continue
+            except (EOFError, ConnectionResetError, OSError):
+                raise self._crash() from None
+            if not self.proc.is_alive():
+                # drain replies the worker managed to send before dying
+                try:
+                    while reply is None and self.conn.poll(0):
+                        got = self.conn.recv()
+                        if got[0] == self._seq:
+                            reply = got
+                except (EOFError, ConnectionResetError, OSError):
+                    pass
+                if reply is None:
+                    raise self._crash() from None
+            elif time.monotonic() >= give_up:
+                raise ShardHangError(
+                    f"shard {self.shard} worker (pid {self.pid}) missed "
+                    f"its {limit:g}s reply deadline near cycle "
+                    f"{self.last_cycle}",
+                    shard=self.shard,
+                    exitcode=None,
+                    cycle=self.last_cycle,
+                )
+        if reply[1] == "error":
+            raise _rebuild_error(*reply[2:])
+        return reply[2]
+
+    def drain(self) -> None:
+        """Discard queued replies from before a rollback: when a
+        barrier dies on one shard, survivors have already answered
+        and their queued replies would otherwise sit in the pipe
+        buffer.  Sequence filtering in :meth:`wait` is what guarantees
+        correctness (a straggler can land *after* this drain); this
+        just clears the queue eagerly."""
         try:
-            reply = self.conn.recv()
+            while self.conn.poll(0):
+                self.conn.recv()
         except (EOFError, ConnectionResetError, OSError):
-            raise self._crash() from None
-        if reply[0] == "error":
-            raise _rebuild_error(*reply[1:])
-        return reply[1]
+            pass        # a dead pipe surfaces on the next post
 
     def _crash(self) -> ShardCrashError:
         self.proc.join(timeout=5)
@@ -431,6 +656,7 @@ class _ProcessShard:
             f"exit code {code}",
             shard=self.shard,
             exitcode=code,
+            cycle=self.last_cycle,
         )
 
     def close(self) -> None:
@@ -440,6 +666,11 @@ class _ProcessShard:
             pass
         if self.proc.is_alive():
             self.proc.terminate()
+            self.proc.join(timeout=5)
+            if self.proc.is_alive():
+                # a worker stuck in uninterruptible state shrugged off
+                # SIGTERM; SIGKILL it rather than leak a live child
+                self.proc.kill()
         self.proc.join(timeout=5)
 
 
@@ -463,6 +694,7 @@ class ShardedRunner:
         partition: Union[str, Partition] = "auto",
         processes: Optional[bool] = None,
         workload_id: Optional[str] = None,
+        heal: Union[None, bool, ShardRecoveryPolicy] = None,
     ) -> None:
         if shards < 1:
             raise SimulationError(f"shard count must be >= 1, got {shards}")
@@ -511,6 +743,85 @@ class ShardedRunner:
             self._next_ckpt = checkpoint.interval or None
         self.worker_pids: list[Optional[int]] = []
         self._finished = False
+        self._init_heal(heal, fault_plan)
+
+    def _init_heal(
+        self,
+        heal: Union[None, bool, ShardRecoveryPolicy],
+        fault_plan: Optional[FaultPlan],
+    ) -> None:
+        """Resolve the self-healing policy and arm the chaos faults.
+
+        ``heal=None`` auto-enables healing whenever the run has both
+        real worker processes (something to respawn) and coordinated
+        checkpoints (something to roll back to); ``True``/``False``
+        force it; a :class:`ShardRecoveryPolicy` tunes it.  Healing
+        without checkpoints is legal when forced -- recovery then
+        restarts every shard from the initial machines, which the
+        fork-based workers leave unmutated in this process.
+        """
+        if heal is None:
+            heal = self._processes and self._ckpt is not None
+        if heal is True:
+            heal = ShardRecoveryPolicy()
+        elif heal is False:
+            heal = None
+        if heal is not None and not self._processes:
+            raise SimulationError(
+                "self-healing needs real worker processes "
+                "(processes=True): an in-process shard cannot be "
+                "respawned"
+            )
+        self._heal: Optional[ShardRecoveryPolicy] = heal
+        self._heal_rng = random.Random(heal.seed if heal else 0)
+        self._recovery: Optional[RecoveryStats] = None
+        #: per-shard respawn count (the restart budget's ledger)
+        self._restarts: dict[int, int] = {}
+        #: failures per resume point since the last committed set
+        self._strikes: dict[int, int] = {}
+        #: set cycles barred by two-strike step-back (in-memory only:
+        #: replay legitimately re-commits these cycles, so an on-disk
+        #: quarantine would poison its own recovery)
+        self._barred: set[int] = set()
+        #: shards folded into the coordinator after budget exhaustion
+        self._degraded: set[int] = set()
+        self._ctx = None
+        self._barrier = 0
+        self._start_cycle = max((m.now for m in self.machines), default=0)
+        faults = tuple(
+            getattr(fault_plan, "shard_faults", ()) or ()
+        ) if fault_plan is not None else ()
+        for f in faults:
+            if f.shard >= self.shards:
+                raise SimulationError(
+                    f"shard fault targets shard {f.shard} but the run "
+                    f"has only {self.shards} shards"
+                )
+        if faults and not self._processes:
+            raise SimulationError(
+                "shard-level faults (kill/hang/slow) need real worker "
+                "processes (processes=True); in-process shards share "
+                "the coordinator's fate"
+            )
+        #: unfired chaos faults per shard, soonest first; firing is
+        #: one-shot so post-rollback replay converges
+        self._shard_faults: dict[int, list] = {}
+        for f in sorted(faults, key=lambda f: (f.cycle, f.shard)):
+            # on a resumed runner (start cycle > 0), faults at or
+            # before the resume point already fired in the run that
+            # wrote the snapshot
+            if self._start_cycle == 0 or f.cycle > self._start_cycle:
+                self._shard_faults.setdefault(f.shard, []).append(f)
+
+    def _take_fault(self, shard: int, cycle: int) -> Optional[tuple]:
+        """Pop the due chaos directive for ``shard``, if any."""
+        queue = self._shard_faults.get(shard)
+        if not queue or cycle < queue[0].cycle or shard in self._degraded:
+            return None
+        fault = queue.pop(0)
+        if fault.kind == "slow":
+            return ("slow", fault.delay)
+        return (fault.kind,)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -520,6 +831,7 @@ class ShardedRunner:
         *,
         processes: Optional[bool] = None,
         allow_legacy: bool = False,
+        heal: Union[None, bool, ShardRecoveryPolicy] = None,
     ) -> "ShardedRunner":
         """Load the newest *complete* coordinated snapshot set and
         return a runner ready to continue bit-identically."""
@@ -572,6 +884,7 @@ class ShardedRunner:
         )
         self.worker_pids = []
         self._finished = False
+        self._init_heal(heal, machines[0].fault_plan)
         return self
 
     # ------------------------------------------------------------------
@@ -587,16 +900,29 @@ class ShardedRunner:
         (``os._exit(137)``) at the first barrier whose horizon reaches
         that cycle -- the sharded analogue of :meth:`Machine.run`'s
         SIGKILL stand-in.  With the in-process transport the whole
-        process dies, exactly like the single-machine flag.
+        process dies, exactly like the single-machine flag.  Because
+        ``crash_at`` exists to *demonstrate* a crash escaping the run,
+        it disables self-healing for this invocation; chaos faults in
+        the plan (``ShardFault``) are the healed path.
         """
         if self._finished:
             raise SimulationError("this runner has already completed")
+        heal = self._heal if crash_at is None else None
+        if heal is not None and self._recovery is None:
+            self._recovery = RecoveryStats()
         if self._ckpt is not None:
             self._ckpt.on_start(self)
         eps = self._spawn(crash_at, crash_shard)
         try:
-            self._drive(eps, max_cycles)
-            self.machines = [self._finish_one(ep) for ep in eps]
+            while True:
+                try:
+                    self._drive(eps, max_cycles)
+                    self.machines = [self._finish_one(ep) for ep in eps]
+                    break
+                except ShardCrashError as exc:
+                    if heal is None:
+                        raise
+                    eps = self._recover(eps, exc, heal)
         finally:
             for ep in eps:
                 ep.close()
@@ -607,25 +933,39 @@ class ShardedRunner:
         return self.stats()
 
     def _spawn(self, crash_at: Optional[int], crash_shard: int):
-        eps: list[Any] = []
-        if not self._processes:
-            for k, m in enumerate(self.machines):
-                eps.append(
-                    _LocalShard(k, m, crash_at if k == crash_shard else None)
-                )
-            self.worker_pids = [None] * self.shards
-            return eps
-        ctx = multiprocessing.get_context(
-            "fork"
-            if "fork" in multiprocessing.get_all_start_methods()
-            else "spawn"
+        if self._processes and self._ctx is None:
+            self._ctx = multiprocessing.get_context(
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self.worker_pids = [None] * self.shards
+        return [
+            self._spawn_one(
+                k, m, crash_at if k == crash_shard else None
+            )
+            for k, m in enumerate(self.machines)
+        ]
+
+    def _spawn_one(self, shard: int, machine: ShardMachine,
+                   crash_at: Optional[int] = None):
+        if not self._processes or shard in self._degraded:
+            if machine is self.machines[shard] and self._degraded:
+                # a degraded shard runs in-process and would mutate
+                # the pristine restart copy; work on a clone instead
+                import pickle
+
+                machine = pickle.loads(pickle.dumps(machine))
+            self.worker_pids[shard] = None
+            return _LocalShard(shard, machine, crash_at)
+        policy = self._heal
+        ep = _ProcessShard(
+            shard, machine, crash_at, self._ctx,
+            deadline=policy.deadline if policy else _DEFAULT_DEADLINE,
+            heartbeat=policy.heartbeat if policy else _DEFAULT_HEARTBEAT,
         )
-        for k, m in enumerate(self.machines):
-            eps.append(_ProcessShard(
-                k, m, crash_at if k == crash_shard else None, ctx
-            ))
-        self.worker_pids = [ep.pid for ep in eps]
-        return eps
+        self.worker_pids[shard] = ep.pid
+        return ep
 
     def _drive(self, eps, max_cycles: int) -> None:
         for ep in eps:
@@ -640,6 +980,7 @@ class ShardedRunner:
             if not times:
                 return          # global quiescence
             t_min = min(times)
+            self._barrier = t_min
             by_dst: dict[int, list[Message]] = {}
             for when, _src, _idx, dst, kind, args in sorted(pending):
                 by_dst.setdefault(dst, []).append((when, kind, args))
@@ -653,7 +994,8 @@ class ShardedRunner:
             horizon = t_min + self._lookahead - 1
             for k, ep in enumerate(eps):
                 ep.post(("window", horizon, max_cycles,
-                         by_dst.get(k, [])))
+                         by_dst.get(k, []),
+                         self._take_fault(k, horizon)))
             frontier = []
             for k, ep in enumerate(eps):
                 outbox, nt, live = ep.wait()
@@ -670,13 +1012,156 @@ class ShardedRunner:
         names = [self._ckpt.shard_name(cycle, k) for k in range(len(eps))]
         for k, ep in enumerate(eps):
             path = str(self._ckpt.directory / names[k])
-            ep.post(("snapshot", path, cycle, by_dst.get(k, [])))
+            ep.post(("snapshot", path, cycle, by_dst.get(k, []),
+                     self._take_fault(k, cycle)))
         sizes = [ep.wait() for ep in eps]
         self._ckpt.commit(cycle, names, sizes)
+        # a committed set is forward progress: clear strike counting,
+        # mirroring the supervisor's progressed-past-resume-point rule
+        self._strikes.clear()
 
     def _finish_one(self, ep) -> ShardMachine:
         ep.post(("finish",))
         return ep.wait()
+
+    # ------------------------------------------------------------------
+    # in-process self-healing
+    # ------------------------------------------------------------------
+    def _recover(self, eps, exc: ShardCrashError,
+                 policy: ShardRecoveryPolicy):
+        """Roll every shard back to the latest usable coordinated set,
+        respawn the failed worker, and hand fresh endpoints back to
+        :meth:`run` for replay.
+
+        The rollback restores each shard's machine *and* the channel
+        state of the cut, so the replayed lockstep windows re-derive
+        exactly the packets of a clean run -- outputs and modeled sink
+        times stay bit-identical.  Policy mirrors the supervisor one
+        level down: per-shard restart budgets with exponential seeded
+        backoff, and on two strikes inside the same replay window the
+        resume set is barred and recovery steps back one set.
+        """
+        started = time.perf_counter()
+        rec = self._recovery
+        rec.detections += 1
+        if isinstance(exc, ShardHangError):
+            rec.hangs += 1
+        else:
+            rec.crashes += 1
+        detect_cycle = exc.cycle if exc.cycle >= 0 else self._barrier
+        failed = exc.shard
+        self._charge_restart(failed, detect_cycle, policy, exc)
+        if failed not in self._degraded:
+            delay = policy.backoff(
+                self._restarts.get(failed, 1), self._heal_rng
+            )
+            if delay:
+                policy.sleep(delay)
+        entry = self._resume_point()
+        key = entry["cycle"] if entry is not None else -1
+        strikes = self._strikes.get(key, 0) + 1
+        if strikes >= policy.strikes and entry is not None:
+            # second failure replaying the same window: bar the set
+            # (in memory -- replay will re-commit this cycle) and step
+            # back one, like the supervisor's two-strike quarantine
+            self._barred.add(key)
+            self._strikes.pop(key, None)
+            rec.step_backs += 1
+            entry = self._resume_point()
+            key = entry["cycle"] if entry is not None else -1
+            self._strikes[key] = 1
+        else:
+            self._strikes[key] = strikes
+        rec.rollbacks += 1
+        rec.rollback_cycles.append(key)
+        new_eps = self._restore(eps, entry, {failed})
+        base = entry["cycle"] if entry is not None else self._start_cycle
+        rec.cycles_replayed += max(0, detect_cycle - base)
+        if self._ckpt is not None:
+            interval = self._ckpt.config.interval
+            self._next_ckpt = base + interval if interval else None
+        rec.latencies.append(time.perf_counter() - started)
+        if len(rec.latencies) > 8192:
+            del rec.latencies[:4096]
+        return new_eps
+
+    def _charge_restart(self, shard: int, cycle: int,
+                        policy: ShardRecoveryPolicy,
+                        exc: ShardCrashError) -> None:
+        self._restarts[shard] = self._restarts.get(shard, 0) + 1
+        if self._restarts[shard] <= policy.max_restarts:
+            return
+        if policy.degrade and shard not in self._degraded:
+            # fold the incurable shard into the coordinator process:
+            # K-1 worker processes continue, bit-identically
+            self._degraded.add(shard)
+            self._recovery.degraded_shards = len(self._degraded)
+            return
+        raise ShardRecoveryExhausted(
+            f"shard {shard} worker failed {self._restarts[shard]} "
+            f"times (budget {policy.max_restarts}) near cycle "
+            f"{cycle}; escalating to the supervisor",
+            shard=shard,
+            exitcode=exc.exitcode,
+            cycle=cycle,
+        ) from exc
+
+    def _resume_point(self) -> Optional[dict[str, Any]]:
+        """Latest complete coordinated set not barred by step-back, or
+        None (= roll back to the run's initial machines)."""
+        if self._ckpt is None:
+            return None
+        from ..checkpoint.coordinator import latest_coordinated
+        from ..errors import ManifestError
+
+        try:
+            return latest_coordinated(
+                self._ckpt.directory, exclude=self._barred
+            )
+        except ManifestError:
+            return None
+
+    def _restore(self, eps, entry: Optional[dict[str, Any]],
+                 failed: set) -> list:
+        """Build the post-rollback endpoint list: survivors reload
+        their shard file in place (warm), failed/degraded workers are
+        replaced.  With no committed set, every shard restarts from
+        the initial machines (fork leaves the parent's copies
+        unmutated; on a resumed runner they hold the loaded set)."""
+        rec = self._recovery
+        if entry is None:
+            for ep in eps:
+                ep.close()
+            fresh = self._spawn(None, 0)
+            rec.respawns += sum(
+                1 for k in range(self.shards)
+                if k in failed and k not in self._degraded
+            )
+            return fresh
+        paths = [
+            str(self._ckpt.directory / name) for name in entry["files"]
+        ]
+        respawn = set(failed)
+        for k, ep in enumerate(eps):
+            if k in respawn or k in self._degraded:
+                respawn.add(k)
+                continue
+            try:
+                ep.drain()
+                ep.post(("load", paths[k]))
+                ep.wait()
+            except ShardCrashError:
+                # a survivor died too (e.g. several chaos faults in
+                # one window); replace it as well
+                respawn.add(k)
+        new_eps = list(eps)
+        for k in sorted(respawn):
+            eps[k].close()
+            machine = _load_shard_machine(paths[k])
+            new_eps[k] = self._spawn_one(k, machine)
+            if k not in self._degraded:
+                rec.respawns += 1
+        return new_eps
 
     # ------------------------------------------------------------------
     # results
@@ -728,6 +1213,7 @@ class ShardedRunner:
         return merge_shard_stats(
             self.machines,
             checkpoints=self._ckpt.stats if self._ckpt is not None else None,
+            recovery=self._recovery,
         )
 
 
@@ -747,7 +1233,7 @@ def _sum_dataclass(cls, items):
 
 
 def merge_shard_stats(
-    machines: list[ShardMachine], checkpoints=None
+    machines: list[ShardMachine], checkpoints=None, recovery=None
 ) -> MachineStats:
     """Merge per-shard statistics into one run-level view.  Counters
     add; unit lists concatenate (shard k's PEs come before shard
@@ -792,6 +1278,7 @@ def merge_shard_stats(
             else None
         ),
         checkpoints=checkpoints,
+        recovery=recovery,
     )
 
 
@@ -808,6 +1295,7 @@ def run_sharded(
     partition: Union[str, Partition] = "auto",
     processes: Optional[bool] = None,
     workload_id: Optional[str] = None,
+    heal: Union[None, bool, ShardRecoveryPolicy] = None,
 ) -> tuple[dict[str, list[Any]], MachineStats, ShardedRunner]:
     """Convenience wrapper mirroring ``run_machine`` for sharded runs."""
     runner = ShardedRunner(
@@ -821,6 +1309,7 @@ def run_sharded(
         partition=partition,
         processes=processes,
         workload_id=workload_id,
+        heal=heal,
     )
     stats = runner.run(max_cycles=max_cycles)
     return runner.outputs(), stats, runner

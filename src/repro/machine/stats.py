@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -78,6 +79,87 @@ class CheckpointStats:
 
 
 @dataclass
+class RecoveryStats:
+    """What in-process self-healing did during one sharded run.
+
+    Lives on the :class:`~repro.machine.sharded.ShardedRunner`
+    coordinator (workers never see it); ``None`` on
+    :class:`MachineStats` when self-healing was not armed.  All-zero
+    counters mean the run never needed a recovery.
+    """
+
+    #: worker failures noticed (crash + hang detections)
+    detections: int = 0
+    #: detections where the worker was found dead (EOF / exit code)
+    crashes: int = 0
+    #: detections where a live worker missed its reply deadline
+    hangs: int = 0
+    #: rollbacks of *all* shards to a coordinated set (or to the start)
+    rollbacks: int = 0
+    #: worker processes replaced with a fresh fork
+    respawns: int = 0
+    #: two-strike step-backs past an already-tried coordinated set
+    step_backs: int = 0
+    #: simulated cycles re-executed because of rollbacks
+    cycles_replayed: int = 0
+    #: shards folded into the coordinator process (``degrade=True``)
+    degraded_shards: int = 0
+    #: resume-point cycle of each rollback (-1 = restart from inputs)
+    rollback_cycles: list = field(default_factory=list)
+    #: wall-clock seconds from detection to execution resuming
+    #: (bounded by the runner so resident services cannot grow it)
+    latencies: list = field(default_factory=list)
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(RecoveryStats().__dict__)
+        self.__dict__.update(state)
+
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of recovery latency, ``q`` in (0, 1];
+        NaN when no recovery happened."""
+        if not self.latencies:
+            return float("nan")
+        ordered = sorted(self.latencies)
+        rank = max(0, min(len(ordered) - 1,
+                          math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def to_dict(self) -> dict:
+        p50 = self.latency_percentile(0.50)
+        p99 = self.latency_percentile(0.99)
+        return {
+            "detections": self.detections,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "rollbacks": self.rollbacks,
+            "respawns": self.respawns,
+            "step_backs": self.step_backs,
+            "cycles_replayed": self.cycles_replayed,
+            "degraded_shards": self.degraded_shards,
+            "rollback_cycles": list(self.rollback_cycles),
+            "latency_p50": None if p50 != p50 else round(p50, 6),
+            "latency_p99": None if p99 != p99 else round(p99, 6),
+        }
+
+    def summary(self) -> str:
+        p50 = self.latency_percentile(0.50)
+        p99 = self.latency_percentile(0.99)
+        lat = (
+            "no downtime"
+            if p50 != p50
+            else f"p50 {p50 * 1000:.1f} ms / p99 {p99 * 1000:.1f} ms"
+        )
+        return (
+            f"recovery: {self.detections} detections "
+            f"({self.crashes} crashes, {self.hangs} hangs), "
+            f"{self.rollbacks} rollbacks, {self.respawns} respawns, "
+            f"{self.step_backs} step-backs, "
+            f"{self.cycles_replayed} cycles replayed, "
+            f"{self.degraded_shards} degraded, {lat}"
+        )
+
+
+@dataclass
 class MachineStats:
     """Cycle counts, packet traffic and per-unit load of one run."""
 
@@ -98,6 +180,9 @@ class MachineStats:
     #: snapshot counters (None when checkpointing was off);
     #: a :class:`CheckpointStats` instance
     checkpoints: Optional[CheckpointStats] = None
+    #: self-healing counters (None when healing was not armed);
+    #: a :class:`RecoveryStats` instance
+    recovery: Optional[RecoveryStats] = None
 
     @property
     def total_firings(self) -> int:
@@ -126,4 +211,6 @@ class MachineStats:
             text += f"; {self.faults.summary()}"
         if self.checkpoints is not None:
             text += f"; {self.checkpoints.summary()}"
+        if self.recovery is not None:
+            text += f"; {self.recovery.summary()}"
         return text

@@ -9,6 +9,7 @@ from repro.faults import (
     FaultInjector,
     FaultPlan,
     FaultPlanError,
+    ShardFault,
     UnitFault,
 )
 
@@ -144,17 +145,30 @@ class TestInjectorDeterminism:
 
 class TestSchemaVersioning:
     def test_to_dict_stamps_the_schema(self):
+        # plans without shard faults stay readable by schema-1 builds
         d = FaultPlan(seed=1).to_dict()
-        assert d["schema"] == SCHEMA_VERSION == 1
+        assert d["schema"] == 1
+        assert "shard_faults" not in d
         assert json.loads(FaultPlan().to_json())["schema"] == 1
+
+    def test_shard_faults_stamp_schema_two(self):
+        plan = FaultPlan(
+            shard_faults=({"shard": 1, "cycle": 40, "kind": "kill"},)
+        )
+        d = plan.to_dict()
+        assert d["schema"] == SCHEMA_VERSION == 2
+        assert d["shard_faults"] == [
+            {"shard": 1, "cycle": 40, "kind": "kill", "delay": 1.0}
+        ]
+        assert FaultPlan.from_dict(d) == plan
 
     def test_schemaless_plans_read_as_version_one(self):
         # plans written before versioning carry no "schema" key
         assert FaultPlan.from_dict({"seed": 7}).seed == 7
 
     def test_future_schema_rejected(self):
-        with pytest.raises(FaultPlanError, match="schema version 2"):
-            FaultPlan.from_dict({"schema": 2, "seed": 0})
+        with pytest.raises(FaultPlanError, match="schema version 3"):
+            FaultPlan.from_dict({"schema": 3, "seed": 0})
         with pytest.raises(FaultPlanError, match="not supported"):
             FaultPlan.from_json('{"schema": "x"}')
 
@@ -172,4 +186,53 @@ class TestSchemaVersioning:
         plan = FaultPlan(seed=5, drop_ack=0.2)
         again = FaultPlan.from_json(plan.to_json())
         assert again == plan
-        assert again.to_dict()["schema"] == SCHEMA_VERSION
+        assert again.to_dict()["schema"] == 1
+
+
+class TestShardFaults:
+    def test_validation(self):
+        with pytest.raises(FaultPlanError, match="unknown shard-fault kind"):
+            ShardFault(shard=0, cycle=10, kind="explode")
+        with pytest.raises(FaultPlanError, match="shard index"):
+            ShardFault(shard=-1, cycle=10)
+        with pytest.raises(FaultPlanError, match="cycle must be >= 0"):
+            ShardFault(shard=0, cycle=-5)
+        with pytest.raises(FaultPlanError, match="delay must be > 0"):
+            ShardFault(shard=0, cycle=10, kind="slow", delay=0.0)
+
+    def test_explicit_kind_spellings_normalize(self):
+        assert ShardFault(shard=0, cycle=1, kind="kill_shard").kind == "kill"
+        assert ShardFault(shard=0, cycle=1, kind="hang_shard").kind == "hang"
+        assert (
+            ShardFault(shard=0, cycle=1, kind="slow_shard").kind == "slow"
+        )
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown shard-fault keys"):
+            FaultPlan.from_dict(
+                {"schema": 2,
+                 "shard_faults": [{"shard": 0, "cycle": 1, "pid": 9}]}
+            )
+        with pytest.raises(FaultPlanError, match="must be a JSON object"):
+            FaultPlan.from_dict({"schema": 2, "shard_faults": ["kill"]})
+
+    def test_describe_mentions_shard_faults(self):
+        plan = FaultPlan(shard_faults=(
+            ShardFault(shard=2, cycle=40),
+            ShardFault(shard=1, cycle=90, kind="slow", delay=0.5),
+        ))
+        text = plan.describe()
+        assert "shard2 kill @40" in text
+        assert "shard1 slow 0.5s @90" in text
+        assert plan.has_shard_faults
+
+    def test_unpickled_v1_plan_backfills_shard_faults(self):
+        import pickle
+
+        plan = FaultPlan(seed=3, drop_result=0.1)
+        state = plan.__dict__.copy()
+        del state["shard_faults"]       # what an older build pickled
+        stale = FaultPlan.__new__(FaultPlan)
+        stale.__setstate__(state)
+        assert stale.shard_faults == ()
+        assert pickle.loads(pickle.dumps(plan)) == plan
