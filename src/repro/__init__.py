@@ -70,6 +70,7 @@ from .errors import (
     ValTypeError,
 )
 from .checkpoint import CheckpointConfig, replay_bundle
+from .client import ServeClient, connect
 from .faults import FaultInjector, FaultPlan, FaultStats, UnitFault
 from .machine import (
     Machine,
@@ -103,6 +104,7 @@ __all__ = [
     "ReproError",
     "RunRequest",
     "RunResult",
+    "ServeClient",
     "ShardedRunner",
     "SimulationError",
     "SimulationTimeout",
@@ -114,6 +116,7 @@ __all__ = [
     "ValTypeError",
     "__version__",
     "compile_program",
+    "connect",
     "parse_program",
     "register_backend",
     "replay_bundle",

@@ -61,6 +61,7 @@ from .snapshot import (
 from .supervisor import (
     EXIT_SNAPSHOT_UNLOADABLE,
     AttemptRecord,
+    BackoffPolicy,
     Supervisor,
     SupervisorConfig,
     SupervisorReport,
@@ -68,6 +69,7 @@ from .supervisor import (
 
 __all__ = [
     "AttemptRecord",
+    "BackoffPolicy",
     "CheckpointConfig",
     "CheckpointManager",
     "CoordinatedCheckpointManager",

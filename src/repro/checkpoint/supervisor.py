@@ -54,7 +54,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Optional, Union
 
-from ..errors import SupervisorError
+from ..errors import EXIT_SNAPSHOT_UNLOADABLE, SupervisorError
 from .coordinator import (
     is_sharded_dir,
     latest_coordinated,
@@ -63,14 +63,14 @@ from .coordinator import (
 from .replay import MANIFEST_NAME, MANIFEST_SCHEMA
 from .snapshot import _atomic_write, latest_snapshot
 
-#: exit code ``repro resume`` returns when the snapshot itself cannot
-#: be loaded (a typed :class:`~repro.errors.SnapshotError` before the
-#: run even starts).  Distinct from the generic error exit 1 so the
-#: supervisor can tell "this snapshot is poison" from "the child
-#: resumed fine but hit an unrelated error" (disk full writing a later
-#: snapshot, a missing plan file, ...), which must go through the
-#: two-strike counter instead of quarantining a good snapshot.
-EXIT_SNAPSHOT_UNLOADABLE = 4
+__all__ = [
+    "EXIT_SNAPSHOT_UNLOADABLE",  # canonical home: repro.errors
+    "BackoffPolicy",
+    "SupervisorConfig",
+    "AttemptRecord",
+    "SupervisorReport",
+    "Supervisor",
+]
 
 #: pseudo snapshot-name prefix for a sharded run's coordinated set;
 #: the supervisor's strike/quarantine bookkeeping works on names, and
@@ -88,6 +88,32 @@ class _CoordinatedResumePoint:
     @property
     def name(self) -> str:
         return f"{COORDINATED_SET_PREFIX}{self.cycle:012d}"
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Seeded-jitter exponential backoff, shared by every retry loop.
+
+    Delay before retry *i* (1-based) is
+    ``min(max_delay, base * factor**(i-1))`` scaled by a uniform draw
+    from ``[1-jitter, 1+jitter]``.  The draw comes from a caller-owned
+    :class:`random.Random` so each loop's schedule is reproducible and
+    independent -- a fleet of supervisors (or a serve worker pool)
+    seeded differently never thunders back in lockstep.
+    """
+
+    base: float = 0.5
+    factor: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+
+    def delay(self, retry_index: int, rng: random.Random) -> float:
+        if retry_index < 1:
+            return 0.0
+        delay = min(self.max_delay, self.base * self.factor ** (retry_index - 1))
+        if self.jitter:
+            delay *= rng.uniform(1 - self.jitter, 1 + self.jitter)
+        return delay
 
 
 @dataclass
@@ -160,6 +186,10 @@ class SupervisorReport:
     quarantined: list[str] = field(default_factory=list)
     #: captured stdout of the successful attempt (None if none succeeded)
     stdout: Optional[bytes] = None
+    #: captured stderr of the successful attempt (None if none succeeded
+    #: or the runner does not capture stderr); failed attempts' stderr is
+    #: re-emitted to the supervisor's own stderr as it happens
+    stderr: Optional[bytes] = None
     gave_up: Optional[str] = None
 
     @property
@@ -287,17 +317,19 @@ class Supervisor:
             env["PYTHONPATH"] = os.pathsep.join(
                 [pkg_root] + [p for p in parts if p]
             )
-        return subprocess.run(argv, stdout=subprocess.PIPE, env=env)
+        return subprocess.run(
+            argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env
+        )
 
     def _backoff(self, restart_index: int) -> float:
         cfg = self.config
-        delay = min(
-            cfg.backoff_max,
-            cfg.backoff_base * cfg.backoff_factor ** (restart_index - 1),
+        policy = BackoffPolicy(
+            base=cfg.backoff_base,
+            factor=cfg.backoff_factor,
+            max_delay=cfg.backoff_max,
+            jitter=cfg.jitter,
         )
-        if cfg.jitter:
-            delay *= self._rng.uniform(1 - cfg.jitter, 1 + cfg.jitter)
-        return delay
+        return policy.delay(restart_index, self._rng)
 
     def _latest(self) -> Optional[Any]:
         """Newest resumable point: a snapshot path, a coordinated set
@@ -366,7 +398,15 @@ class Supervisor:
             if proc.returncode == 0:
                 report.completed = True
                 report.stdout = proc.stdout
+                report.stderr = getattr(proc, "stderr", None)
                 return report
+            # a failed attempt's diagnostics (deadlock reports, failure
+            # snapshot paths, ...) must not vanish with the child:
+            # re-emit its captured stderr right away, unmodified
+            failed_stderr = getattr(proc, "stderr", None)
+            if failed_stderr:
+                sys.stderr.buffer.write(failed_stderr)
+                sys.stderr.buffer.flush()
             self.log(
                 f"# supervise: attempt {attempt.index} ({mode}) exited "
                 f"{proc.returncode}"

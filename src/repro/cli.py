@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 from pathlib import Path
@@ -68,7 +69,15 @@ from .checkpoint import (
     replay_bundle,
 )
 from .compiler import compile_program
-from .errors import DeadlockError, ReproError, SimulationTimeout, SnapshotError
+from .errors import (
+    EXIT_DIVERGED,
+    EXIT_RUN_FAILED,
+    EXIT_SHARD_CRASH,
+    DeadlockError,
+    ReproError,
+    SimulationTimeout,
+    SnapshotError,
+)
 from .faults import FaultPlan
 from .graph.asm import read_asm, to_asm
 from .graph.dot import to_dot
@@ -83,12 +92,6 @@ from .sim.runner import _run_graph
 from .val import parse_program, run_program
 from .val.values import ValArray
 from .workloads.figures import FIGURES, figure_workload
-
-#: exit code when a sharded worker died (mirrors the 128+SIGKILL=137 a
-#: hard-killed single process reports, so the supervisor treats both
-#: the same way)
-EXIT_SHARD_CRASH = 137
-
 
 def _parse_params(items: list[str]) -> dict[str, int]:
     params: dict[str, int] = {}
@@ -322,7 +325,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         )
     except DeadlockError as exc:
         print(f"stalled: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_RUN_FAILED
     ok = out == clean_out
     print(f"# faulty run took {stats.cycles} cycles", file=sys.stderr)
     if stats.reliability is not None:
@@ -336,7 +339,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     _emit_outputs(out)
-    return 0 if ok else 3
+    return 0 if ok else EXIT_DIVERGED
 
 
 def _install_live_snapshot_handler(machine: Machine) -> None:
@@ -373,7 +376,7 @@ def _finish_run(machine: Machine, max_cycles: int,
         print(f"failed: {exc}", file=sys.stderr)
         if exc.snapshot_path:
             print(f"# failure snapshot: {exc.snapshot_path}", file=sys.stderr)
-        return 2
+        return EXIT_RUN_FAILED
     print(f"# completed at cycle {stats.cycles}", file=sys.stderr)
     if stats.checkpoints is not None:
         print(f"# {stats.checkpoints.summary()}", file=sys.stderr)
@@ -402,7 +405,7 @@ def _finish_sharded(runner: ShardedRunner, max_cycles: int,
         return EXIT_SHARD_CRASH
     except (DeadlockError, SimulationTimeout) as exc:
         print(f"failed: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_RUN_FAILED
     print(f"# completed at cycle {stats.cycles}", file=sys.stderr)
     if stats.checkpoints is not None:
         print(f"# {stats.checkpoints.summary()}", file=sys.stderr)
@@ -665,12 +668,16 @@ def cmd_supervise(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"# wrote {args.report_json}", file=sys.stderr)
     if report.completed:
-        # republish the successful child's stdout byte-for-byte, so
-        # `repro supervise ... > out.json` matches an uninterrupted run
+        # republish the successful child's stdout and stderr
+        # byte-for-byte, so `repro supervise ... > out.json 2> log`
+        # matches an uninterrupted run on both streams
+        if report.stderr:
+            sys.stderr.buffer.write(report.stderr)
+            sys.stderr.buffer.flush()
         sys.stdout.buffer.write(report.stdout or b"")
         sys.stdout.buffer.flush()
         return 0
-    return 2
+    return EXIT_RUN_FAILED
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -683,7 +690,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
         _emit_envelope("replay", report.reproduced, asdict(report))
     else:
         print(report.summary())
-    return 0 if report.reproduced else 3
+    return 0 if report.reproduced else EXIT_DIVERGED
 
 
 def _load_perturb_plan(path: Optional[str]) -> Optional[FaultPlan]:
@@ -702,14 +709,157 @@ def cmd_bisect(args: argparse.Namespace) -> int:
     if args.json == "-":
         # bare --json: the shared stdout envelope
         _emit_envelope("bisect", not report.diverged, report.to_dict())
-        return 3 if report.diverged else 0
+        return EXIT_DIVERGED if report.diverged else 0
     print(report.summary())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(report.to_dict(), fh, indent=2, default=repr)
             fh.write("\n")
         print(f"# wrote {args.json}", file=sys.stderr)
-    return 3 if report.diverged else 0
+    return EXIT_DIVERGED if report.diverged else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, run_server
+
+    if args.supervised:
+        if not args.dir:
+            print("error: --supervised needs --dir (the journal is "
+                  "what makes restarts lossless)", file=sys.stderr)
+            return 1
+        start_argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--capacity", str(args.capacity),
+            "--workers", str(args.workers),
+            "--default-deadline", str(args.default_deadline),
+            "--max-retries", str(args.max_retries),
+            "--hang-deadline", str(args.hang_deadline),
+            "--min-batch", str(args.min_batch),
+            "--max-batch", str(args.max_batch),
+            "--batch-wait", str(args.batch_wait),
+            "--seed", str(args.seed),
+            "--dir", args.dir,
+        ]
+        if args.socket:
+            start_argv += ["--socket", args.socket]
+        if args.port:
+            start_argv += ["--port", str(args.port),
+                           "--host", args.host]
+        extra = []
+        if args.crash_after_accepts is not None:
+            # the hook applies to the first incarnation only: the
+            # whole point is proving the restarted daemon recovers
+            extra = [["--crash-after-accepts",
+                      str(args.crash_after_accepts)]]
+        supervisor = Supervisor(
+            start_argv,
+            SupervisorConfig(args.dir, max_restarts=args.max_restarts),
+            # a serve directory holds a journal, not snapshots: a
+            # restart is always a cold start that replays the journal
+            resume_argv=lambda directory: list(start_argv),
+            extra_args=extra,
+        )
+        report = supervisor.run()
+        print(f"# {report.summary()}", file=sys.stderr)
+        if report.completed:
+            if report.stderr:
+                sys.stderr.buffer.write(report.stderr)
+                sys.stderr.buffer.flush()
+            sys.stdout.buffer.write(report.stdout or b"")
+            sys.stdout.buffer.flush()
+            return 0
+        return EXIT_RUN_FAILED
+
+    import asyncio
+
+    config = ServeConfig(
+        socket=args.socket,
+        host=args.host,
+        port=args.port,
+        directory=args.dir,
+        capacity=args.capacity,
+        workers=args.workers,
+        default_deadline=args.default_deadline,
+        max_retries=args.max_retries,
+        hang_deadline=args.hang_deadline,
+        min_batch=args.min_batch,
+        max_batch=args.max_batch,
+        batch_wait=args.batch_wait,
+        seed=args.seed,
+        crash_after_accepts=args.crash_after_accepts,
+    )
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .client import connect
+    from .serve import ServeError, envelope
+
+    client = connect(args.connect, timeout=args.timeout)
+    with client:
+        if args.op != "submit":
+            result = getattr(client, args.op)()
+            _emit_envelope(args.op, True, result)
+            return 0
+
+        jobs: list[dict[str, Any]] = []
+        if args.jobs:
+            with open(args.jobs, "r", encoding="utf-8") as fh:
+                loaded = json.load(fh)
+            jobs = loaded if isinstance(loaded, list) else [loaded]
+        elif args.source:
+            with open(args.source, "r", encoding="utf-8") as fh:
+                source = fh.read()
+            inputs: dict[str, list] = {}
+            if args.inputs:
+                with open(args.inputs, "r", encoding="utf-8") as fh:
+                    inputs = json.load(fh)
+            job: dict[str, Any] = {
+                "id": args.job_id or f"cli-{os.getpid()}",
+                "source": source,
+                "kind": args.kind,
+                "tenant": args.tenant,
+                "params": _parse_params(args.param),
+                "inputs": inputs,
+            }
+            if args.deadline is not None:
+                job["deadline"] = args.deadline
+            jobs = [job]
+        else:
+            print("error: submit needs --jobs FILE or --source FILE",
+                  file=sys.stderr)
+            return 1
+
+        # submit everything first (so compatible jobs can batch), then
+        # collect results in order
+        accepted: list[str] = []
+        failed = 0
+        for job in jobs:
+            try:
+                result = client.request("submit", job=job)
+                accepted.append(result["id"])
+                if args.no_wait:
+                    print(json.dumps(envelope("submit", True, result)))
+            except ServeError as exc:
+                failed += 1
+                print(json.dumps(envelope(
+                    "submit", False, {"error": exc.to_dict()}
+                )))
+        if not args.no_wait:
+            for job_id in accepted:
+                try:
+                    record = client.wait(job_id)
+                    print(json.dumps(envelope("wait", True, record)))
+                except ServeError as exc:
+                    failed += 1
+                    print(json.dumps(envelope(
+                        "wait", False, {"error": exc.to_dict()}
+                    )))
+    return 0 if failed == 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1007,6 +1157,85 @@ def build_parser() -> argparse.ArgumentParser:
                    "DivergenceReport to OUT instead")
     p.add_argument("--max-cycles", type=int, default=50_000_000)
     p.set_defaults(fn=cmd_bisect)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived multi-tenant pipeline service "
+        "(admission control, interleaved batching, supervised worker "
+        "pool, hot restart); see DESIGN.md section 11",
+    )
+    p.add_argument("--socket", metavar="PATH",
+                   help="unix socket to listen on")
+    p.add_argument("--port", type=int, help="TCP port to listen on")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--dir", metavar="DIR",
+                   help="journal + hot-restart state directory "
+                   "(enables exactly-once re-admission after a crash)")
+    p.add_argument("--capacity", type=int, default=256,
+                   help="admission queue bound; beyond it submits are "
+                   "shed with a typed overload error (default 256)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker pool size (default 2)")
+    p.add_argument("--default-deadline", type=float, default=30.0,
+                   help="per-job deadline in seconds when the job "
+                   "does not set one (default 30)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="attempts lost to worker failure before a job "
+                   "fails typed (default 2)")
+    p.add_argument("--hang-deadline", type=float, default=10.0,
+                   help="seconds of worker silence that count as a "
+                   "hang (default 10)")
+    p.add_argument("--min-batch", type=int, default=2)
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="interleaved batch bounds (default 2..8); "
+                   "--max-batch 1 disables batching entirely")
+    p.add_argument("--batch-wait", type=float, default=0.02,
+                   help="seconds a lone batchable job lingers for "
+                   "companions (default 0.02)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for retry-backoff jitter and stats "
+                   "reservoirs")
+    p.add_argument("--supervised", action="store_true",
+                   help="wrap the daemon in the repro supervise crash "
+                   "loop (requires --dir); a killed daemon restarts "
+                   "and re-admits journaled jobs")
+    p.add_argument("--max-restarts", type=int, default=8,
+                   help="restart budget under --supervised")
+    p.add_argument("--crash-after-accepts", type=int,
+                   help=argparse.SUPPRESS)  # hot-restart test hook
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit jobs to a running repro serve daemon and print "
+        "one JSON envelope per job",
+    )
+    p.add_argument("--connect", required=True, metavar="ADDR",
+                   help="daemon address: unix:/path, /path, host:port "
+                   "or :port")
+    p.add_argument("--op", default="submit",
+                   choices=["submit", "healthz", "stats", "shutdown"],
+                   help="operation (default: submit jobs)")
+    p.add_argument("--jobs", metavar="FILE",
+                   help="JSON file with one job object or a list of "
+                   "job objects ({id, source, inputs, ...})")
+    p.add_argument("--source", metavar="FILE",
+                   help="Val source file for a single ad-hoc job")
+    p.add_argument("-p", "--param", action="append", default=[],
+                   metavar="NAME=INT", help="program size parameter")
+    p.add_argument("--inputs", metavar="FILE",
+                   help="JSON inputs for the ad-hoc job")
+    p.add_argument("--kind", default="foriter",
+                   choices=["foriter", "run"])
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--deadline", type=float)
+    p.add_argument("--id", dest="job_id",
+                   help="job id (default: random)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="submit only; do not wait for results")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="client socket timeout (default 120s)")
+    p.set_defaults(fn=cmd_submit)
 
     return parser
 

@@ -7,6 +7,35 @@ type at the API boundary.
 
 from __future__ import annotations
 
+# ---------------------------------------------------------------------------
+# Process exit codes
+#
+# Every repro entry point that can die for a *typed* reason exits with one
+# of these, so shell scripts, CI jobs and the supervision loop can branch
+# on the cause without parsing stderr.  0 is success and 1 the generic
+# untyped failure, as usual.
+# ---------------------------------------------------------------------------
+
+#: a run failed outright (deadlock, timeout, fault not recovered) or the
+#: supervisor exhausted its restart budget without a completed child
+EXIT_RUN_FAILED = 2
+
+#: replay/bisect found a divergence from the recorded run (or a faults
+#: comparison found outputs that differ from the clean reference)
+EXIT_DIVERGED = 3
+
+#: ``repro resume`` could not load the snapshot itself -- a typed
+#: :class:`SnapshotError` before the run even starts.  Distinct from the
+#: generic exit so the supervisor can tell "this snapshot is poison"
+#: (quarantine it immediately) from "the child resumed fine but hit an
+#: unrelated error" (which goes through the two-strike counter instead).
+EXIT_SNAPSHOT_UNLOADABLE = 4
+
+#: a sharded worker died and in-process recovery gave up (mirrors the
+#: 128+SIGKILL=137 a real OOM-killed process reports); also the code a
+#: worker uses for a simulated SIGKILL under fault injection
+EXIT_SHARD_CRASH = 137
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""

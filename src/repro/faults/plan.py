@@ -16,7 +16,7 @@ so the same plan on the same workload always injects the same faults.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Iterable, Optional
 
 from ..errors import ReproError
@@ -265,6 +265,24 @@ class FaultPlan:
     @property
     def has_shard_faults(self) -> bool:
         return bool(self.shard_faults)
+
+    @property
+    def has_execution_faults(self) -> bool:
+        """Whether anything remains once worker-level faults are split
+        off -- i.e. the plan still perturbs the simulation itself."""
+        return self.has_packet_faults or bool(self.unit_faults)
+
+    def without_shard_faults(self) -> "FaultPlan":
+        """A copy with the worker-level faults stripped.
+
+        Layers that consume ``shard_faults`` themselves (the sharded
+        coordinator, the serve worker pool -- which maps ``shard`` to a
+        job's *attempt* index) use this to forward only the packet/unit
+        remainder into the actual execution.
+        """
+        if not self.shard_faults:
+            return self
+        return replace(self, shard_faults=())
 
     @property
     def has_packet_faults(self) -> bool:

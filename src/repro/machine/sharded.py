@@ -83,6 +83,7 @@ from typing import Any, Callable, Optional, Union
 from ..analysis.partition import Partition, partition_graph
 from ..checkpoint.manager import CheckpointConfig
 from ..errors import (
+    EXIT_SHARD_CRASH,
     DeadlockError,
     ReproError,
     SimulationError,
@@ -370,7 +371,7 @@ class ShardMachine(Machine):
 # ----------------------------------------------------------------------
 def _maybe_crash(crash_at: Optional[int], horizon: int) -> None:
     if crash_at is not None and horizon >= crash_at:
-        os._exit(137)       # simulated SIGKILL: no cleanup at all
+        os._exit(EXIT_SHARD_CRASH)  # simulated SIGKILL: no cleanup at all
 
 
 def _apply_shard_fault(fault: Optional[tuple]) -> None:
@@ -383,7 +384,7 @@ def _apply_shard_fault(fault: Optional[tuple]) -> None:
     if fault is None:
         return
     if fault[0] == "kill":
-        os._exit(137)
+        os._exit(EXIT_SHARD_CRASH)
     if fault[0] == "hang":
         while True:
             time.sleep(3600)

@@ -1,0 +1,188 @@
+"""Job execution helpers: resident compiled pipelines, serial and
+interleaved-batch execution.
+
+The correctness contract of the batching scheduler lives here:
+
+* serial ``foriter`` jobs compile with the **Todd** for-iter scheme
+  explicitly (``compile_program(..., foriter_scheme="todd")``) -- never
+  through ``repro.run(source, ...)``, which compiles with the default
+  scheme and would pick the companion construction whose floating-point
+  association differs by ULPs;
+* batched jobs drive :func:`~repro.compiler.foriter.
+  compile_foriter_interleaved` per block (PAPER section 9) and the Todd
+  scheme is what it interleaves, so a job's output values are
+  **bit-identical** whether it ran alone or inside any batch.
+
+Compiled artifacts are cached per (source, params[, batch]) so a
+resident worker serves repeat tenants without recompiling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Optional
+
+from .. import api
+from ..compiler import balance_graph, compile_program
+from ..compiler.foriter import compile_foriter_interleaved, deinterleave, interleave
+from ..errors import ReproError
+from ..faults import FaultPlan
+from ..val import parse_program
+from .protocol import JobExecutionError, JobSpec
+
+#: bound on resident compiled pipelines per cache (LRU-ish: clear-all)
+COMPILE_CACHE_CAP = 64
+
+_serial_cache: dict[tuple, Any] = {}
+_batch_cache: dict[tuple, Any] = {}
+
+
+def clear_caches() -> None:
+    _serial_cache.clear()
+    _batch_cache.clear()
+
+
+def _params_key(params: dict[str, int]) -> tuple:
+    return tuple(sorted(params.items()))
+
+
+def signature(spec: JobSpec) -> str:
+    """Batch-compatibility key: jobs with the same signature run the
+    same compiled loop over equal-length input streams, so they can be
+    interleaved into one batch."""
+    lengths = {name: len(values) for name, values in sorted(spec.inputs.items())}
+    payload = json.dumps(
+        [spec.source, sorted(spec.params.items()), lengths],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def batchable(spec: JobSpec) -> bool:
+    """Only plain foriter jobs batch; a fault plan with packet/unit
+    faults needs the event machine (and per-job injection), and
+    explicit options opt the job out of the shared resident loop."""
+    if spec.kind != "foriter" or spec.options:
+        return False
+    plan = spec.fault_plan()
+    return plan is None or not plan.has_execution_faults
+
+
+def compile_serial(source: str, params: dict[str, int]):
+    """Resident Todd-scheme pipeline for one program."""
+    key = (source, _params_key(params))
+    art = _serial_cache.get(key)
+    if art is None:
+        if len(_serial_cache) >= COMPILE_CACHE_CAP:
+            _serial_cache.clear()
+        art = compile_program(source, params=params, foriter_scheme="todd")
+        _serial_cache[key] = art
+    return art
+
+
+def compile_batch(source: str, params: dict[str, int], batch: int):
+    """Resident interleaved pipeline: ``batch`` independent instances
+    of the program's (single) for-iter block through one loop."""
+    key = (source, _params_key(params), batch)
+    entry = _batch_cache.get(key)
+    if entry is None:
+        if len(_batch_cache) >= COMPILE_CACHE_CAP:
+            _batch_cache.clear()
+        serial = compile_serial(source, params)
+        program = parse_program(source)
+        if len(program.blocks) != 1:
+            raise JobExecutionError(
+                f"batched jobs need a single-block program, got "
+                f"{len(program.blocks)} blocks",
+                error_type="CompileError",
+            )
+        block = program.blocks[0]
+        art = compile_foriter_interleaved(
+            block.name, block.expr, serial.input_specs, params, batch=batch
+        )
+        balance_graph(art.graph)
+        entry = (art, block.name)
+        _batch_cache[key] = entry
+    return entry
+
+
+def _spec_faults(spec: JobSpec) -> Optional[FaultPlan]:
+    plan = spec.fault_plan()
+    if plan is None:
+        return None
+    plan = plan.without_shard_faults()
+    return plan if plan.has_execution_faults else None
+
+
+def execute_serial(spec: JobSpec) -> dict[str, Any]:
+    """Run one job alone; returns the result payload for its record."""
+    try:
+        plan = _spec_faults(spec)
+        if spec.kind == "run":
+            options = dict(spec.options)
+            backend = options.pop("backend", "sync")
+            compile_opts = {
+                k: options.pop(k)
+                for k in ("forall_scheme", "foriter_scheme", "balance")
+                if k in options
+            }
+            program = compile_program(
+                spec.source, params=spec.params, **compile_opts
+            )
+            if plan is not None and backend == "sync":
+                backend = "event"  # packet faults need the event machine
+            result = api.run(
+                program, spec.inputs, backend=backend, faults=plan,
+                **options,
+            )
+        else:
+            program = compile_serial(spec.source, spec.params)
+            backend = "event" if plan is not None else "sync"
+            result = api.run(program, spec.inputs, backend=backend,
+                             faults=plan)
+        return {"streams": {k: list(v) for k, v in result.outputs.items()}}
+    except ReproError as exc:
+        # deterministic failure of the pipeline itself: typed, not
+        # retried (a retry would fail identically)
+        raise JobExecutionError(
+            str(exc), job_id=spec.id, error_type=type(exc).__name__
+        ) from exc
+
+
+def execute_batch(specs: list[JobSpec]) -> dict[str, dict[str, Any]]:
+    """Run compatible jobs as one interleaved batch.
+
+    Returns ``{job id: result payload}`` with each member's streams
+    bit-identical to what :func:`execute_serial` would have produced.
+    """
+    if len(specs) < 2:
+        raise JobExecutionError("a batch needs at least 2 jobs")
+    first = specs[0]
+    try:
+        art, block_name = compile_batch(
+            first.source, first.params, batch=len(specs)
+        )
+        serial = compile_serial(first.source, first.params)
+        inputs = {
+            name: interleave([list(s.inputs[name]) for s in specs])
+            for name in serial.input_specs
+        }
+        result = api.run(art.graph, inputs, backend="sync")
+        out: dict[str, dict[str, Any]] = {}
+        streams = {
+            name: deinterleave(list(values), len(specs))
+            for name, values in result.outputs.items()
+        }
+        for j, spec in enumerate(specs):
+            member = {name: per_member[j]
+                      for name, per_member in streams.items()}
+            # the interleaved artifact names its one output after the
+            # block; serial compilation does the same, so keys match
+            out[spec.id] = {"streams": member, "batch": len(specs)}
+        return out
+    except ReproError as exc:
+        raise JobExecutionError(
+            f"batched execution failed: {exc}",
+            error_type=type(exc).__name__,
+        ) from exc

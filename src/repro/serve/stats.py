@@ -1,0 +1,207 @@
+"""Service observability: per-tenant and global counters with bounded
+latency samples.
+
+Mirrors the :class:`~repro.machine.stats.RecoveryStats` style: plain
+counters, a bounded reservoir of latency samples, nearest-rank p50/p99,
+a ``to_dict`` for the JSON envelope and a one-line ``summary``.  The
+reservoir RNG is seeded so a deterministic job sequence yields a
+deterministic sample set.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: bound on retained latency samples per scope (global or tenant)
+SAMPLE_CAP = 512
+
+
+class _Reservoir:
+    """Uniform reservoir sample of a latency stream, bounded at
+    ``cap`` values (Vitter's algorithm R, seeded)."""
+
+    def __init__(self, cap: int = SAMPLE_CAP, seed: int = 0) -> None:
+        self.cap = cap
+        self.count = 0
+        self.samples: list[float] = []
+        self._rng = random.Random(seed)
+
+    def note(self, value: float) -> None:
+        self.count += 1
+        if len(self.samples) < self.cap:
+            self.samples.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.cap:
+            self.samples[slot] = value
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, ``q`` in (0, 1]; NaN when empty."""
+        if not self.samples:
+            return float("nan")
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1,
+                          math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+
+def _round(value: float) -> Optional[float]:
+    return None if math.isnan(value) else round(value, 6)
+
+
+@dataclass
+class TenantStats:
+    """Counters for one tenant (and, with ``tenant=None``, the global
+    roll-up)."""
+
+    tenant: Optional[str] = None
+    seed: int = 0
+    accepted: int = 0
+    shed: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed_deadline: int = 0
+    failed_retries: int = 0
+    failed_execution: int = 0
+    retries: int = 0
+    batched: int = 0        # jobs that ran inside an interleaved batch
+    serial: int = 0         # jobs that ran alone
+    readmitted: int = 0     # jobs re-admitted from the journal
+    latency: _Reservoir = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.latency is None:
+            self.latency = _Reservoir(seed=self.seed)
+
+    @property
+    def failed(self) -> int:
+        return (self.failed_deadline + self.failed_retries
+                + self.failed_execution)
+
+    def note_done(self, latency_seconds: float, batched: bool) -> None:
+        self.completed += 1
+        if batched:
+            self.batched += 1
+        else:
+            self.serial += 1
+        self.latency.note(latency_seconds)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed_deadline": self.failed_deadline,
+            "failed_retries": self.failed_retries,
+            "failed_execution": self.failed_execution,
+            "retries": self.retries,
+            "batched": self.batched,
+            "serial": self.serial,
+            "readmitted": self.readmitted,
+            "latency_samples": self.latency.count,
+            "latency_p50": _round(self.latency.percentile(0.50)),
+            "latency_p99": _round(self.latency.percentile(0.99)),
+        }
+
+
+@dataclass
+class ServeStats:
+    """The daemon's full observability surface.
+
+    ``queue_depth`` / ``inflight`` are gauges maintained by the server;
+    everything else is monotonic.  ``to_dict`` is what the ``stats`` op
+    returns inside the envelope.
+    """
+
+    seed: int = 0
+    worker_respawns: int = 0
+    quarantined_jobs: int = 0
+    hot_restarts: int = 0
+    queue_depth: int = 0
+    inflight: int = 0
+    batches: int = 0        # interleaved batches dispatched
+    total: TenantStats = field(default=None)  # type: ignore[assignment]
+    tenants: dict[str, TenantStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.total is None:
+            self.total = TenantStats(seed=self.seed)
+
+    def for_tenant(self, tenant: str) -> TenantStats:
+        stats = self.tenants.get(tenant)
+        if stats is None:
+            # per-tenant reservoirs get distinct seeds, derived stably
+            stats = TenantStats(
+                tenant=tenant,
+                seed=self.seed + 1 + len(self.tenants),
+            )
+            self.tenants[tenant] = stats
+        return stats
+
+    def _both(self, tenant: str) -> tuple[TenantStats, TenantStats]:
+        return self.total, self.for_tenant(tenant)
+
+    def note_accepted(self, tenant: str) -> None:
+        for s in self._both(tenant):
+            s.accepted += 1
+
+    def note_shed(self, tenant: str) -> None:
+        for s in self._both(tenant):
+            s.shed += 1
+
+    def note_rejected(self, tenant: str) -> None:
+        for s in self._both(tenant):
+            s.rejected += 1
+
+    def note_retry(self, tenant: str) -> None:
+        for s in self._both(tenant):
+            s.retries += 1
+
+    def note_readmitted(self, tenant: str) -> None:
+        for s in self._both(tenant):
+            s.readmitted += 1
+
+    def note_done(self, tenant: str, latency_seconds: float,
+                  batched: bool) -> None:
+        for s in self._both(tenant):
+            s.note_done(latency_seconds, batched)
+
+    def note_failed(self, tenant: str, code: str) -> None:
+        attr = {
+            "deadline": "failed_deadline",
+            "retries_exhausted": "failed_retries",
+        }.get(code, "failed_execution")
+        for s in self._both(tenant):
+            setattr(s, attr, getattr(s, attr) + 1)
+
+    def to_dict(self) -> dict[str, Any]:
+        d = self.total.to_dict()
+        d.update(
+            queue_depth=self.queue_depth,
+            inflight=self.inflight,
+            batches=self.batches,
+            worker_respawns=self.worker_respawns,
+            quarantined_jobs=self.quarantined_jobs,
+            hot_restarts=self.hot_restarts,
+            tenants={
+                name: s.to_dict()
+                for name, s in sorted(self.tenants.items())
+            },
+        )
+        return d
+
+    def summary(self) -> str:
+        t = self.total
+        p99 = t.latency.percentile(0.99)
+        p99_text = "-" if math.isnan(p99) else f"{p99 * 1000:.1f}ms"
+        return (
+            f"serve: {t.accepted} accepted ({t.shed} shed, "
+            f"{t.rejected} rejected), {t.completed} completed "
+            f"({t.batched} batched / {t.serial} serial), "
+            f"{t.failed} failed, {t.retries} retries, "
+            f"{self.worker_respawns} worker respawns, p99 {p99_text}"
+        )

@@ -1,0 +1,105 @@
+"""Serve worker: the child process that actually runs jobs.
+
+Protocol (NDJSON over stdin/stdout), one reply line per request line:
+
+``{"op": "ping"}``
+    -> ``{"ok": true, "pid": ...}`` -- liveness handshake.
+``{"op": "job", "job": {...}, "inject": {...}|null}``
+    -> ``{"ok": true, "id": ..., "result": {...}}`` or
+    ``{"ok": false, "id": ..., "error": {...}}`` (a typed execution
+    error: deterministic, the server does not retry it).
+``{"op": "batch", "jobs": [{...}, ...], "inject": ...}``
+    -> ``{"ok": true, "results": {id: {...}}}`` -- one interleaved
+    batch through one resident loop (PAPER section 9).
+
+``inject`` is a consumed worker-level fault directive derived from the
+job's FaultPlan ``shard_faults`` (``shard`` = attempt index):
+``{"kind": "kill"}`` dies like SIGKILL before touching the job,
+``{"kind": "hang"}`` stops responding forever (the pool's deadline
+catches it), ``{"kind": "slow", "delay": s}`` sleeps first.  Faults
+fire *before* any work, so a retried attempt never sees partial state.
+
+SIGUSR1 is forwarded by the daemon for hot restart: the worker fsyncs
+nothing itself (results are journaled by the server on completion) but
+acknowledges by ignoring the signal safely mid-computation.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import time
+from typing import Any, Optional
+
+from ..errors import EXIT_SHARD_CRASH
+from . import jobs
+from .protocol import JobExecutionError, JobRejected, JobSpec, decode_line, encode_line
+
+
+def _apply_inject(inject: Optional[dict[str, Any]]) -> None:
+    if not inject:
+        return
+    kind = inject.get("kind")
+    if kind == "kill":
+        os._exit(EXIT_SHARD_CRASH)  # simulated SIGKILL: no cleanup
+    if kind == "hang":
+        while True:
+            time.sleep(3600)
+    if kind == "slow":
+        time.sleep(float(inject.get("delay", 1.0)))
+
+
+def _handle(request: dict[str, Any]) -> dict[str, Any]:
+    op = request.get("op")
+    if op == "ping":
+        return {"ok": True, "pid": os.getpid()}
+    if op == "job":
+        _apply_inject(request.get("inject"))
+        spec = JobSpec.from_dict(request["job"])
+        try:
+            result = jobs.execute_serial(spec)
+        except JobExecutionError as exc:
+            return {"ok": False, "id": spec.id, "error": exc.to_dict()}
+        return {"ok": True, "id": spec.id, "result": result}
+    if op == "batch":
+        _apply_inject(request.get("inject"))
+        specs = [JobSpec.from_dict(j) for j in request["jobs"]]
+        try:
+            results = jobs.execute_batch(specs)
+        except JobExecutionError as exc:
+            return {"ok": False, "error": exc.to_dict()}
+        return {"ok": True, "results": results}
+    return {
+        "ok": False,
+        "error": {"code": "rejected", "message": f"unknown op {op!r}"},
+    }
+
+
+def main() -> int:
+    # stay alive through the daemon's broadcast SIGUSR1 (hot-restart
+    # sync point); default disposition would kill the worker mid-job
+    try:
+        signal.signal(signal.SIGUSR1, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    for line in iter(stdin.readline, b""):
+        if not line.strip():
+            continue
+        try:
+            request = decode_line(line)
+            reply = _handle(request)
+        except (JobRejected, KeyError, TypeError, ValueError) as exc:
+            reply = {
+                "ok": False,
+                "error": {"code": "rejected", "message": str(exc)},
+            }
+        stdout.write(encode_line(reply))
+        stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -310,3 +310,88 @@ class TestRealProcesses:
         report = json.loads((tmp_path / "report.json").read_text())
         assert report["completed"] and report["restarts"] >= 1
         assert report["attempts"][0]["returncode"] == 137
+
+
+class StderrScriptedRunner(ScriptedRunner):
+    """Scripted runner whose fake children also capture stderr."""
+
+    def __init__(self, directory, outcomes, stderrs):
+        super().__init__(directory, outcomes)
+        self.stderrs = list(stderrs)
+
+    def __call__(self, argv):
+        proc = super().__call__(argv)
+        proc.stderr = self.stderrs.pop(0)
+        return proc
+
+
+class TestStderrCapture:
+    def _supervisor(self, tmp_path, outcomes, stderrs):
+        config = SupervisorConfig(directory=tmp_path, jitter=0.0)
+        runner = StderrScriptedRunner(tmp_path, outcomes, stderrs)
+        sup = Supervisor(
+            start_argv=["start"],
+            config=config,
+            resume_argv=lambda d: ["resume", str(d)],
+            runner=runner,
+            sleep=lambda s: None,
+            log=lambda line: None,
+        )
+        return sup
+
+    def test_successful_attempt_stderr_captured_byte_identically(
+        self, tmp_path
+    ):
+        noise = b"# progress 1\n\xf0\x9f\x9a\x80 raw bytes\n"
+        sup = self._supervisor(tmp_path, [(0, None)], [noise])
+        report = sup.run()
+        assert report.completed
+        assert report.stderr == noise
+
+    def test_failed_attempt_stderr_reemitted_immediately(
+        self, tmp_path, capsys
+    ):
+        sup = self._supervisor(
+            tmp_path,
+            [(1, None), (0, None)],
+            [b"child dying: traceback\n", b"clean run\n"],
+        )
+        report = sup.run()
+        captured = capsys.readouterr()
+        assert "child dying: traceback" in captured.err
+        # the *successful* attempt's stderr is captured for the caller
+        # to republish, not re-emitted by the supervisor itself
+        assert "clean run" not in captured.err
+        assert report.stderr == b"clean run\n"
+
+    def test_runner_without_stderr_capture_reports_none(self, tmp_path):
+        config = SupervisorConfig(directory=tmp_path, jitter=0.0)
+        runner = ScriptedRunner(tmp_path, [(0, None)])
+        sup = Supervisor(
+            start_argv=["start"], config=config,
+            resume_argv=lambda d: ["resume", str(d)],
+            runner=runner, sleep=lambda s: None, log=lambda line: None,
+        )
+        assert sup.run().stderr is None
+
+    def test_cli_supervise_republishes_child_stderr(self, tmp_path):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+        def run(*argv):
+            return subprocess.run(
+                [sys.executable, "-m", "repro", *argv],
+                capture_output=True, env=env,
+            )
+
+        sup = run("supervise", "fig7", "--size", "16",
+                  "--input-seed", "7", "--dir", str(tmp_path / "sup"),
+                  "--interval", "100", "--inject-crash", "250",
+                  "--backoff-base", "0.01", "--backoff-max", "0.02")
+        assert sup.returncode == 0, sup.stderr
+        # the successful resume child's own stderr lines ride along
+        # byte-for-byte after the supervisor's "# supervise:" log
+        assert b"# completed at cycle 265" in sup.stderr
+        # the crashed first attempt's partial stderr was re-emitted too
+        assert b"# supervise: attempt 1 (start) exited 137" in sup.stderr

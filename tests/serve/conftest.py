@@ -1,0 +1,60 @@
+"""Shared fixtures for the serve suite: job builders over the paper's
+Example 2 recurrence, small enough that a worker call is cheap."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.serve import jobs as serve_jobs
+from repro.serve.protocol import JobSpec
+from repro.workloads import EXAMPLE2_SOURCE
+
+
+def example2_inputs(m: int, seed: int) -> dict[str, list[float]]:
+    cp = serve_jobs.compile_serial(EXAMPLE2_SOURCE, {"m": m})
+    rng = random.Random(seed)
+    return {
+        name: [round(rng.uniform(-1.5, 1.5), 6) for _ in range(spec.length)]
+        for name, spec in cp.input_specs.items()
+    }
+
+
+def make_spec(job_id: str, *, m: int = 6, seed: int = 0,
+              **overrides) -> JobSpec:
+    """One Example 2 recurrence job with seeded inputs."""
+    spec = JobSpec(
+        id=job_id,
+        source=EXAMPLE2_SOURCE,
+        params={"m": m},
+        inputs=example2_inputs(m, seed),
+        **overrides,
+    )
+    spec.validate()
+    return spec
+
+
+def kill_fault(attempt: int = 0) -> dict:
+    """FaultPlan dict that kills the worker on the given attempt."""
+    return {"schema": 2,
+            "shard_faults": [{"shard": attempt, "cycle": 0,
+                              "kind": "kill"}]}
+
+
+def hang_fault(attempt: int = 0) -> dict:
+    return {"schema": 2,
+            "shard_faults": [{"shard": attempt, "cycle": 0,
+                              "kind": "hang"}]}
+
+
+def slow_fault(delay: float, attempt: int = 0) -> dict:
+    return {"schema": 2,
+            "shard_faults": [{"shard": attempt, "cycle": 0,
+                              "kind": "slow", "delay": delay}]}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_compile_caches():
+    serve_jobs.clear_caches()
+    yield
