@@ -1,0 +1,121 @@
+"""Experiment compiled_turbo -- steady-state fast-forward speedup.
+
+The compiled backend executes the same machine model as the event
+backend but recognizes the periodic steady state (paper Theorems 1-4)
+and fast-forwards whole periods, so its cost is prologue + epilogue +
+an O(elements) stream evaluation instead of O(elements) machine
+events.  This experiment runs every paper figure at a 10^4-element
+stream, checks that the compiled run stays bit-identical to the event
+machine (values, sink times, cycle count and statistics), and records
+the wall-clock speedup table under ``benchmarks/results/``.
+
+Figures 2/4/6/7 are statically replayable and must clear a 10x
+speedup.  Figure 5's merge control is a *data* stream (random
+booleans), so no period is provably replayable: the row documents that
+the backend degrades to roughly event-machine cost there instead of
+silently corrupting the run.
+
+The paper constrains none of these wall-clock numbers -- the point is
+that skipping the steady state preserves the model bit for bit.
+"""
+
+import time
+
+import pytest
+
+import repro
+from repro.workloads import figure_workload
+
+from _common import bench_once, extra, record_rows
+
+M = 10_000
+SEED = 0
+#: acceptance floor for the statically replayable figures
+MIN_SPEEDUP = 10.0
+TURBO_FIGURES = ["fig2", "fig4", "fig6", "fig7"]
+
+_rows: dict[str, tuple] = {}
+
+
+def _workload(name: str):
+    wl = figure_workload(name)
+    cp = wl.compile(M)
+    return cp, wl.make_inputs(cp, seed=SEED)
+
+
+def _timed(cp, inputs, backend: str):
+    start = time.perf_counter()
+    result = repro.run(cp, inputs, backend=backend)
+    return result, time.perf_counter() - start
+
+
+def _compare(name: str):
+    cp, inputs = _workload(name)
+    event, t_event = _timed(cp, inputs, "event")
+    compiled, t_compiled = _timed(cp, inputs, "compiled")
+    assert compiled.outputs == event.outputs, f"{name}: values diverged"
+    assert compiled.sink_times == event.sink_times, (
+        f"{name}: sink times diverged"
+    )
+    assert compiled.cycles == event.cycles, (
+        name, event.cycles, compiled.cycles,
+    )
+    assert compiled.stats.summary() == event.stats.summary(), (
+        f"{name}: statistics diverged"
+    )
+    return event, compiled, t_event, t_compiled
+
+
+def _record(name: str, compiled, t_event: float, t_compiled: float):
+    schedule = compiled.engine.schedule
+    _rows[name] = (
+        name,
+        M,
+        round(t_event, 3),
+        round(t_compiled, 3),
+        round(t_event / t_compiled, 1),
+        len(schedule.jumps),
+        schedule.cycles_skipped,
+    )
+
+
+@pytest.mark.benchmark(group="compiled_turbo")
+@pytest.mark.parametrize("name", TURBO_FIGURES)
+def test_turbo_speedup(benchmark, name):
+    event, compiled, t_event, t_compiled = bench_once(
+        benchmark, _compare, name, rounds=1
+    )
+    speedup = t_event / t_compiled
+    extra(benchmark, event_s=t_event, compiled_s=t_compiled,
+          speedup=speedup)
+    _record(name, compiled, t_event, t_compiled)
+    assert compiled.engine.schedule.jumps, (
+        f"{name}: no steady-state jump was applied"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"{name}: {speedup:.1f}x < {MIN_SPEEDUP}x"
+    )
+
+
+@pytest.mark.benchmark(group="compiled_turbo")
+def test_turbo_fig5_falls_back_identically(benchmark):
+    event, compiled, t_event, t_compiled = bench_once(
+        benchmark, _compare, "fig5", rounds=1
+    )
+    extra(benchmark, event_s=t_event, compiled_s=t_compiled)
+    _record("fig5", compiled, t_event, t_compiled)
+    # data-dependent control stream: the detector must refuse to jump
+    assert not compiled.engine.schedule.jumps
+
+    rows = [_rows[n] for n in ("fig2", "fig4", "fig5", "fig6", "fig7")
+            if n in _rows]
+    record_rows(
+        "compiled_turbo",
+        "figure  m  event_s  compiled_s  speedup  jumps  cycles_skipped",
+        rows,
+        note=(
+            "compiled == event bit for bit (values, sink times, cycles, "
+            "stats); fig5's control stream is data-dependent, so it "
+            "runs concretely by design"
+        ),
+    )

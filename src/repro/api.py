@@ -30,25 +30,16 @@ wrappers over this facade's engines.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Protocol, Union
 
 from .errors import ReproError
+from .timing import steady_interval as _steady_interval
 
 #: version of the dict produced by :meth:`RunResult.to_json_dict` (and
 #: therefore of the CLI's ``--json`` output); bump on shape changes
 RESULT_SCHEMA = 1
-
-
-def _steady_interval(times: list[int]) -> float:
-    """Mean inter-arrival gap after discarding the pipeline-fill half
-    (same estimator as :meth:`repro.sim.sync.SinkRecord.
-    initiation_interval`)."""
-    if len(times) < 3:
-        return float("nan")
-    skip = min(max(1, len(times) // 2), len(times) - 2)
-    window = times[skip:]
-    return (window[-1] - window[0]) / (len(window) - 1)
 
 
 @dataclass
@@ -79,13 +70,24 @@ class RunResult:
         return _steady_interval(self._times(stream))
 
     def throughput(self, stream: Optional[str] = None) -> float:
+        """Outputs per clock tick in steady state: the reciprocal
+        initiation interval.  An interval of exactly 0 (degenerate
+        single-stage graphs whose outputs arrive simultaneously) is
+        infinite throughput, not zero; an unmeasurable interval (NaN,
+        fewer than three outputs) reports 0.0."""
         ii = self.initiation_interval(stream)
-        return 1.0 / ii if ii and ii == ii else 0.0
+        if ii != ii:
+            return 0.0
+        if ii == 0:
+            return float("inf")
+        return 1.0 / ii
 
     def latency(self, stream: Optional[str] = None) -> int:
         """Tick at which the first output of ``stream`` arrived."""
         times = self._times(stream)
-        return times[0] if times else -1
+        if not times:
+            raise ValueError(f"stream {stream!r} produced no outputs")
+        return times[0]
 
     def _times(self, stream: Optional[str]) -> list[int]:
         if stream is None:
@@ -156,12 +158,29 @@ class RunRequest:
         """Fail loudly on options the backend cannot honor -- silently
         dropping a fault plan or checkpoint config would let a caller
         believe a run was fault-injected or recoverable when it was
-        neither."""
+        neither.  A field is "set" when it differs from its dataclass
+        default, so e.g. ``processes=True`` is caught on non-sharded
+        backends while the default ``partition="auto"`` passes."""
         for name in names:
-            if getattr(self, name) not in (None, True, "auto", 1):
+            if getattr(self, name) != _REQUEST_DEFAULTS[name]:
                 raise ReproError(
                     f"backend {backend!r} does not support {name!r}"
                 )
+
+
+#: per-field "not set" values for :meth:`RunRequest.reject`; computed
+#: from the dataclass itself so the check can never drift from the
+#: actual defaults
+_REQUEST_DEFAULTS: dict[str, Any] = {
+    f.name: (
+        f.default
+        if f.default is not dataclasses.MISSING
+        else f.default_factory()
+    )
+    for f in dataclasses.fields(RunRequest)
+    if f.default is not dataclasses.MISSING
+    or f.default_factory is not dataclasses.MISSING
+}
 
 
 class BackendProtocol(Protocol):
@@ -184,12 +203,8 @@ class SyncBackend:
 
         request.reject(
             self.name, "shards", "config", "faults", "checkpoint",
-            "processes", "partition", "recovery",
+            "processes", "partition", "heal",
         )
-        if request.heal is not None:    # True slips through reject()
-            raise ReproError(
-                f"backend {self.name!r} does not support 'heal'"
-            )
         sim = SyncSimulator(
             request.graph, request.inputs,
             **{k: request.options[k] for k in ("record_trace",)
@@ -215,11 +230,9 @@ class EventBackend:
     def execute(self, request: RunRequest) -> RunResult:
         from .machine.machine import Machine
 
-        request.reject(self.name, "shards", "processes", "partition")
-        if request.heal is not None:    # True slips through reject()
-            raise ReproError(
-                f"backend {self.name!r} does not support 'heal'"
-            )
+        request.reject(
+            self.name, "shards", "processes", "partition", "heal"
+        )
         machine = Machine(
             request.graph,
             config=request.config,
@@ -285,9 +298,26 @@ class ShardedBackend:
         )
 
 
+class CompiledBackend:
+    """Steady-state schedule replay (:mod:`repro.backends.compiled`):
+    the event machine with whole steady-state periods fast-forwarded.
+    Bit-identical to ``backend="event"`` in values, sink times, cycle
+    counts and statistics."""
+
+    name = "compiled"
+
+    def execute(self, request: RunRequest) -> RunResult:
+        from .backends.compiled import CompiledBackend as _Turbo
+
+        return _Turbo().execute(request)
+
+
 #: backend registry; :func:`run` resolves ``backend=`` names here
 BACKENDS: dict[str, BackendProtocol] = {
-    b.name: b for b in (SyncBackend(), EventBackend(), ShardedBackend())
+    b.name: b
+    for b in (
+        SyncBackend(), EventBackend(), ShardedBackend(), CompiledBackend()
+    )
 }
 
 
@@ -341,8 +371,11 @@ def run(
 
     ``backend``
         ``"sync"`` (unit-delay simulator), ``"event"`` (packet-level
-        machine, the default) or ``"sharded"`` (K event-driven workers
-        over pipes) -- or any name added via :func:`register_backend`.
+        machine, the default), ``"sharded"`` (K event-driven workers
+        over pipes) or ``"compiled"`` (the event machine with
+        steady-state periods fast-forwarded; bit-identical to
+        ``"event"``) -- or any name added via
+        :func:`register_backend`.
     ``shards`` / ``processes`` / ``partition``
         Sharded-backend knobs: worker count, whether workers are real
         processes (default: yes when ``shards > 1``), and the

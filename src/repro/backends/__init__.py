@@ -1,0 +1,11 @@
+"""Execution backends beyond the three built into the facade.
+
+The facade (:mod:`repro.api`) registers each backend here in
+:data:`repro.api.BACKENDS` behind a thin lazy-import proxy, so
+``import repro`` stays cheap; external engines use the same
+:func:`repro.api.register_backend` extension point.
+"""
+
+from .compiled import CompiledBackend, TurboMachine
+
+__all__ = ["CompiledBackend", "TurboMachine"]

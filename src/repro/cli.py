@@ -18,7 +18,8 @@ programs from the shell.
     python -m repro snapshot migrate old-ckpts/
     python -m repro supervise fig7 --dir ckpts --interval 5000
 
-``run``, ``checkpoint``, ``resume`` and ``supervise`` accept
+``run`` accepts ``--backend {sync,event,sharded,compiled}``;
+``checkpoint``, ``resume`` and ``supervise`` accept
 ``--backend {sync,event,sharded}`` (plus ``--shards K`` for the
 sharded backend); ``resume`` auto-detects whether a directory holds
 single-machine snapshots or coordinated shard sets.  ``run``,
@@ -916,10 +917,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="print throughput statistics to stderr")
     p.add_argument("--backend", default="sync",
-                   choices=["sync", "event", "sharded"],
+                   choices=["sync", "event", "sharded", "compiled"],
                    help="execution backend: unit-delay simulator "
-                   "(default), event-driven machine, or K machine "
-                   "shards in separate processes")
+                   "(default), event-driven machine, K machine "
+                   "shards in separate processes, or the compiled "
+                   "steady-state machine (bit-identical to event, "
+                   "fast-forwards periodic steady state)")
     p.add_argument("--shards", type=int, default=1, metavar="K",
                    help="worker count for --backend sharded")
     p.add_argument("--json", action="store_true",

@@ -89,6 +89,7 @@ from ..graph.opcodes import (
     apply_scalar,
 )
 from ..graph.validate import check_stream_inputs, validate
+from ..timing import steady_interval
 from .assign import Assignment, make_assignment
 from .config import MachineConfig
 from .diagnose import DeadlockDiagnosis, diagnose
@@ -1084,12 +1085,7 @@ class Machine:
         raise SimulationError(f"no sink for stream {stream!r}")
 
     def initiation_interval(self, stream: str) -> float:
-        times = self.sink_arrival_times(stream)
-        if len(times) < 3:
-            return float("nan")
-        skip = max(1, len(times) // 2)
-        window = times[skip:]
-        return (window[-1] - window[0]) / (len(window) - 1)
+        return steady_interval(self.sink_arrival_times(stream))
 
     def stats(self) -> MachineStats:
         return MachineStats(

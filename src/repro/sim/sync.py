@@ -51,6 +51,7 @@ from ..graph.opcodes import (
     apply_scalar,
 )
 from ..graph.validate import check_stream_inputs, validate
+from ..timing import steady_interval
 
 _ABSENT = _NO_TOKEN  # reuse the cell module's sentinel
 
@@ -70,14 +71,7 @@ class SinkRecord:
         ``skip`` arrivals (default: the first half, to exclude pipeline
         fill).  A fully pipelined graph reports 2.0.
         """
-        times = self.times
-        if len(times) < 3:
-            return float("nan")
-        if skip is None:
-            skip = max(1, len(times) // 2)
-        skip = min(skip, len(times) - 2)
-        window = times[skip:]
-        return (window[-1] - window[0]) / (len(window) - 1)
+        return steady_interval(self.times, skip)
 
 
 @dataclass

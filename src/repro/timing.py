@@ -1,0 +1,33 @@
+"""Shared steady-state timing estimators.
+
+One implementation of the initiation-interval estimator used by every
+result surface -- :meth:`repro.api.RunResult.initiation_interval`,
+:meth:`repro.sim.sync.SinkRecord.initiation_interval` and
+:meth:`repro.machine.Machine.initiation_interval` -- so the three
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def steady_interval(
+    times: Sequence[int], skip: Optional[int] = None
+) -> float:
+    """Mean inter-arrival gap of ``times`` after discarding the
+    pipeline-fill prefix.
+
+    ``skip`` overrides how many leading arrivals are dropped (default:
+    the first half, at least one); it is clamped so at least two
+    arrivals remain.  Fewer than three arrivals return NaN -- there is
+    no steady state to estimate.  A fully pipelined graph reports 2.0
+    under the unit-delay model.
+    """
+    if len(times) < 3:
+        return float("nan")
+    if skip is None:
+        skip = max(1, len(times) // 2)
+    skip = min(skip, len(times) - 2)
+    window = times[skip:]
+    return (window[-1] - window[0]) / (len(window) - 1)

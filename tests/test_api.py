@@ -35,19 +35,35 @@ class TestRunFacade:
             "event": {"config": MachineConfig.unit_time()},
             "sharded": {"config": MachineConfig.unit_time(),
                         "shards": 2, "processes": False},
+            "compiled": {"config": MachineConfig.unit_time()},
         }
         results = {
             name: repro.run(cp, inputs, backend=name, **kwargs)
             for name, kwargs in extra.items()
         }
         outs = {n: r.outputs for n, r in results.items()}
-        assert outs["sync"] == outs["event"] == outs["sharded"]
+        assert (outs["sync"] == outs["event"] == outs["sharded"]
+                == outs["compiled"])
         for name, r in results.items():
             assert r.backend == name
             assert r.cycles > 0
-        # event and sharded share the machine clock exactly
+        # event, sharded and compiled share the machine clock exactly
         assert (results["event"].sink_times
-                == results["sharded"].sink_times)
+                == results["sharded"].sink_times
+                == results["compiled"].sink_times)
+
+    @pytest.mark.parametrize(
+        "figure", ["fig2", "fig4", "fig5", "fig6", "fig7"]
+    )
+    def test_compiled_matches_event_on_every_figure(self, figure):
+        wl = figure_workload(figure)
+        cp = wl.compile(m=24)
+        inputs = wl.make_inputs(cp)
+        event = repro.run(cp, inputs, backend="event")
+        compiled = repro.run(cp, inputs, backend="compiled")
+        assert compiled.outputs == event.outputs
+        assert compiled.sink_times == event.sink_times
+        assert compiled.cycles == event.cycles
 
     def test_val_source_path(self):
         cp = repro.compile_program(FIG2_SOURCE, params={"m": 4})
@@ -108,6 +124,24 @@ class TestRunFacade:
             repro.run(cp, inputs, backend="event",
                       partition="round_robin")
 
+    def test_reject_compares_against_real_defaults(self):
+        """Regression: ``reject`` used a shared sentinel, so any field
+        whose *actual* default was falsy (``recovery=False`` after an
+        explicit pass, ``processes=True``) was either spuriously
+        rejected or silently accepted."""
+        cp, inputs = _fig2()
+        # recovery is a sync-irrelevant machine knob with default True;
+        # passing the non-default False must NOT trip the validator
+        result = repro.run(cp, inputs, backend="sync", recovery=False)
+        assert result.backend == "sync"
+        # processes defaults to None, so *both* explicit spellings are
+        # "set" and must be caught on non-sharded backends
+        for value in (True, False):
+            with pytest.raises(ReproError, match="processes"):
+                repro.run(cp, inputs, backend="event", processes=value)
+        # the default partition="auto" still passes untouched
+        repro.run(cp, inputs, backend="event", partition="auto")
+
     def test_register_backend(self):
         calls = []
 
@@ -130,6 +164,33 @@ class TestRunFacade:
             assert calls[0].options == {"custom_knob": 7}
         finally:
             del api.BACKENDS["echo"]
+
+    def test_register_backend_replace_and_restore(self):
+        """Re-registering an existing name swaps the implementation in
+        place; restoring the saved object brings the original behavior
+        back exactly."""
+        original = api.BACKENDS["sync"]
+
+        class StubSync:
+            name = "sync"
+
+            def execute(self, request):
+                return api.RunResult(
+                    backend="sync", outputs={"stub": [42.0]},
+                    sink_times={"stub": [0]}, cycles=0, stats=None,
+                )
+
+        api.register_backend(StubSync())
+        try:
+            cp, inputs = _fig2()
+            assert repro.run(cp, inputs, backend="sync").outputs == {
+                "stub": [42.0]
+            }
+        finally:
+            api.register_backend(original)
+        assert api.BACKENDS["sync"] is original
+        restored = repro.run(*_fig2(), backend="sync")
+        assert "stub" not in restored.outputs
 
     def test_resume_facade_event_backend(self, tmp_path):
         cp, inputs = _fig2()
@@ -176,6 +237,33 @@ class TestRunResultJson:
         with pytest.raises(ValueError, match="no output stream"):
             result.latency("Z")
 
+    def test_throughput_degenerate_intervals(self):
+        """Regression: II == 0 (simultaneous arrivals) used to raise
+        ZeroDivisionError and an unmeasurable NaN interval leaked NaN
+        throughput to callers."""
+        simultaneous = api.RunResult(
+            backend="sync", outputs={"X": [1.0, 2.0, 3.0, 4.0]},
+            sink_times={"X": [5, 5, 5, 5]}, cycles=5, stats=None,
+        )
+        assert simultaneous.initiation_interval("X") == 0
+        assert simultaneous.throughput("X") == float("inf")
+        short = api.RunResult(
+            backend="sync", outputs={"X": [1.0, 2.0]},
+            sink_times={"X": [3, 5]}, cycles=5, stats=None,
+        )
+        assert short.initiation_interval("X") != short.initiation_interval("X")
+        assert short.throughput("X") == 0.0
+
+    def test_latency_raises_on_empty_stream(self):
+        """Regression: latency() used to IndexError on a stream that
+        produced nothing; it now names the problem."""
+        result = api.RunResult(
+            backend="sync", outputs={"X": []},
+            sink_times={"X": []}, cycles=0, stats=None,
+        )
+        with pytest.raises(ValueError, match="produced no outputs"):
+            result.latency("X")
+
 
 class TestDeprecatedShims:
     def test_run_graph_warns_and_works(self):
@@ -207,7 +295,9 @@ class TestCliJson:
         ins.write_text(json.dumps(inputs), encoding="utf-8")
         return src, ins
 
-    @pytest.mark.parametrize("backend", ["sync", "event", "sharded"])
+    @pytest.mark.parametrize(
+        "backend", ["sync", "event", "sharded", "compiled"]
+    )
     def test_run_envelope(self, tmp_path, capsys, backend):
         src, ins = self._write_program(tmp_path)
         argv = ["run", str(src), "--inputs", str(ins), "--param",
@@ -229,7 +319,7 @@ class TestCliJson:
     ):
         src, ins = self._write_program(tmp_path)
         values = {}
-        for backend in ("sync", "event"):
+        for backend in ("sync", "event", "compiled"):
             assert cli_main(
                 ["run", str(src), "--inputs", str(ins), "--param",
                  "m=4", "--json", "--backend", backend]
@@ -238,7 +328,7 @@ class TestCliJson:
             values[backend] = {
                 s: rec["values"] for s, rec in result["streams"].items()
             }
-        assert values["sync"] == values["event"]
+        assert values["sync"] == values["event"] == values["compiled"]
 
     def test_replay_envelope(self, tmp_path, capsys):
         snaps = tmp_path / "snaps"
