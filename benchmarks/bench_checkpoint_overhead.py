@@ -58,40 +58,63 @@ def test_snapshot_overhead_under_ten_percent(benchmark, tmp_path):
     workload = FIGURES["fig7"]
     cp = workload.compile(m=M)
     inputs = workload.make_inputs(cp, seed=0)
-    cfg = CheckpointConfig(tmp_path / "snaps", interval=INTERVAL, retain=0)
+    modes = {
+        "full": CheckpointConfig(
+            tmp_path / "snaps-full", interval=INTERVAL, retain=0
+        ),
+        "delta": CheckpointConfig(
+            tmp_path / "snaps-delta", interval=INTERVAL, retain=0,
+            delta_every=8,
+        ),
+    }
 
     def measure():
         bare_t, bare_out, bare_stats = _timed_run(cp.graph, inputs)
-        ratios = []
-        for _ in range(3):
-            ckpt_t, ckpt_out, ckpt_stats = _timed_run(
-                cp.graph, inputs, checkpoint=cfg
+        rows, overheads = [], {}
+        for mode, cfg in modes.items():
+            ratios = []
+            for _ in range(3):
+                ckpt_t, ckpt_out, ckpt_stats = _timed_run(
+                    cp.graph, inputs, checkpoint=cfg
+                )
+                cs = ckpt_stats.checkpoints
+                assert cs is not None and cs.snapshots_written >= 3
+                ratios.append(
+                    cs.seconds_spent / (ckpt_t - cs.seconds_spent)
+                )
+            assert ckpt_out == bare_out, (
+                "checkpointing changed the outputs"
             )
-            cs = ckpt_stats.checkpoints
-            assert cs is not None and cs.snapshots_written >= 3
-            ratios.append(cs.seconds_spent / (ckpt_t - cs.seconds_spent))
-        assert ckpt_out == bare_out, "checkpointing changed the outputs"
-        assert ckpt_stats.cycles == bare_stats.cycles
-        overhead = statistics.median(ratios)
-        return [(
-            "fig7", M, bare_stats.cycles,
-            round(bare_t, 3), round(ckpt_t, 3),
-            round(cs.seconds_spent, 4), round(overhead, 4),
-            cs.snapshots_written, cs.bytes_written,
-        )], overhead
+            assert ckpt_stats.cycles == bare_stats.cycles
+            overheads[mode] = statistics.median(ratios)
+            p99 = (_percentile(cs.latencies, 0.99)
+                   if cs.latencies else 0.0)
+            rows.append((
+                "fig7", M, mode, bare_stats.cycles,
+                round(bare_t, 3), round(ckpt_t, 3),
+                round(cs.seconds_spent, 4),
+                round(overheads[mode], 4),
+                cs.snapshots_written, cs.bytes_written,
+                cs.delta_snapshots, cs.delta_bytes_written,
+                round(p99 * 1e3, 3),
+            ))
+        return rows, overheads
 
-    (rows, overhead) = bench_once(benchmark, measure, rounds=1)
+    (rows, overheads) = bench_once(benchmark, measure, rounds=1)
     record_rows(
         "checkpoint_overhead",
-        "figure  m  cycles  bare_s  ckpt_s  snap_s  overhead  snaps  bytes",
+        "figure  m  mode  cycles  bare_s  ckpt_s  snap_s  overhead  "
+        "snaps  bytes  delta_snaps  delta_bytes  p99_ms",
         rows,
-        note=f"interval={INTERVAL} cycles; "
-        "acceptance: snapshot overhead < 0.10 of simulation time",
+        note=f"interval={INTERVAL} cycles, delta_every=8; "
+        "acceptance: snapshot overhead < 0.10 of simulation time "
+        "in both modes",
     )
-    assert overhead < 0.10, (
-        f"checkpointing cost {overhead:.1%} of simulation time "
-        f"(acceptance bar is < 10% overhead)"
-    )
+    for mode, overhead in overheads.items():
+        assert overhead < 0.10, (
+            f"{mode} checkpointing cost {overhead:.1%} of simulation "
+            f"time (acceptance bar is < 10% overhead)"
+        )
 
 
 def _percentile(samples, frac):
@@ -220,3 +243,92 @@ def test_envelope_codec_cost(benchmark, tmp_path):
         # shared-box timing noise at sub-ms scales is real)
         assert row[8] < 3.0, f"v2 encode {row[8]}x slower than v1"
         assert row[9] < 3.0, f"v2 decode {row[9]}x slower than v1"
+
+
+@pytest.mark.benchmark(group="checkpoint")
+def test_delta_reduction_at_depth(benchmark, tmp_path):
+    """Delta chains on a 10^4-cell graph: bytes written and latency.
+
+    The delta format's claim is that snapshot cost should track the
+    *churn*, not the machine size.  A deep chain of 10 000 cells with a
+    short input burst is the adversarial-for-full/favourable-for-delta
+    shape: the active wavefront sweeps the chain, so between two
+    snapshots only interval-many cells change while a full snapshot
+    re-serializes all 10 000 every time.  Acceptance: the mean delta
+    file is >= 5x smaller than the mean full snapshot, at < 10%
+    runtime overhead.
+    """
+    from repro.graph.graph import DataflowGraph
+    from repro.graph.opcodes import Op
+
+    depth, n_values, interval = 10_000, 48, 8_000
+
+    def _chain_graph():
+        g = DataflowGraph()
+        prev = g.add_source("x", stream="x")
+        for i in range(depth):
+            cell = g.add_cell(Op.ADD, name=f"c{i}", consts={1: 1})
+            g.connect(prev, cell, 0)
+            prev = cell
+        sink = g.add_sink("out", stream="y", limit=n_values)
+        g.connect(prev, sink, 0)
+        return g
+
+    graph = _chain_graph()
+    inputs = {"x": list(range(n_values))}
+
+    def measure():
+        bare_t, bare_out, bare_stats = _timed_run(graph, inputs)
+        rows, per_snap, overheads, p99s = [], {}, {}, {}
+        for mode, delta_every in (("full", 0), ("delta", 8)):
+            cfg = CheckpointConfig(
+                tmp_path / f"deep-{mode}", interval=interval, retain=0,
+                delta_every=delta_every,
+            )
+            t, out, stats = _timed_run(graph, inputs, checkpoint=cfg)
+            assert out == bare_out
+            cs = stats.checkpoints
+            if mode == "full":
+                per_snap[mode] = cs.bytes_written / cs.snapshots_written
+            else:
+                assert cs.delta_snapshots >= 4
+                per_snap[mode] = (
+                    cs.delta_bytes_written / cs.delta_snapshots
+                )
+            overheads[mode] = cs.seconds_spent / (t - cs.seconds_spent)
+            p99s[mode] = (_percentile(cs.latencies, 0.99)
+                          if cs.latencies else 0.0)
+            rows.append((
+                "chain", depth, mode, stats.cycles,
+                round(bare_t, 3), round(t, 3),
+                round(overheads[mode], 4),
+                cs.snapshots_written, cs.bytes_written,
+                cs.delta_snapshots, cs.delta_bytes_written,
+                int(per_snap[mode]), round(p99s[mode] * 1e3, 3),
+            ))
+        reduction = per_snap["full"] / max(per_snap["delta"], 1.0)
+        rows.append((
+            "chain", depth, "ratio", "-", "-", "-", "-", "-", "-",
+            "-", "-", round(reduction, 2), "-",
+        ))
+        return rows, reduction, overheads
+
+    (rows, reduction, overheads) = bench_once(benchmark, measure,
+                                              rounds=1)
+    record_rows(
+        "checkpoint_delta_reduction",
+        "graph  cells  mode  cycles  bare_s  ckpt_s  overhead  snaps  "
+        "bytes  delta_snaps  delta_bytes  bytes_per_snap  p99_ms",
+        rows,
+        note=f"depth={depth} chain, interval={interval} cycles, "
+        "delta_every=8; acceptance: mean delta >= 5x smaller than "
+        "mean full snapshot at < 10% overhead",
+    )
+    assert reduction >= 5.0, (
+        f"deltas only {reduction:.1f}x smaller than full snapshots "
+        f"(acceptance bar is >= 5x on a {depth}-cell graph)"
+    )
+    assert overheads["delta"] < 0.10, (
+        f"delta checkpointing cost {overheads['delta']:.1%} of "
+        f"simulation time (acceptance bar is < 10% overhead)"
+    )

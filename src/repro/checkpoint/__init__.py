@@ -4,8 +4,10 @@ The four layers (see DESIGN.md section 8):
 
 * :mod:`repro.checkpoint.snapshot` -- the versioned, checksummed,
   atomically-written on-disk snapshot format (v2: self-describing
-  JSON metadata over a restricted-unpickler payload; legacy v1 reads
-  behind ``allow_legacy=True`` and migrates in place);
+  JSON metadata over a restricted-unpickler payload; v3: incremental
+  deltas chained on a v2 base, verified link by link before any
+  payload is touched; legacy v1 reads behind ``allow_legacy=True``
+  and migrates in place);
 * :mod:`repro.checkpoint.manager` -- periodic snapshot scheduling,
   retention, out-of-band live snapshots, failure diagnosis bundles and
   the record manifest;
@@ -28,7 +30,12 @@ Quick use::
     m.run()                                          # bit-identical finish
 """
 
-from ..errors import ManifestError, SnapshotError, SupervisorError
+from ..errors import (
+    ChainBrokenError,
+    ManifestError,
+    SnapshotError,
+    SupervisorError,
+)
 from .coordinator import (
     CoordinatedCheckpointManager,
     is_sharded_dir,
@@ -37,6 +44,7 @@ from .coordinator import (
     read_shard_manifest,
     shard_snapshot_name,
 )
+from .fsck import fsck_directory
 from .manager import CheckpointConfig, CheckpointManager
 from .replay import (
     DivergenceReport,
@@ -48,15 +56,21 @@ from .replay import (
     replay_bundle,
 )
 from .snapshot import (
+    DELTA_VERSION,
     FORMAT_VERSION,
     LEGACY_VERSION,
+    chain_descendants,
+    chain_status,
     latest_snapshot,
     load_machine,
     migrate_snapshot,
     read_metadata,
     read_snapshot,
+    rebase_snapshot,
     save_snapshot,
     snapshot_cycle,
+    verify_chain,
+    write_chain_snapshot,
 )
 from .supervisor import (
     EXIT_SNAPSHOT_UNLOADABLE,
@@ -70,9 +84,11 @@ from .supervisor import (
 __all__ = [
     "AttemptRecord",
     "BackoffPolicy",
+    "ChainBrokenError",
     "CheckpointConfig",
     "CheckpointManager",
     "CoordinatedCheckpointManager",
+    "DELTA_VERSION",
     "DivergenceReport",
     "EXIT_SNAPSHOT_UNLOADABLE",
     "EventTrace",
@@ -86,6 +102,9 @@ __all__ = [
     "SupervisorError",
     "SupervisorReport",
     "bisect_divergence",
+    "chain_descendants",
+    "chain_status",
+    "fsck_directory",
     "is_sharded_dir",
     "latest_coordinated",
     "latest_snapshot",
@@ -97,8 +116,11 @@ __all__ = [
     "read_metadata",
     "read_shard_manifest",
     "read_snapshot",
+    "rebase_snapshot",
     "replay_bundle",
     "save_snapshot",
     "shard_snapshot_name",
     "snapshot_cycle",
+    "verify_chain",
+    "write_chain_snapshot",
 ]

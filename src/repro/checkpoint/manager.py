@@ -23,7 +23,12 @@ from typing import Any, Optional, Union
 
 from ..errors import ManifestError, SimulationTimeout, SnapshotError
 from .replay import MANIFEST_NAME, MANIFEST_SCHEMA, _outcome
-from .snapshot import _atomic_write, save_snapshot
+from .snapshot import (
+    _atomic_write,
+    read_metadata,
+    save_snapshot,
+    write_chain_snapshot,
+)
 
 
 @dataclass
@@ -43,12 +48,25 @@ class CheckpointConfig:
         and keep an event-trace digest, so the whole run can be
         re-executed and verified with
         :func:`repro.checkpoint.replay_bundle`.
+    ``delta_every``
+        Delta-chain policy: 0 (the default) writes classic standalone
+        ``ckpt-*.snap`` full snapshots; N >= 2 writes a full base every
+        N-th periodic snapshot (``ckpt-*.base.snap``) and incremental
+        format-v3 deltas (``ckpt-*.delta.snap``) in between.  Live,
+        failure and initial snapshots are always standalone fulls
+        regardless of this knob.
+    ``max_chain_depth``
+        Hard ceiling on delta chain length: a delta whose chain depth
+        would exceed this is promoted to a full base (rebased) even if
+        ``delta_every`` has not come around yet.
     """
 
     directory: Union[str, Path]
     interval: int = 10_000
     retain: int = 3
     record: bool = False
+    delta_every: int = 0
+    max_chain_depth: int = 64
 
     def __post_init__(self) -> None:
         if self.interval < 0:
@@ -58,6 +76,20 @@ class CheckpointConfig:
         if self.retain < 0:
             raise SnapshotError(
                 f"checkpoint retention must be >= 0, got {self.retain}"
+            )
+        if self.delta_every < 0:
+            raise SnapshotError(
+                f"checkpoint delta_every must be >= 0, got {self.delta_every}"
+            )
+        if self.delta_every == 1:
+            raise SnapshotError(
+                "checkpoint delta_every=1 would write a base every time; "
+                "use 0 to disable delta chains"
+            )
+        if self.max_chain_depth < 1:
+            raise SnapshotError(
+                f"checkpoint max_chain_depth must be >= 1, "
+                f"got {self.max_chain_depth}"
             )
         self.directory = str(self.directory)
 
@@ -101,15 +133,40 @@ class CheckpointManager:
                 }
             )
 
+    def _next_kind(self, machine: Any) -> str:
+        """Decide what the next periodic snapshot should be.
+
+        ``"full"`` is the classic standalone v2 snapshot (delta chains
+        disabled); ``"base"`` starts a chain and ``"delta"`` extends
+        the one the machine's in-memory tip points at.  A machine with
+        no tip (fresh run, resumed run, post-rollback clone) always
+        starts with a base -- its previous chain, if any, belongs to a
+        state we can no longer extend.
+        """
+        every = self.config.delta_every
+        if not every:
+            return "full"
+        tip = getattr(machine, "_snap_chain", None)
+        if tip is None:
+            return "base"
+        depth = tip["depth"] + 1
+        if depth >= every or depth > self.config.max_chain_depth:
+            return "base"
+        return "delta"
+
     def save_periodic(self, machine: Any) -> Path:
-        name = f"ckpt-{machine.now:012d}.snap"
+        kind = self._next_kind(machine)
+        if kind == "full":
+            name = f"ckpt-{machine.now:012d}.snap"
+        else:
+            name = f"ckpt-{machine.now:012d}.{kind}.snap"
         # register before serializing so the snapshot's own manager
         # state already owns the file it lives in (and, in record mode,
         # already carries its own ledger entry)
         self._periodic.append(name)
         if self.config.record:
             self._ledger.append(self._ledger_entry(machine, name))
-        path = self._save(machine, name, "periodic")
+        path = self._save(machine, name, "periodic", kind=kind)
         self._prune()
         if self.config.record:
             self._update_manifest(
@@ -127,6 +184,13 @@ class CheckpointManager:
         to the record ledger -- they are taken between events rather
         than at a ``checkpoint_tick``, so a replay probe could not
         pause at their capture point to compare digests.
+
+        Live snapshots always bypass the delta-chain policy: being
+        outside the retention ledger they can outlive the chain that
+        was current when they were taken, so chaining one would leave
+        a resume point whose ancestors are legally prunable.  They are
+        written as standalone full snapshots and do not advance the
+        machine's chain tip.
         """
         name = f"live-{machine.now:012d}.snap"
         self.stats.live_snapshots += 1
@@ -139,6 +203,10 @@ class CheckpointManager:
         A timed-out machine was still making progress and stays
         resumable, so its snapshot is named ``timeout-*``;
         ``failure-*`` pins a wedged machine for forensics only.
+
+        Both are always standalone full snapshots even in delta mode:
+        failure forensics must never depend on a chain whose other
+        links are subject to retention pruning or quarantine.
         """
         prefix = "timeout" if isinstance(error, SimulationTimeout) else "failure"
         name = f"{prefix}-{machine.now:012d}.snap"
@@ -184,14 +252,23 @@ class CheckpointManager:
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
-    def _save(self, machine: Any, name: str, reason: str) -> Path:
+    def _save(
+        self, machine: Any, name: str, reason: str, kind: str = "full"
+    ) -> Path:
         # count the write *before* serializing, so the snapshot's own
         # embedded stats already include itself -- a resumed run then
         # ends with the same cumulative counters as an uninterrupted one
         self.stats.snapshots_written += 1
         self.stats.last_snapshot_cycle = machine.now
+        if kind == "delta":
+            self.stats.delta_snapshots += 1
         t0 = time.perf_counter()
-        path = save_snapshot(machine, self.directory / name, reason)
+        if kind == "full":
+            path = save_snapshot(machine, self.directory / name, reason)
+        else:
+            path = write_chain_snapshot(
+                machine, self.directory / name, reason, kind=kind
+            )
         elapsed = time.perf_counter() - t0
         self.stats.seconds_spent += elapsed
         # per-snapshot latency samples for p50/p99 reporting; bounded
@@ -199,17 +276,80 @@ class CheckpointManager:
         self.stats.latencies.append(elapsed)
         if len(self.stats.latencies) > 8192:
             del self.stats.latencies[:4096]
-        self.stats.bytes_written += path.stat().st_size
+        size = path.stat().st_size
+        self.stats.bytes_written += size
+        if kind == "delta":
+            self.stats.delta_bytes_written += size
         return path
 
+    def _chain_groups(self) -> list[list[str]]:
+        """Split ``_periodic`` into prune units.
+
+        A standalone full snapshot is its own unit; a base plus the
+        deltas chained on it form one unit that must live or die
+        together (unlinking the base would orphan every descendant).
+        ``save_periodic`` is the only chain writer and always chains
+        from its own previous write, so a base and its deltas are
+        adjacent in the ledger.
+        """
+        groups: list[list[str]] = []
+        for name in self._periodic:
+            if name.endswith(".delta.snap") and groups:
+                groups[-1].append(name)
+            else:
+                groups.append([name])
+        return groups
+
+    def _has_external_children(self, doomed: list[str]) -> bool:
+        """True when an on-disk delta *outside* the doomed set lists a
+        doomed file as its parent.
+
+        A resumed run restarts its in-memory retention ledger, so the
+        directory can hold stale descendants of a base this manager is
+        about to prune (written before the crash).  Unlinking the base
+        would silently orphan them; keep the whole chain instead.
+        """
+        doomed_set = set(doomed)
+        try:
+            on_disk = list(self.directory.glob("*.delta.snap"))
+        except OSError:
+            return False
+        for path in on_disk:
+            if path.name in doomed_set:
+                continue
+            try:
+                parent = read_metadata(path).get("parent")
+            except SnapshotError:
+                continue
+            if parent in doomed_set:
+                return True
+        return False
+
     def _prune(self) -> None:
+        """Chain-aware retention: whole chains prune all-or-none.
+
+        The retention floor counts snapshot *files* (as before), but
+        the prune unit is a chain: the oldest unit goes only when the
+        survivors still satisfy ``retain``.  Names leave ``_periodic``
+        before any unlink and files are removed newest-first, so a
+        crash mid-prune leaves an intact chain prefix, never an
+        orphaned delta.
+        """
         keep = self.config.retain
         if not keep:
             return
         while len(self._periodic) > keep:
-            old = self._periodic.pop(0)
-            (self.directory / old).unlink(missing_ok=True)
-            self.stats.snapshots_pruned += 1
+            groups = self._chain_groups()
+            doomed = groups[0]
+            if len(self._periodic) - len(doomed) < keep:
+                break  # pruning the whole chain would dip below retain
+            if len(doomed) > 1 or doomed[0].endswith(".base.snap"):
+                if self._has_external_children(doomed):
+                    break
+            del self._periodic[: len(doomed)]
+            for old in reversed(doomed):
+                (self.directory / old).unlink(missing_ok=True)
+                self.stats.snapshots_pruned += 1
 
     def _write_manifest(self, manifest: dict[str, Any]) -> None:
         _atomic_write(

@@ -44,6 +44,24 @@ unrestricted pickle) still load behind an explicit
 ``allow_legacy=True`` / ``--allow-v1`` opt-in, and
 :func:`migrate_snapshot` (CLI: ``repro snapshot migrate``) rewrites
 them to v2 in place with checksum verification on both sides.
+
+**Format v3: delta snapshots.**  When delta mode is on
+(``CheckpointConfig.delta_every > 0``) periodic snapshots form
+*chains*: a full **base** (``ckpt-*.base.snap``, ordinary v2 payload)
+followed by **deltas** (``ckpt-*.delta.snap``, header version 3, same
+header layout) that carry only the state *sections* whose pickled
+bytes changed since the previous link.  A delta's metadata names its
+``parent`` file, the parent's payload SHA-256 as ``parent_checksum``
+and its own ``chain_depth``; :func:`verify_chain` walks those links
+with envelope/metadata reads only (no payload is ever unpickled) and
+raises a typed :class:`~repro.errors.ChainBrokenError` on a missing,
+damaged or checksum-mismatched ancestor *before* any object is
+constructed.  The delta payload is a pickled plain-data dict
+``{"delta": True, "cycle", "reason", "sections": {key: bytes},
+"removed": [key...]}``; each section blob decodes through the same
+restricted unpickler and is applied to the base machine by
+``Machine.apply_snapshot_sections``.  :func:`rebase_snapshot`
+collapses a chain tip back into a standalone v2 base.
 """
 
 from __future__ import annotations
@@ -58,13 +76,16 @@ import tempfile
 from pathlib import Path
 from typing import Any, Optional, Union
 
-from ..errors import SnapshotError
+from ..errors import ChainBrokenError, SnapshotError
 
 MAGIC = b"RPROSNAP"
 FORMAT_VERSION = 2
 #: the pre-metadata, unrestricted-pickle format still readable behind
 #: ``allow_legacy=True``
 LEGACY_VERSION = 1
+#: delta snapshots: same header layout as v2, but the payload holds
+#: only the state sections that changed since the parent link
+DELTA_VERSION = 3
 
 #: v2: magic(8s) + version(I) + meta len(Q) + meta sha256(32s)
 #:     + payload length(Q) + payload sha256(32s)
@@ -258,11 +279,13 @@ def snapshot_metadata(machine: Any, reason: str = "periodic") -> dict[str, Any]:
     return meta
 
 
-def _pack_envelope(meta: dict[str, Any], payload: bytes) -> bytes:
+def _pack_envelope(
+    meta: dict[str, Any], payload: bytes, version: int = FORMAT_VERSION
+) -> bytes:
     meta_bytes = json.dumps(meta, sort_keys=True, default=repr).encode("utf-8")
     header = _HEADER.pack(
         MAGIC,
-        FORMAT_VERSION,
+        version,
         len(meta_bytes),
         hashlib.sha256(meta_bytes).digest(),
         len(payload),
@@ -275,12 +298,15 @@ def snapshot_bytes(
     machine: Any,
     reason: str = "periodic",
     extra: Optional[dict[str, Any]] = None,
+    meta_extra: Optional[dict[str, Any]] = None,
 ) -> bytes:
     """Serialize ``machine`` into the v2 snapshot envelope.
 
     ``extra`` rides along in the payload (same restricted-unpickler
     rules apply on load); the coordinated sharded checkpoint stores
-    each shard's in-flight channel state there.
+    each shard's in-flight channel state there.  ``meta_extra`` merges
+    additional keys into the JSON metadata section (the chain writer
+    stamps ``kind``/``chain_depth`` there).
     """
     data: dict[str, Any] = {
         "machine": machine, "cycle": machine.now, "reason": reason,
@@ -288,7 +314,10 @@ def snapshot_bytes(
     if extra is not None:
         data["extra"] = extra
     payload = pickle.dumps(data, protocol=pickle.HIGHEST_PROTOCOL)
-    return _pack_envelope(snapshot_metadata(machine, reason), payload)
+    meta = snapshot_metadata(machine, reason)
+    if meta_extra:
+        meta.update(meta_extra)
+    return _pack_envelope(meta, payload)
 
 
 def _snapshot_bytes_v1(machine: Any, reason: str = "periodic") -> bytes:
@@ -362,10 +391,11 @@ def _split_envelope(path: Path, raw: bytes) -> tuple[int, bytes, bytes]:
                 f"snapshot {path} failed its checksum: the file is corrupted"
             )
         return version, b"", payload
-    if version != FORMAT_VERSION:
+    if version not in (FORMAT_VERSION, DELTA_VERSION):
         raise SnapshotError(
             f"snapshot {path} has format version {version}; this build "
-            f"reads versions {LEGACY_VERSION} and {FORMAT_VERSION}"
+            f"reads versions {LEGACY_VERSION}, {FORMAT_VERSION} and "
+            f"{DELTA_VERSION}"
         )
     if len(raw) < _HEADER.size:
         raise SnapshotError(
@@ -458,6 +488,12 @@ def read_snapshot(
     path = Path(path)
     raw = _read_raw(path)
     version, meta_bytes, payload = _split_envelope(path, raw)
+    if version == DELTA_VERSION:
+        raise SnapshotError(
+            f"snapshot {path} is a v3 delta: it only carries state that "
+            f"changed since its parent; load it through load_machine / "
+            f"`repro resume`, which reconstructs it through its chain"
+        )
     if version == LEGACY_VERSION:
         if not allow_legacy:
             raise SnapshotError(
@@ -502,6 +538,10 @@ def migrate_snapshot(path: Union[str, Path]) -> str:
     path = Path(path)
     raw = _read_raw(path)
     version, _, payload = _split_envelope(path, raw)
+    if version == DELTA_VERSION:
+        # a delta is not a rewrappable machine payload; collapsing its
+        # chain is a different operation with its own command
+        return "delta-skipped (collapse with `repro snapshot rebase`)"
     if version == FORMAT_VERSION:
         return "already-v2"
     data = _restricted_loads(payload, f"snapshot {path}")
@@ -519,6 +559,349 @@ def migrate_snapshot(path: Union[str, Path]) -> str:
             f"does not match the original"
         )
     return "migrated"
+
+
+# ----------------------------------------------------------------------
+# delta chains (format v3)
+# ----------------------------------------------------------------------
+def _section_blobs(machine: Any) -> dict[str, bytes]:
+    """Pickle each addressable state section of ``machine`` separately.
+
+    The blobs serve double duty: their SHA-256 digests are the dirty
+    tracking (a section is dirty iff its bytes changed since the chain
+    tip), and the dirty blobs themselves *are* the delta payload -- so
+    digest and stored bytes can never disagree.
+    """
+    sections = machine.snapshot_sections()
+    return {
+        key: pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        for key, value in sections.items()
+    }
+
+
+def write_chain_snapshot(
+    machine: Any,
+    path: Union[str, Path],
+    reason: str = "periodic",
+    *,
+    kind: str,
+    extra: Optional[dict[str, Any]] = None,
+) -> Path:
+    """Atomically write one link of a delta chain and advance the
+    machine's in-memory chain tip.
+
+    ``kind="base"`` writes an ordinary full v2 snapshot (payload
+    identical to :func:`save_snapshot`) that starts a new chain;
+    ``kind="delta"`` writes a v3 file carrying only the sections whose
+    pickled bytes differ from the tip recorded at the previous link.
+    The tip (``machine._snap_chain``) is deliberately *not* serialized
+    into snapshots (see ``Machine.__getstate__``): any resumed or
+    rolled-back machine starts a fresh chain with a full base, so a
+    delta can never chain onto state the writer did not itself emit.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blobs = _section_blobs(machine)
+    digests = {
+        key: hashlib.sha256(blob).hexdigest() for key, blob in blobs.items()
+    }
+    if kind == "base":
+        data = snapshot_bytes(
+            machine, reason, extra=extra,
+            meta_extra={"kind": "base", "chain_depth": 0},
+        )
+        meta_len = _HEADER.unpack_from(data)[2]
+        payload = data[_HEADER.size + meta_len:]
+        depth = 0
+    elif kind == "delta":
+        tip = getattr(machine, "_snap_chain", None)
+        if tip is None:
+            raise SnapshotError(
+                "cannot write a delta snapshot: this machine has no "
+                "chain tip (write a base first; resumed and rolled-back "
+                "machines always restart their chain)"
+            )
+        changed = {
+            key: blob
+            for key, blob in blobs.items()
+            if digests[key] != tip["digests"].get(key)
+        }
+        removed = sorted(k for k in tip["digests"] if k not in digests)
+        body: dict[str, Any] = {
+            "delta": True,
+            "cycle": machine.now,
+            "reason": reason,
+            "sections": changed,
+            "removed": removed,
+        }
+        if extra is not None:
+            body["extra"] = extra
+        payload = pickle.dumps(body, protocol=pickle.HIGHEST_PROTOCOL)
+        depth = int(tip["depth"]) + 1
+        meta = snapshot_metadata(machine, reason)
+        meta.update(
+            format=DELTA_VERSION,
+            kind="delta",
+            parent=tip["name"],
+            parent_checksum=tip["checksum"],
+            chain_depth=depth,
+        )
+        data = _pack_envelope(meta, payload, version=DELTA_VERSION)
+    else:
+        raise SnapshotError(f"unknown chain snapshot kind {kind!r}")
+    _atomic_write(path, data)
+    machine._snap_chain = {
+        "digests": digests,
+        "name": path.name,
+        "checksum": hashlib.sha256(payload).hexdigest(),
+        "depth": depth,
+    }
+    return path
+
+
+#: hard bound on chain walks; real chains are forced to rebase at
+#: ``max_chain_depth`` long before this
+_CHAIN_WALK_LIMIT = 10_000
+
+
+def verify_chain(path: Union[str, Path]) -> list[Path]:
+    """Verify a snapshot's parent chain and return it base-first.
+
+    Walks ``parent``/``parent_checksum`` links from ``path`` down to a
+    full base using envelope and metadata reads only -- **no payload
+    is ever deserialized** -- re-verifying each ancestor's envelope
+    checksums and matching its payload SHA-256 against the checksum
+    its child recorded.  Raises :class:`ChainBrokenError`
+    (``status="orphaned"`` for a missing parent, ``"damaged"`` for
+    everything else) on any break, or a plain :class:`SnapshotError`
+    if ``path`` itself is unreadable.  For a standalone snapshot the
+    chain is just ``[path]``.
+    """
+    path = Path(path)
+    raw = _read_raw(path)
+    version, meta_bytes, _payload = _split_envelope(path, raw)
+    meta = _decode_meta(path, meta_bytes) if version != LEGACY_VERSION else {}
+    chain = [path]
+    seen = {path.name}
+    while meta.get("kind") == "delta":
+        child = chain[0]
+        parent_name = meta.get("parent")
+        want = meta.get("parent_checksum")
+        depth = meta.get("chain_depth")
+        if (not isinstance(parent_name, str) or not parent_name
+                or not isinstance(want, str)):
+            raise ChainBrokenError(
+                f"delta snapshot {child} names no parent/parent_checksum; "
+                f"its chain cannot be verified"
+            )
+        if os.sep in parent_name or parent_name in (".", ".."):
+            raise ChainBrokenError(
+                f"delta snapshot {child} names a parent outside its own "
+                f"directory ({parent_name!r}); refusing to follow it"
+            )
+        if parent_name in seen or len(chain) > _CHAIN_WALK_LIMIT:
+            raise ChainBrokenError(
+                f"delta snapshot {path} has a cyclic or unbounded parent "
+                f"chain at {parent_name!r}"
+            )
+        parent = child.parent / parent_name
+        if not parent.exists():
+            quarantined = parent.with_name(parent.name + ".poisoned")
+            hint = (
+                " (a quarantined copy exists)" if quarantined.exists() else ""
+            )
+            raise ChainBrokenError(
+                f"delta snapshot {child} is orphaned: parent "
+                f"{parent_name} is missing{hint}; the chain cannot be "
+                f"resumed",
+                status="orphaned",
+            )
+        praw = _read_raw(parent)
+        try:
+            pversion, pmeta_bytes, ppayload = _split_envelope(parent, praw)
+        except SnapshotError as exc:
+            raise ChainBrokenError(
+                f"delta snapshot {child} has a damaged ancestor: {exc}"
+            ) from exc
+        if hashlib.sha256(ppayload).hexdigest() != want:
+            raise ChainBrokenError(
+                f"delta snapshot {child} records parent_checksum "
+                f"{want[:12]}... but {parent_name}'s payload hashes "
+                f"differently: the parent was rewritten or the link was "
+                f"tampered with"
+            )
+        pmeta = (
+            _decode_meta(parent, pmeta_bytes)
+            if pversion != LEGACY_VERSION else {}
+        )
+        pdepth = pmeta.get("chain_depth", 0)
+        if isinstance(depth, int) and pdepth != depth - 1:
+            raise ChainBrokenError(
+                f"delta snapshot {child} claims chain depth {depth} but "
+                f"parent {parent_name} sits at depth {pdepth}; the chain "
+                f"metadata is inconsistent"
+            )
+        chain.insert(0, parent)
+        seen.add(parent_name)
+        meta = pmeta
+    return chain
+
+
+def chain_status(path: Union[str, Path]) -> dict[str, Any]:
+    """Classify a snapshot's chain without touching any payload:
+    ``{"status": "intact"|"orphaned"|"damaged", "chain": [names...] or
+    None, "error": str or None}``."""
+    try:
+        chain = verify_chain(path)
+    except ChainBrokenError as exc:
+        return {"status": exc.status, "chain": None, "error": str(exc)}
+    except SnapshotError as exc:
+        return {"status": "damaged", "chain": None, "error": str(exc)}
+    return {
+        "status": "intact",
+        "chain": [p.name for p in chain],
+        "error": None,
+    }
+
+
+def chain_descendants(
+    directory: Union[str, Path], name: str
+) -> list[str]:
+    """File names of every on-disk delta whose parent chain passes
+    through ``name`` -- the unit the supervisor quarantines together
+    with a poisoned snapshot (metadata reads only)."""
+    directory = Path(directory)
+    parent_of: dict[str, str] = {}
+    for path in directory.glob("*.snap"):
+        try:
+            meta = read_metadata(path)
+        except SnapshotError:
+            continue
+        parent = meta.get("parent")
+        if meta.get("kind") == "delta" and isinstance(parent, str):
+            parent_of[path.name] = parent
+    doomed = {name}
+    out: list[str] = []
+    changed = True
+    while changed:
+        changed = False
+        for child, parent in parent_of.items():
+            if parent in doomed and child not in doomed:
+                doomed.add(child)
+                out.append(child)
+                changed = True
+    return sorted(out)
+
+
+def _read_delta(path: Path) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Decode one verified v3 delta file into ``(meta, body)``.
+
+    The outer payload is plain data (dict/str/bytes) but still decodes
+    through the restricted unpickler; the per-section blobs inside are
+    decoded separately by the chain loader.
+    """
+    raw = _read_raw(path)
+    version, meta_bytes, payload = _split_envelope(path, raw)
+    if version != DELTA_VERSION:
+        raise SnapshotError(f"snapshot {path} is not a v3 delta")
+    meta = _decode_meta(path, meta_bytes)
+    body = _restricted_loads(payload, f"delta snapshot {path}")
+    if (
+        not isinstance(body, dict)
+        or body.get("delta") is not True
+        or not isinstance(body.get("sections"), dict)
+        or not all(
+            isinstance(k, str) and isinstance(v, bytes)
+            for k, v in body["sections"].items()
+        )
+        or not isinstance(body.get("removed", []), list)
+    ):
+        raise SnapshotError(
+            f"delta snapshot {path} has an unexpected payload shape"
+        )
+    return meta, body
+
+
+def _load_chain(path: Path, allow_legacy: bool = False) -> tuple[Any, Any]:
+    """Reconstruct ``(machine, extra)`` from a delta chain tip.
+
+    The chain is fully verified (:func:`verify_chain`) before any
+    payload is unpickled; the base machine then has each delta's dirty
+    sections applied in order.  ``extra`` (a shard snapshot's channel
+    state) comes from the newest link that carries one.
+    """
+    chain = verify_chain(path)
+    data = read_snapshot(chain[0], allow_legacy=allow_legacy)
+    machine = data["machine"]
+    extra = data.get("extra")
+    for link in chain[1:]:
+        _meta, body = _read_delta(link)
+        sections = {
+            key: _restricted_loads(
+                blob, f"delta snapshot {link} section {key!r}"
+            )
+            for key, blob in body["sections"].items()
+        }
+        apply = getattr(machine, "apply_snapshot_sections", None)
+        if apply is None:
+            raise SnapshotError(
+                f"snapshot {chain[0]} holds a "
+                f"{type(machine).__name__}, which does not support "
+                f"delta sections"
+            )
+        apply(sections, body.get("removed", ()))
+        if "extra" in body:
+            extra = body["extra"]
+    return machine, extra
+
+
+def rebase_snapshot(path: Union[str, Path]) -> Path:
+    """Collapse a delta chain tip into a standalone full base.
+
+    The chain is verified and replayed into a machine, which is then
+    rewritten as an ordinary v2 base snapshot (``*.base.snap``); the
+    delta file is removed afterwards, so a crash in between leaves
+    both resumable.  Refuses (typed) if another on-disk delta lists
+    ``path`` as its parent -- rebasing a mid-chain link would orphan
+    its descendants.
+    """
+    path = Path(path)
+    meta = read_metadata(path)
+    if meta.get("kind") != "delta":
+        raise SnapshotError(
+            f"{path} is not a delta snapshot (kind="
+            f"{meta.get('kind', 'full')!r}); only deltas can be rebased"
+        )
+    for sibling in sorted(path.parent.glob("*.snap")):
+        if sibling == path:
+            continue
+        try:
+            smeta = read_metadata(sibling)
+        except SnapshotError:
+            continue
+        if smeta.get("kind") == "delta" and smeta.get("parent") == path.name:
+            raise SnapshotError(
+                f"cannot rebase {path.name}: {sibling.name} lists it as "
+                f"parent and would be orphaned; rebase the chain tip "
+                f"instead"
+            )
+    machine, extra = _load_chain(path)
+    if path.name.endswith(".delta.snap"):
+        new_path = path.with_name(
+            path.name[: -len(".delta.snap")] + ".base.snap"
+        )
+    else:
+        new_path = path       # coordinated shard member: same name
+    _atomic_write(
+        new_path,
+        snapshot_bytes(
+            machine, "rebase", extra=extra,
+            meta_extra={"kind": "base", "chain_depth": 0},
+        ),
+    )
+    if new_path != path:
+        path.unlink(missing_ok=True)
+    return new_path
 
 
 #: snapshot name prefixes ranked for resume preference at equal cycles
@@ -547,23 +930,39 @@ def latest_snapshot(
     beats a timeout one beats a failure one.  Quarantined snapshots
     (renamed ``*.snap.poisoned`` by the supervisor) no longer match
     the glob and are skipped naturally.
+
+    Delta-mode periodic snapshots (``ckpt-<cycle>.base.snap`` /
+    ``ckpt-<cycle>.delta.snap``) rank exactly like classic ones, but a
+    delta is only a resume point if its whole parent chain verifies
+    (:func:`verify_chain`): a chain-broken delta is skipped and the
+    next-newest intact candidate wins -- stepping back to the last
+    good base instead of handing resume a poisoned chain.
     """
     directory = Path(directory)
-    best: Optional[tuple[int, int, Path]] = None
+    candidates: list[tuple[int, int, str, Path]] = []
     for path in directory.glob("*.snap"):
         stem = path.stem
         if stem == "initial":
             key = (0, _PREFIX_RANK["initial"])
         else:
-            prefix, _, cycle = stem.partition("-")
+            prefix, _, rest = stem.partition("-")
+            cycle, _, kind = rest.partition(".")
             if prefix not in _PREFIX_RANK or not cycle.isdigit():
                 continue
+            if kind not in ("", "base", "delta"):
+                continue      # e.g. one member of a coordinated set
             if prefix == "failure" and not include_failures:
                 continue
             key = (int(cycle), _PREFIX_RANK[prefix])
-        if best is None or key > best[:2]:
-            best = (*key, path)
-    return best[2] if best is not None else None
+        candidates.append((*key, path.name, path))
+    for *_key, _name, path in sorted(candidates, reverse=True):
+        if path.name.endswith(".delta.snap"):
+            try:
+                verify_chain(path)
+            except SnapshotError:
+                continue      # broken chain: not a resume point
+        return path
+    return None
 
 
 def load_machine(
@@ -577,9 +976,12 @@ def load_machine(
     The deserialized event heap is checked against the machine's event
     vocabulary so a tampered payload cannot smuggle handler names in.
     ``allow_legacy`` gates v1 files exactly as in
-    :func:`read_snapshot`.  With ``with_extra=True`` the return value
-    is ``(machine, extra)`` where ``extra`` is the payload's side
-    channel (e.g. a shard snapshot's in-flight messages) or ``None``.
+    :func:`read_snapshot`.  A v3 delta file is reconstructed through
+    its verified parent chain (:func:`verify_chain` runs first, so a
+    broken chain raises :class:`ChainBrokenError` before any payload
+    is deserialized).  With ``with_extra=True`` the return value is
+    ``(machine, extra)`` where ``extra`` is the payload's side channel
+    (e.g. a shard snapshot's in-flight messages) or ``None``.
     """
     path = Path(source)
     if path.is_dir():
@@ -595,8 +997,19 @@ def load_machine(
                 )
             raise SnapshotError(f"no snapshots in directory {path}")
         path = found
-    data = read_snapshot(path, allow_legacy=allow_legacy)
-    machine = data["machine"]
+    raw = _read_raw(path)
+    if (
+        len(raw) >= 12
+        and raw[:8] == MAGIC
+        and struct.unpack_from(">8sI", raw)[1] == DELTA_VERSION
+    ):
+        machine, chain_extra = _load_chain(path, allow_legacy=allow_legacy)
+        data = {"machine": machine}
+        if chain_extra is not None:
+            data["extra"] = chain_extra
+    else:
+        data = read_snapshot(path, allow_legacy=allow_legacy)
+        machine = data["machine"]
     if expected_cls is not None and not isinstance(machine, expected_cls):
         raise SnapshotError(
             f"snapshot {path} holds a {type(machine).__name__}, "
@@ -611,6 +1024,9 @@ def load_machine(
     # machines pickled by builds that predate out-of-band snapshots
     # lack the request queue; backfill so the event loop can run them
     machine.__dict__.setdefault("_snap_requests", [])
+    # the chain tip is never serialized: every loaded machine starts a
+    # fresh chain, so its first delta-mode snapshot is a full base
+    machine.__dict__.setdefault("_snap_chain", None)
     if with_extra:
         extra = data.get("extra")
         return machine, extra if isinstance(extra, dict) else None

@@ -345,13 +345,29 @@ class Supervisor:
                     reason: str) -> None:
         if snap_name.startswith(COORDINATED_SET_PREFIX):
             # a sharded run's set: all K shard files go together
+            # (quarantine_coordinated also takes chained delta sets)
             cycle = int(snap_name[len(COORDINATED_SET_PREFIX):])
             quarantine_coordinated(self.directory, cycle, reason)
         else:
-            path = self.directory / snap_name
-            if path.exists():
-                path.rename(path.with_name(path.name + ".poisoned"))
-            _record_quarantine(self.directory, snap_name, reason)
+            # a chain goes as a unit: deltas chained (transitively) on
+            # this snapshot can no longer reach a trusted base, so
+            # quarantining only the bad link would leave resume points
+            # that are guaranteed to fail the chain verification
+            from .snapshot import chain_descendants
+
+            doomed = [snap_name] + chain_descendants(
+                self.directory, snap_name
+            )
+            for name in doomed:
+                path = self.directory / name
+                if path.exists():
+                    path.rename(path.with_name(path.name + ".poisoned"))
+                why = (
+                    reason
+                    if name == snap_name
+                    else f"delta chained on quarantined {snap_name}"
+                )
+                _record_quarantine(self.directory, name, why)
         report.quarantined.append(snap_name)
         self.log(f"# supervise: quarantined {snap_name} ({reason})")
 

@@ -62,11 +62,14 @@ from .checkpoint import (
     Supervisor,
     SupervisorConfig,
     bisect_divergence,
+    chain_status,
+    fsck_directory,
     is_sharded_dir,
     latest_coordinated,
     migrate_snapshot,
     read_metadata,
     read_shard_manifest,
+    rebase_snapshot,
     replay_bundle,
 )
 from .compiler import compile_program
@@ -465,6 +468,8 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
         interval=args.interval,
         retain=args.retain,
         record=args.record,
+        delta_every=args.delta_every,
+        max_chain_depth=args.max_chain_depth,
     )
     workload_id = f"{args.workload}[m={args.size}]"
     command = "checkpoint" if args.json else None
@@ -545,12 +550,33 @@ def cmd_snapshot_inspect(args: argparse.Namespace) -> int:
         # one member of a coordinated set: loadable only when all K
         # files of its cycle are committed in the directory manifest
         meta["coordinated"] = _coordinated_status(Path(args.file))
+    if meta.get("kind") in ("base", "delta"):
+        # chain verification is metadata/envelope reads only, so the
+        # no-payload-deserialization guarantee of inspect still holds
+        status = chain_status(Path(args.file))
+        meta["chain_status"] = status["status"]
+        if status["chain"] is not None:
+            meta["chain"] = status["chain"]
+        if status["error"]:
+            meta["chain_error"] = status["error"]
     json.dump(meta, sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")
     if meta.get("format") == 1:
         print(
             f"# legacy v1 snapshot; migrate with: "
             f"python -m repro snapshot migrate {args.file}",
+            file=sys.stderr,
+        )
+    if meta.get("kind") == "delta":
+        status = meta["chain_status"]
+        note = (
+            f"resumable through its {len(meta['chain'])}-link chain"
+            if status == "intact"
+            else f"NOT resumable ({status} chain)"
+        )
+        print(
+            f"# v3 delta at chain depth {meta.get('chain_depth', '?')}: "
+            f"{note}",
             file=sys.stderr,
         )
     if meta.get("shard") is not None:
@@ -614,6 +640,61 @@ def cmd_snapshot_migrate(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_snapshot_fsck(args: argparse.Namespace) -> int:
+    report = fsck_directory(args.directory)
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        for entry in report["files"]:
+            bits = [entry.get("kind", "?")]
+            if "cycle" in entry:
+                bits.append(f"cycle {entry['cycle']}")
+            if "chain_depth" in entry:
+                bits.append(f"depth {entry['chain_depth']}")
+            bits.append(entry["status"].upper()
+                        if entry["status"] != "intact" else "ok")
+            print(f"{entry['name']}: {', '.join(bits)}")
+            if entry.get("error"):
+                print(f"  {entry['error']}")
+        for entry in report.get("sets", []):
+            state = (entry["status"].upper()
+                     if entry["status"] != "intact" else "ok")
+            bits = [entry.get("kind", "full"),
+                    f"{entry['files']} shard files"]
+            if "chain_depth" in entry:
+                bits.append(f"depth {entry['chain_depth']}")
+            print(
+                f"coordinated set @ cycle {entry['cycle']}: "
+                f"{', '.join(bits)}, {state}"
+            )
+            if entry.get("error"):
+                print(f"  {entry['error']}")
+        for name in report["quarantined"]:
+            print(f"{name}: quarantined")
+    n_files = len(report["files"])
+    n_sets = len(report.get("sets", []))
+    verdict = "clean" if report["ok"] else (
+        f"BROKEN ({len(report['problems'])} problem(s))"
+    )
+    print(
+        f"# fsck {report['directory']}: {n_files} snapshot file(s)"
+        + (f", {n_sets} coordinated set(s)" if n_sets else "")
+        + f", {len(report['quarantined'])} quarantined: {verdict}",
+        file=sys.stderr,
+    )
+    for problem in report["problems"]:
+        print(f"#   {problem}", file=sys.stderr)
+    return 0 if report["ok"] else 1
+
+
+def cmd_snapshot_rebase(args: argparse.Namespace) -> int:
+    new_path = rebase_snapshot(args.file)
+    print(f"# rebased {args.file} -> {new_path}", file=sys.stderr)
+    print(str(new_path))
+    return 0
+
+
 def cmd_supervise(args: argparse.Namespace) -> int:
     start_argv = [
         sys.executable, "-m", "repro", "checkpoint", args.workload,
@@ -621,6 +702,9 @@ def cmd_supervise(args: argparse.Namespace) -> int:
         "--dir", args.dir, "--interval", str(args.interval),
         "--retain", str(args.retain), "--max-cycles", str(args.max_cycles),
     ]
+    if args.delta_every:
+        start_argv += ["--delta-every", str(args.delta_every),
+                       "--max-chain-depth", str(args.max_chain_depth)]
     if args.backend != "event":
         start_argv += ["--backend", args.backend,
                        "--shards", str(args.shards)]
@@ -1013,6 +1097,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cycles between snapshots (default 10000)")
     p.add_argument("--retain", type=int, default=3, metavar="K",
                    help="periodic snapshots to keep, 0 = all (default 3)")
+    p.add_argument("--delta-every", type=int, default=0, metavar="N",
+                   help="write incremental v3 delta snapshots with a full "
+                   "base every N-th periodic snapshot; 0 (default) writes "
+                   "classic standalone snapshots only")
+    p.add_argument("--max-chain-depth", type=int, default=64, metavar="D",
+                   help="hard ceiling on delta chain length before a "
+                   "forced rebase to a full base (default 64)")
     p.add_argument("--record", action="store_true",
                    help="also record a replay bundle (initial snapshot + "
                    "event-trace manifest) for `repro replay`; "
@@ -1081,6 +1172,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("target", help="snapshot file or directory of *.snap")
     sp.set_defaults(fn=cmd_snapshot_migrate)
+    sp = snap_sub.add_parser(
+        "fsck",
+        help="walk every snapshot chain (and coordinated set) in a "
+        "checkpoint directory, report orphans/damage/depth, and exit "
+        "non-zero if any resume point is unresumable; no payload is "
+        "ever deserialized",
+    )
+    sp.add_argument("directory", help="checkpoint directory")
+    sp.add_argument("--json", action="store_true",
+                    help="print the full machine-readable report")
+    sp.set_defaults(fn=cmd_snapshot_fsck)
+    sp = snap_sub.add_parser(
+        "rebase",
+        help="collapse a delta chain tip into a standalone full base "
+        "snapshot (verifies the whole chain first; refuses mid-chain "
+        "links)",
+    )
+    sp.add_argument("file", help="*.delta.snap chain tip")
+    sp.set_defaults(fn=cmd_snapshot_rebase)
 
     p = sub.add_parser(
         "supervise",
@@ -1102,6 +1212,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cycles between snapshots (default 10000)")
     p.add_argument("--retain", type=int, default=3, metavar="K",
                    help="periodic snapshots to keep, 0 = all (default 3)")
+    p.add_argument("--delta-every", type=int, default=0, metavar="N",
+                   help="supervised child writes incremental v3 delta "
+                   "snapshots with a full base every N-th periodic "
+                   "snapshot (0 = classic full snapshots)")
+    p.add_argument("--max-chain-depth", type=int, default=64, metavar="D",
+                   help="hard ceiling on delta chain length before a "
+                   "forced rebase (default 64)")
     p.add_argument("--record", action="store_true",
                    help="record a replay bundle on the initial start")
     p.add_argument("--max-cycles", type=int, default=50_000_000)

@@ -165,6 +165,25 @@ class SnapshotError(ReproError):
     """
 
 
+class ChainBrokenError(SnapshotError):
+    """Raised when a delta snapshot's parent chain cannot be verified.
+
+    A delta (format v3) snapshot only carries the state that changed
+    since its parent; resuming it requires every ancestor down to a
+    full base, each re-verified by checksum against the
+    ``parent_checksum`` its child recorded.  Any break -- a missing
+    parent (``status="orphaned"``), or a damaged/rewritten/tampered
+    ancestor (``status="damaged"``) -- raises this *before* any
+    payload is deserialized, so a poisoned chain can never half-build
+    a machine.  Resume-point selection treats a chain-broken snapshot
+    like a missing one and steps back to the last intact base.
+    """
+
+    def __init__(self, message: str, status: str = "damaged") -> None:
+        self.status = status
+        super().__init__(message)
+
+
 class ManifestError(SnapshotError):
     """Raised when a record bundle's ``manifest.json`` is missing or
     damaged at a point where the checkpoint layer must update it.

@@ -229,6 +229,11 @@ class Machine:
         #: appended by :meth:`request_snapshot` (possibly from a signal
         #: handler) and drained by the event loop between events
         self._snap_requests: list[tuple[str, Optional[str]]] = []
+        #: in-memory delta-chain tip (section digests + parent name,
+        #: checksum and depth), owned by the chain snapshot writer.
+        #: Never serialized (see ``__getstate__``): a loaded or
+        #: rolled-back machine always restarts its chain with a base.
+        self._snap_chain: Optional[dict[str, Any]] = None
         self.trace: Optional[EventTrace] = (
             EventTrace()
             if trace or (checkpoint is not None and checkpoint.config.record)
@@ -903,6 +908,213 @@ class Machine:
                 save_snapshot(self, path, reason=reason)
             elif self.ckpt is not None:
                 self.ckpt.save_live(self, reason)
+
+    # ------------------------------------------------------------------
+    # delta snapshot sections
+    # ------------------------------------------------------------------
+    #: attributes shipped whole in every delta's ``core`` section:
+    #: always-dirty scalars, the event heap and the small singletons
+    _SNAP_CORE_ATTRS: tuple = (
+        "rel", "injector", "_wd_last", "_wd_stalls", "_rn_next_free",
+        "packets", "now", "_finish", "_progress", "_events",
+        "_live_events", "_seq", "_fu_rr", "_am_rr", "_started", "ckpt",
+        "_snap_requests", "trace", "capture",
+    )
+    #: attributes that never mutate after construction; a delta chain
+    #: takes them from its base snapshot
+    _SNAP_STATIC_ATTRS: frozenset = frozenset({
+        "config", "graph", "inputs", "fault_plan", "recovery",
+        "_reliable", "_timeout", "_wd_interval", "workload_id",
+        "_snap_chain",
+    })
+    #: dict/list-structured attributes decomposed into per-key sections
+    #: by :meth:`snapshot_sections`
+    _SNAP_SECTIONED_ATTRS: frozenset = frozenset({
+        "assignment", "cell_state", "sink_values", "sink_times",
+        "am_arrays", "pes", "fus", "ams", "_pe_queues",
+        "_dispatch_pending", "_send_seq", "_recv_count",
+        "_consumed_count", "_acked_count", "_outstanding",
+        "_retry_counts",
+    })
+
+    def __getstate__(self) -> dict:
+        # the chain tip must die with the process: a pickled copy of
+        # this machine (snapshot, worker clone, degraded-shard
+        # round-trip) has no claim on files the original wrote, and its
+        # section digests would be stale the moment either side runs
+        state = self.__dict__.copy()
+        state.pop("_snap_chain", None)
+        return state
+
+    def snapshot_sections(self) -> dict:
+        """Decompose the mutable machine state into addressable
+        sections for delta snapshots.
+
+        Keys are stable across a run (``cell:<cid>``, ``arc:<aid>``,
+        ``pe:<i>``, ``sink:<cid>``, ``amarr:<stream>``, ``assign``,
+        ``core``...), so the chain writer can diff pickled section
+        bytes against the previous link and ship only what changed.
+        Every mutable attribute must be covered by exactly one
+        section; the coverage check below fails closed if a new
+        attribute is added without deciding its section.
+        """
+        sections: dict = {}
+        for cid, st in self.cell_state.items():
+            sections[f"cell:{cid}"] = st
+        for cid, values in self.sink_values.items():
+            sections[f"sink:{cid}"] = (values, self.sink_times[cid])
+        for stream, arr in self.am_arrays.items():
+            sections[f"amarr:{stream}"] = arr
+        for i, unit in enumerate(self.pes):
+            sections[f"pe:{i}"] = (
+                unit, self._pe_queues[i], self._dispatch_pending[i]
+            )
+        for i, unit in enumerate(self.fus):
+            sections[f"fu:{i}"] = unit
+        for i, unit in enumerate(self.ams):
+            sections[f"amu:{i}"] = unit
+        per_arc: dict = {}
+
+        def slot(aid: int) -> list:
+            return per_arc.setdefault(aid, [None, None, None, None, {}, {}])
+
+        for aid, v in self._send_seq.items():
+            slot(aid)[0] = v
+        for aid, v in self._recv_count.items():
+            slot(aid)[1] = v
+        for aid, v in self._consumed_count.items():
+            slot(aid)[2] = v
+        for aid, v in self._acked_count.items():
+            slot(aid)[3] = v
+        for (aid, seq), v in self._outstanding.items():
+            slot(aid)[4][seq] = v
+        for (aid, seq), v in self._retry_counts.items():
+            slot(aid)[5][seq] = v
+        for aid, vals in per_arc.items():
+            sections[f"arc:{aid}"] = tuple(vals)
+        sections["assign"] = self.assignment
+        sections["core"] = {
+            name: getattr(self, name) for name in self._SNAP_CORE_ATTRS
+        }
+        covered = (
+            self._SNAP_STATIC_ATTRS
+            | self._SNAP_SECTIONED_ATTRS
+            | set(self._SNAP_CORE_ATTRS)
+        )
+        missing = set(self.__dict__) - covered
+        if missing:
+            raise SimulationError(
+                f"machine attribute(s) {sorted(missing)} are not covered "
+                f"by any delta snapshot section; add them to "
+                f"_SNAP_CORE_ATTRS, _SNAP_SECTIONED_ATTRS or "
+                f"_SNAP_STATIC_ATTRS of {type(self).__name__}"
+            )
+        return sections
+
+    def apply_snapshot_sections(self, sections: dict, removed=()) -> None:
+        """Overwrite this machine's state with delta ``sections``.
+
+        The inverse of :meth:`snapshot_sections`, applied link by link
+        when a delta chain is loaded.  Keys are validated against this
+        machine's structure (cell/arc/unit ids, core attribute names),
+        so a checksummed-but-hostile delta cannot graft state onto
+        attributes the writer never sectioned.
+        """
+        from ..errors import SnapshotError
+
+        def bad(key, why):
+            return SnapshotError(
+                f"delta section {key!r} does not apply to this machine: "
+                f"{why}"
+            )
+
+        for key in list(removed) + list(sections):
+            if not isinstance(key, str):
+                raise bad(key, "section keys must be strings")
+        for key in removed:
+            tag, _, ident = key.partition(":")
+            if tag != "arc" or not ident.lstrip("-").isdigit():
+                raise bad(key, "only arc sections can disappear")
+            aid = int(ident)
+            self._send_seq.pop(aid, None)
+            self._recv_count.pop(aid, None)
+            self._consumed_count.pop(aid, None)
+            self._acked_count.pop(aid, None)
+            for d in (self._outstanding, self._retry_counts):
+                for k in [k for k in d if k[0] == aid]:
+                    del d[k]
+        for key, value in sections.items():
+            try:
+                self._apply_one_section(key, value, bad)
+            except SnapshotError:
+                raise
+            except (TypeError, ValueError, AttributeError, KeyError) as exc:
+                # a checksummed-but-hostile delta can carry a value of
+                # the wrong shape (tuple arity, non-dict maps); fail
+                # closed with the typed error, never a raw unpack crash
+                raise bad(key, f"malformed section value ({exc})") from exc
+
+    def _apply_one_section(self, key: str, value: Any, bad) -> None:
+        tag, _, ident = key.partition(":")
+        if tag == "cell":
+            cid = int(ident) if ident.lstrip("-").isdigit() else None
+            if cid not in self.cell_state:
+                raise bad(key, "unknown cell id")
+            self.cell_state[cid] = value
+        elif tag == "sink":
+            cid = int(ident) if ident.lstrip("-").isdigit() else None
+            if cid not in self.sink_values:
+                raise bad(key, "unknown sink cell id")
+            self.sink_values[cid], self.sink_times[cid] = value
+        elif tag == "amarr":
+            if ident not in self.am_arrays:
+                raise bad(key, "unknown array memory stream")
+            self.am_arrays[ident] = value
+        elif tag in ("pe", "fu", "amu"):
+            units = {"pe": self.pes, "fu": self.fus,
+                     "amu": self.ams}[tag]
+            idx = int(ident) if ident.isdigit() else -1
+            if not 0 <= idx < len(units):
+                raise bad(key, "unit index out of range")
+            if tag == "pe":
+                (units[idx], self._pe_queues[idx],
+                 self._dispatch_pending[idx]) = value
+            else:
+                units[idx] = value
+        elif tag == "arc":
+            if not ident.lstrip("-").isdigit():
+                raise bad(key, "arc id is not an integer")
+            aid = int(ident)
+            sseq, recv, cons, acked, outstanding, retries = value
+            for d, v in (
+                (self._send_seq, sseq), (self._recv_count, recv),
+                (self._consumed_count, cons),
+                (self._acked_count, acked),
+            ):
+                if v is None:
+                    d.pop(aid, None)
+                else:
+                    d[aid] = v
+            for d, new in (
+                (self._outstanding, outstanding),
+                (self._retry_counts, retries),
+            ):
+                for k in [k for k in d if k[0] == aid]:
+                    del d[k]
+                for seq, v in new.items():
+                    d[(aid, seq)] = v
+        elif key == "assign":
+            self.assignment = value
+        elif key == "core":
+            if not isinstance(value, dict):
+                raise bad(key, "core section is not a dict")
+            allowed = set(self._SNAP_CORE_ATTRS)
+            for name, attr in value.items():
+                if name not in allowed:
+                    raise bad(key, f"unknown core attribute {name!r}")
+                setattr(self, name, attr)
+        else:
+            raise bad(key, "unknown section tag")
 
     # ------------------------------------------------------------------
     # main loop

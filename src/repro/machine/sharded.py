@@ -193,6 +193,13 @@ class ShardMachine(Machine):
     #: plain Machine rejects plans that carry them)
     _hosts_shard_faults = True
 
+    #: delta snapshot coverage (see Machine.snapshot_sections): the
+    #: outbox travels with the core, the shard identity is static
+    _SNAP_CORE_ATTRS = Machine._SNAP_CORE_ATTRS + ("_outbox",)
+    _SNAP_STATIC_ATTRS = Machine._SNAP_STATIC_ATTRS | frozenset(
+        {"shard_index", "n_shards", "_owner"}
+    )
+
     def __init__(
         self,
         graph: DataflowGraph,
@@ -406,24 +413,32 @@ def _load_shard_machine(path: str) -> ShardMachine:
 
 
 def _write_shard_snapshot(
-    machine: ShardMachine, path: str, cycle: int, messages: list[Message]
+    machine: ShardMachine, path: str, cycle: int, messages: list[Message],
+    kind: str = "full",
 ) -> int:
     """Chandy-Lamport shard capture: machine state *plus* the channel
     state (the messages crossing the cut), recorded **before** the
-    messages are injected.  Returns the file size."""
-    from ..checkpoint.snapshot import save_snapshot
+    messages are injected.  Returns the file size.
 
-    save_snapshot(
-        machine,
-        path,
-        reason="coordinated",
-        extra={
-            "shard": machine.shard_index,
-            "shards": machine.n_shards,
-            "barrier_cycle": cycle,
-            "channel_state": [list(m) for m in messages],
-        },
-    )
+    ``kind`` is the coordinator's chain decision: ``"full"`` (classic,
+    delta mode off), ``"base"`` or ``"delta"``.  Each worker chains
+    against its *own* previous member file, so every shard file of a
+    delta set is independently chain-verifiable on load.
+    """
+    from ..checkpoint.snapshot import save_snapshot, write_chain_snapshot
+
+    extra = {
+        "shard": machine.shard_index,
+        "shards": machine.n_shards,
+        "barrier_cycle": cycle,
+        "channel_state": [list(m) for m in messages],
+    }
+    if kind == "full":
+        save_snapshot(machine, path, reason="coordinated", extra=extra)
+    else:
+        write_chain_snapshot(
+            machine, path, reason="coordinated", kind=kind, extra=extra
+        )
     return os.path.getsize(path)
 
 
@@ -456,10 +471,10 @@ def _shard_worker(conn, machine: ShardMachine,
                     # a kill/hang fault here dies *before* the file
                     # lands: the set stays uncommitted and recovery
                     # must fall back to the previous complete set
-                    _, path, cycle, messages, fault = cmd
+                    _, path, cycle, messages, fault, kind = cmd
                     _apply_shard_fault(fault)
                     size = _write_shard_snapshot(
-                        machine, path, cycle, messages
+                        machine, path, cycle, messages, kind
                     )
                     machine.inject(messages)
                     conn.send((seq, "ok", size))
@@ -518,10 +533,10 @@ class _LocalShard:
             self.machine.inject(messages)
             self._reply = self.machine.run_window(horizon, max_cycles)
         elif op == "snapshot":
-            _, path, cycle, messages, fault = cmd
+            _, path, cycle, messages, fault, kind = cmd
             self._refuse_fault(fault)
             self._reply = _write_shard_snapshot(
-                self.machine, path, cycle, messages
+                self.machine, path, cycle, messages, kind
             )
             self.machine.inject(messages)
         elif op == "load":
@@ -1010,13 +1025,19 @@ class ShardedRunner:
         """One Chandy-Lamport barrier: every worker records its state
         plus its incoming channel messages, then the set is committed
         atomically (all K files or nothing)."""
+        # delta policy is the coordinator's call (workers self-chain
+        # from their own previous member file): a delta set is only
+        # requested while the previous set was written by these same
+        # live workers -- any rollback, resume or respawn resets the
+        # chain, so the next set is a full base
+        kind = self._ckpt.next_kind()
         names = [self._ckpt.shard_name(cycle, k) for k in range(len(eps))]
         for k, ep in enumerate(eps):
             path = str(self._ckpt.directory / names[k])
             ep.post(("snapshot", path, cycle, by_dst.get(k, []),
-                     self._take_fault(k, cycle)))
+                     self._take_fault(k, cycle), kind))
         sizes = [ep.wait() for ep in eps]
-        self._ckpt.commit(cycle, names, sizes)
+        self._ckpt.commit(cycle, names, sizes, kind=kind)
         # a committed set is forward progress: clear strike counting,
         # mirroring the supervisor's progressed-past-resume-point rule
         self._strikes.clear()
@@ -1081,6 +1102,10 @@ class ShardedRunner:
         if self._ckpt is not None:
             interval = self._ckpt.config.interval
             self._next_ckpt = base + interval if interval else None
+            # rolled-back workers reloaded (or restarted) their state, so
+            # their in-memory chain tips are gone -- force the next set
+            # to be a full base
+            self._ckpt.reset_chain()
         rec.latencies.append(time.perf_counter() - started)
         if len(rec.latencies) > 8192:
             del rec.latencies[:4096]

@@ -54,6 +54,11 @@ class CheckpointStats:
     failure_snapshots: int = 0
     #: out-of-band (``request_snapshot``/SIGUSR1) snapshots taken
     live_snapshots: int = 0
+    #: periodic snapshots written as format-v3 deltas (subset of
+    #: ``snapshots_written``); their bytes are likewise a subset of
+    #: ``bytes_written``
+    delta_snapshots: int = 0
+    delta_bytes_written: int = 0
     last_snapshot_cycle: int = -1
     #: wall-clock seconds spent serializing + writing snapshots (the
     #: simulated clock never sees checkpointing)
@@ -69,9 +74,18 @@ class CheckpointStats:
         self.__dict__.update(state)
 
     def summary(self) -> str:
+        # the delta clause appears only when delta chains were active,
+        # so classic runs keep their exact historical summary text
+        delta = (
+            f"{self.delta_snapshots} delta "
+            f"[{self.delta_bytes_written} bytes], "
+            if self.delta_snapshots
+            else ""
+        )
         return (
             f"checkpoints: {self.snapshots_written} snapshots "
-            f"({self.bytes_written} bytes, {self.snapshots_pruned} pruned, "
+            f"({self.bytes_written} bytes, {delta}"
+            f"{self.snapshots_pruned} pruned, "
             f"{self.failure_snapshots} failure, {self.live_snapshots} live, "
             f"{self.seconds_spent * 1000:.1f} ms), "
             f"last at cycle {self.last_snapshot_cycle}"

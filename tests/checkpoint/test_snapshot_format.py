@@ -19,7 +19,12 @@ from repro.checkpoint import (
     save_snapshot,
     snapshot_cycle,
 )
-from repro.checkpoint.snapshot import _HEADER, MAGIC, _atomic_write
+from repro.checkpoint.snapshot import (
+    _HEADER,
+    DELTA_VERSION,
+    MAGIC,
+    _atomic_write,
+)
 from repro.errors import SnapshotError
 from repro.graph.graph import DataflowGraph
 from repro.graph.opcodes import Op
@@ -94,12 +99,26 @@ class TestDamageDetection:
             read_snapshot(snap)
 
     def test_future_format_version(self, snap):
+        # DELTA_VERSION (3) is the newest real format, so "future"
+        # starts one past it
         raw = snap.read_bytes()
         body = raw[_HEADER.size:]
         header = struct.unpack(_HEADER.format, raw[: _HEADER.size])
-        bumped = _HEADER.pack(MAGIC, FORMAT_VERSION + 1, *header[2:])
+        bumped = _HEADER.pack(MAGIC, DELTA_VERSION + 1, *header[2:])
         snap.write_bytes(bumped + body)
         with pytest.raises(SnapshotError, match="format version"):
+            read_snapshot(snap)
+
+    def test_delta_version_rejected_by_read_snapshot(self, snap):
+        # a v2 payload relabeled v3 passes the envelope checks (the
+        # header is not covered by the checksums) but read_snapshot
+        # must refuse it: deltas only load through their chain
+        raw = snap.read_bytes()
+        body = raw[_HEADER.size:]
+        header = struct.unpack(_HEADER.format, raw[: _HEADER.size])
+        bumped = _HEADER.pack(MAGIC, DELTA_VERSION, *header[2:])
+        snap.write_bytes(bumped + body)
+        with pytest.raises(SnapshotError, match="delta"):
             read_snapshot(snap)
 
     def test_flipped_metadata_byte_fails_checksum(self, snap):

@@ -10,15 +10,24 @@ module flag that every gadget payload tries to trip.
 """
 
 import hashlib
+import json
 import pickle
 import random
 
 import pytest
 
-from repro.checkpoint import read_metadata, read_snapshot, save_snapshot
+from repro.checkpoint import (
+    load_machine,
+    read_metadata,
+    read_snapshot,
+    save_snapshot,
+    verify_chain,
+    write_chain_snapshot,
+)
 from repro.checkpoint.snapshot import (
     _HEADER,
     _HEADER_V1,
+    DELTA_VERSION,
     FORMAT_VERSION,
     LEGACY_VERSION,
     MAGIC,
@@ -246,8 +255,133 @@ class TestGadgetEnvelopes:
         TRIPPED = False
 
 
+@pytest.fixture(scope="module")
+def delta_chain(tmp_path_factory):
+    """A real two-link chain (base + delta) to mutate."""
+    d = tmp_path_factory.mktemp("delta_fuzz")
+    m = _machine()
+    m.run(stop_at_checkpoint=True)
+    write_chain_snapshot(m, d / "ckpt-000000000000.base.snap", kind="base")
+    m.now += 1   # perturb some state so the delta is non-empty
+    write_chain_snapshot(m, d / "ckpt-000000000001.delta.snap", kind="delta")
+    return d
+
+
+def _decode_delta(path):
+    """Every v3 decoder entry point; typed errors only, no execution."""
+    global TRIPPED
+    TRIPPED = False
+    for fn in (read_metadata, verify_chain, load_machine):
+        try:
+            fn(path)
+        except SnapshotError:
+            pass
+    assert not TRIPPED, "fuzzed delta snapshot executed code"
+
+
+class TestDeltaMutationFuzz:
+    N_DELTA_FLIPS = 200
+    N_DELTA_TRUNCATIONS = 80
+
+    def test_delta_byte_flips(self, delta_chain, tmp_path):
+        rng = random.Random(0xD1)
+        pristine = (
+            delta_chain / "ckpt-000000000001.delta.snap"
+        ).read_bytes()
+        path = tmp_path / "ckpt-000000000001.delta.snap"
+        # the parent base must be reachable from the fuzzed file's
+        # directory or every mutation trivially dies as "orphaned"
+        base = (delta_chain / "ckpt-000000000000.base.snap").read_bytes()
+        (tmp_path / "ckpt-000000000000.base.snap").write_bytes(base)
+        for _ in range(self.N_DELTA_FLIPS):
+            raw = bytearray(pristine)
+            for _ in range(rng.randint(1, 4)):
+                raw[rng.randrange(len(raw))] ^= 1 << rng.randrange(8)
+            path.write_bytes(bytes(raw))
+            _decode_delta(path)
+
+    def test_delta_truncations(self, delta_chain, tmp_path):
+        rng = random.Random(0xD2)
+        pristine = (
+            delta_chain / "ckpt-000000000001.delta.snap"
+        ).read_bytes()
+        base = (delta_chain / "ckpt-000000000000.base.snap").read_bytes()
+        (tmp_path / "ckpt-000000000000.base.snap").write_bytes(base)
+        path = tmp_path / "ckpt-000000000001.delta.snap"
+        for i in range(self.N_DELTA_TRUNCATIONS):
+            if i % 3 == 2:
+                raw = pristine + bytes(
+                    rng.randrange(256) for _ in range(rng.randint(1, 64))
+                )
+            else:
+                raw = pristine[: rng.randrange(len(pristine))]
+            path.write_bytes(raw)
+            _decode_delta(path)
+
+
+class TestDeltaGadgetEnvelopes:
+    """Checksum-valid v3 envelopes around hostile delta payloads: the
+    chain verifies cleanly, so decoding reaches the restricted
+    unpickler -- which must still refuse every gadget."""
+
+    def _wrap_v3(self, payload, parent_name, parent_payload):
+        meta = json.dumps({
+            "format": DELTA_VERSION,
+            "cycle": 1,
+            "kind": "delta",
+            "parent": parent_name,
+            "parent_checksum": hashlib.sha256(parent_payload).hexdigest(),
+            "chain_depth": 1,
+        }).encode()
+        return _HEADER.pack(
+            MAGIC, DELTA_VERSION, len(meta),
+            hashlib.sha256(meta).digest(), len(payload),
+            hashlib.sha256(payload).digest(),
+        ) + meta + payload
+
+    def test_delta_gadget_payloads_rejected(self, delta_chain, tmp_path):
+        global TRIPPED
+        import os
+
+        base_raw = (
+            delta_chain / "ckpt-000000000000.base.snap"
+        ).read_bytes()
+        base_name = "ckpt-000000000000.base.snap"
+        (tmp_path / base_name).write_bytes(base_raw)
+        meta_len = _HEADER.unpack_from(base_raw)[2]
+        base_payload = base_raw[_HEADER.size + meta_len:]
+
+        class OsSystem:
+            def __reduce__(self):
+                return (os.system, ("true",))
+
+        hostile_bodies = [
+            pickle.dumps(OsSystem()),                       # gadget body
+            pickle.dumps({"delta": True, "cycle": 1,        # gadget blob
+                          "sections": {"core": pickle.dumps(OsSystem())},
+                          "removed": []}),
+            pickle.dumps({"delta": True, "cycle": 1,        # bad shapes
+                          "sections": {"core": "not-bytes"},
+                          "removed": []}),
+            pickle.dumps([1, 2, 3]),
+            pickle.dumps({"delta": False, "sections": {}, "removed": []}),
+        ]
+        path = tmp_path / "ckpt-000000000001.delta.snap"
+        for body in hostile_bodies:
+            TRIPPED = False
+            path.write_bytes(self._wrap_v3(body, base_name, base_payload))
+            # the chain itself verifies (checksums are honest)...
+            verify_chain(path)
+            # ...but loading must fail typed, without executing anything
+            with pytest.raises(SnapshotError):
+                load_machine(path)
+            assert not TRIPPED, "delta gadget executed during load"
+
+
 def test_total_corpus_size():
     # the issue demands >= 500 hostile inputs across the fuzz corpus
     total = (TestMutationFuzz.N_FLIPS + TestMutationFuzz.N_TRUNCATIONS
-             + TestMutationFuzz.N_SPLICES)
+             + TestMutationFuzz.N_SPLICES
+             + TestDeltaMutationFuzz.N_DELTA_FLIPS
+             + TestDeltaMutationFuzz.N_DELTA_TRUNCATIONS)
     assert total >= 500
