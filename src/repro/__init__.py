@@ -75,9 +75,13 @@ from .faults import FaultInjector, FaultPlan, FaultStats, UnitFault
 from .machine import (
     Machine,
     MachineConfig,
+    RecoveryPolicy,
+    ShardConfig,
     ShardedRunner,
+    TransportConfig,
     run_machine,
     run_sharded,
+    shutdown_worker_pool,
 )
 from .sim import SyncSimulator, run_graph
 from .val import ValArray, parse_program, run_program
@@ -100,16 +104,19 @@ __all__ = [
     "Machine",
     "MachineConfig",
     "ProgramResult",
+    "RecoveryPolicy",
     "RecurrenceError",
     "ReproError",
     "RunRequest",
     "RunResult",
     "ServeClient",
+    "ShardConfig",
     "ShardedRunner",
     "SimulationError",
     "SimulationTimeout",
     "SnapshotError",
     "SyncSimulator",
+    "TransportConfig",
     "UnitFault",
     "ValArray",
     "ValSyntaxError",
@@ -126,4 +133,5 @@ __all__ = [
     "run_machine",
     "run_program",
     "run_sharded",
+    "shutdown_worker_pool",
 ]

@@ -31,6 +31,7 @@ wrappers over this facade's engines.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Protocol, Union
 
@@ -151,6 +152,7 @@ class RunRequest:
     processes: Optional[bool] = None    # sharded: real workers or not
     partition: str = "auto"             # sharded: partition scheme
     heal: Any = None                    # sharded: self-healing policy
+    shard_config: Any = None            # sharded: ShardConfig|dict|JSON
     workload_id: Optional[str] = None
     options: dict[str, Any] = field(default_factory=dict)
 
@@ -203,7 +205,7 @@ class SyncBackend:
 
         request.reject(
             self.name, "shards", "config", "faults", "checkpoint",
-            "processes", "partition", "heal",
+            "processes", "partition", "heal", "shard_config",
         )
         sim = SyncSimulator(
             request.graph, request.inputs,
@@ -231,7 +233,8 @@ class EventBackend:
         from .machine.machine import Machine
 
         request.reject(
-            self.name, "shards", "processes", "partition", "heal"
+            self.name, "shards", "processes", "partition", "heal",
+            "shard_config",
         )
         machine = Machine(
             request.graph,
@@ -266,20 +269,36 @@ class ShardedBackend:
     name = "sharded"
 
     def execute(self, request: RunRequest) -> RunResult:
+        from .machine.shard_config import (
+            _SENTINEL,
+            ShardConfig,
+            merge_legacy,
+        )
         from .machine.sharded import ShardedRunner
 
+        def legacy(name: str) -> Any:
+            # pass a legacy kwarg into the merge only when the caller
+            # actually set it (real-default comparison, same rule as
+            # RunRequest.reject)
+            value = getattr(request, name)
+            return value if value != _REQUEST_DEFAULTS[name] else _SENTINEL
+
+        sc = merge_legacy(
+            ShardConfig.coerce(request.shard_config),
+            shards=legacy("shards"),
+            partition=legacy("partition"),
+            processes=legacy("processes"),
+            heal=legacy("heal"),
+        )
         runner = ShardedRunner(
             request.graph,
             request.inputs,
-            shards=request.shards,
             config=request.config,
             fault_plan=request.faults,
             recovery=request.recovery,
             checkpoint=request.checkpoint,
-            partition=request.partition,
-            processes=request.processes,
             workload_id=request.workload_id,
-            heal=request.heal,
+            shard_config=sc,
             **{k: request.options[k] for k in ("policy",)
                if k in request.options},
         )
@@ -294,7 +313,7 @@ class ShardedBackend:
             cycles=stats.cycles,
             stats=stats,
             engine=runner,
-            shards=request.shards,
+            shards=sc.shards,
         )
 
 
@@ -364,6 +383,7 @@ def run(
     processes: Optional[bool] = None,
     partition: str = "auto",
     heal: Any = None,
+    shard_config: Any = None,
     workload_id: Optional[str] = None,
     **options: Any,
 ) -> RunResult:
@@ -372,14 +392,23 @@ def run(
     ``backend``
         ``"sync"`` (unit-delay simulator), ``"event"`` (packet-level
         machine, the default), ``"sharded"`` (K event-driven workers
-        over pipes) or ``"compiled"`` (the event machine with
+        over a warm pool) or ``"compiled"`` (the event machine with
         steady-state periods fast-forwarded; bit-identical to
         ``"event"``) -- or any name added via
         :func:`register_backend`.
-    ``shards`` / ``processes`` / ``partition``
-        Sharded-backend knobs: worker count, whether workers are real
-        processes (default: yes when ``shards > 1``), and the
-        partition scheme (``auto`` / ``levels`` / ``round_robin``).
+    ``shard_config``
+        Consolidated sharded-backend configuration: a
+        :class:`~repro.machine.ShardConfig`, a plain dict, or a JSON
+        string.  Covers shard count, partition scheme, worker
+        processes, lockstep window mode, the warm worker pool, the
+        transport (:class:`~repro.machine.TransportConfig`) and the
+        self-healing :class:`~repro.machine.RecoveryPolicy`.
+    ``shards`` / ``processes`` / ``partition`` / ``heal``
+        Legacy sharded-backend knobs, kept as shims: each maps onto
+        the corresponding ``ShardConfig`` field and, when passed
+        explicitly, overrides it (``processes``, ``partition`` and
+        ``heal`` emit a :class:`DeprecationWarning`; prefer
+        ``shard_config``).  ``shards`` stays first-class.
     ``params``
         Compile-time constants, when ``program`` is Val source text.
     ``config`` / ``faults`` / ``recovery`` / ``checkpoint``
@@ -388,12 +417,6 @@ def run(
         layer switch, and a :class:`~repro.checkpoint.
         CheckpointConfig` for periodic (sharded: coordinated)
         snapshots.
-    ``heal``
-        Sharded-backend self-healing: ``None`` auto-enables it when
-        the run has both worker processes and coordinated
-        checkpoints, ``True``/``False`` force it, and a
-        :class:`~repro.machine.ShardRecoveryPolicy` tunes deadlines,
-        restart budgets and backoff.
 
     Unknown keyword options are passed through to the backend, which
     rejects what it cannot honor.
@@ -411,6 +434,19 @@ def run(
         )
     if shards < 1:
         raise ReproError(f"shard count must be >= 1, got {shards}")
+    if backend == "sharded":
+        for name, value in (
+            ("processes", processes), ("partition", partition),
+            ("heal", heal),
+        ):
+            if value != _REQUEST_DEFAULTS[name]:
+                warnings.warn(
+                    f"run({name}=...) is deprecated; set "
+                    f"ShardConfig.{'recovery' if name == 'heal' else name}"
+                    " via shard_config= instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
     graph, streams = _normalize(program, inputs, params)
     request = RunRequest(
         graph=graph,
@@ -424,6 +460,7 @@ def run(
         processes=processes,
         partition=partition,
         heal=heal,
+        shard_config=shard_config,
         workload_id=workload_id,
         options=dict(options),
     )
@@ -436,6 +473,7 @@ def resume(
     max_cycles: int = 50_000_000,
     allow_legacy: bool = False,
     heal: Any = None,
+    shard_config: Any = None,
 ) -> RunResult:
     """Resume a checkpointed run -- single-machine or sharded -- from
     ``directory`` and run it to completion.
@@ -444,14 +482,26 @@ def resume(
     newest complete coordinated set via :meth:`~repro.machine.sharded.
     ShardedRunner.resume`; anything else resumes the newest
     single-machine snapshot via :meth:`~repro.machine.Machine.resume`.
+    ``shard_config`` tunes the resumed runner (window mode, transport,
+    pool, recovery); its shard count is ignored -- the snapshot set
+    fixes K.  ``heal`` stays as a deprecated shim for
+    ``shard_config.recovery``.
     """
     from .checkpoint.coordinator import is_sharded_dir
     from .machine.machine import Machine
     from .machine.sharded import ShardedRunner
 
     if is_sharded_dir(directory):
+        if heal is not None:
+            warnings.warn(
+                "resume(heal=...) is deprecated; set "
+                "ShardConfig.recovery via shard_config= instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         runner = ShardedRunner.resume(
-            directory, allow_legacy=allow_legacy, heal=heal
+            directory, allow_legacy=allow_legacy, heal=heal,
+            shard_config=shard_config,
         )
         stats = runner.run(max_cycles=max_cycles)
         outputs = runner.outputs()
@@ -470,6 +520,11 @@ def resume(
         raise ReproError(
             "heal= applies only to sharded checkpoint directories; "
             "single-machine runs are healed by 'repro supervise'"
+        )
+    if shard_config is not None:
+        raise ReproError(
+            "shard_config= applies only to sharded checkpoint "
+            "directories"
         )
     machine = Machine.resume(directory, allow_legacy=allow_legacy)
     stats = machine.run(max_cycles=max_cycles)

@@ -435,7 +435,7 @@ class CompiledBackend:
 
         request.reject(
             self.name, "shards", "faults", "checkpoint",
-            "processes", "partition", "heal",
+            "processes", "partition", "heal", "shard_config",
         )
         unsupported = sorted(set(request.options) - {"policy"})
         if unsupported:

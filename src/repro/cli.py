@@ -87,10 +87,13 @@ from .graph.asm import read_asm, to_asm
 from .graph.dot import to_dot
 from .machine import (
     Machine,
+    ShardConfig,
     ShardCrashError,
     ShardedRunner,
     ShardRecoveryPolicy,
+    TransportConfig,
 )
+from .machine.shard_config import merge_legacy as _merge_shard_legacy
 from .machine.machine import _run_machine
 from .sim.runner import _run_graph
 from .val import parse_program, run_program
@@ -214,6 +217,15 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.backend != "sharded" and getattr(args, "shard_config", None):
+        # mirror the facade: shard tuning on a non-sharded backend is
+        # a loud error, never a silent no-op
+        print(
+            f"error: --shard-config requires --backend sharded "
+            f"(got --backend {args.backend})",
+            file=sys.stderr,
+        )
+        return 1
     source = open(args.program, "r", encoding="utf-8").read()
     cp = compile_program(
         source, params=_parse_params(args.param), **_compile_opts(args)
@@ -236,12 +248,24 @@ def cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return 0
-    result = api.run(
-        cp,
-        _load_inputs(args.inputs),
-        backend=args.backend,
-        shards=args.shards,
-    )
+    if args.backend == "sharded":
+        # --shards overrides --shard-config JSON only when given
+        # explicitly (its default 1 would otherwise mask the JSON)
+        raw = getattr(args, "shard_config", None)
+        shards = args.shards if (args.shards != 1 or not raw) else None
+        result = api.run(
+            cp,
+            _load_inputs(args.inputs),
+            backend="sharded",
+            shard_config=_shard_config_from_args(args, shards=shards),
+        )
+    else:
+        result = api.run(
+            cp,
+            _load_inputs(args.inputs),
+            backend=args.backend,
+            shards=args.shards,
+        )
     if args.json:
         _emit_envelope("run", True, result.to_json_dict())
         return 0
@@ -445,6 +469,39 @@ def _heal_from_args(args: argparse.Namespace):
     return ShardRecoveryPolicy(**tuned)
 
 
+def _shard_config_from_args(
+    args: argparse.Namespace, *, shards: Optional[int] = None
+) -> ShardConfig:
+    """Build the consolidated :class:`ShardConfig` for a sharded CLI
+    run: start from ``--shard-config`` JSON (when given), then let the
+    individual flags (``--shards``, ``--window``, ``--max-window``,
+    ``--no-warm-pool``, ``--transport`` and the heal flags) override
+    the corresponding fields."""
+    import dataclasses
+
+    raw = getattr(args, "shard_config", None)
+    sc = ShardConfig.from_json(raw) if raw else ShardConfig()
+    updates: dict[str, Any] = {}
+    if shards is not None:
+        updates["shards"] = shards
+    if getattr(args, "window", None):
+        updates["window"] = args.window
+    if getattr(args, "max_window", None) is not None:
+        updates["max_window"] = args.max_window
+    if getattr(args, "no_warm_pool", False):
+        updates["pool"] = False
+    if getattr(args, "transport", None):
+        updates["transport"] = dataclasses.replace(
+            sc.transport, kind=args.transport
+        )
+    if updates:
+        sc = dataclasses.replace(sc, **updates)
+    heal = _heal_from_args(args)
+    if heal is not None:
+        sc = _merge_shard_legacy(sc, heal=heal)
+    return sc.validate()
+
+
 def _keyed(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
     """Sharded runs need per-packet (keyed) fault fates; upgrade a
     sequence-derivation plan transparently and say so."""
@@ -459,6 +516,13 @@ def _keyed(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
 
 
 def cmd_checkpoint(args: argparse.Namespace) -> int:
+    if args.backend != "sharded" and getattr(args, "shard_config", None):
+        print(
+            f"error: --shard-config requires --backend sharded "
+            f"(got --backend {args.backend})",
+            file=sys.stderr,
+        )
+        return 1
     workload = figure_workload(args.workload)
     program = workload.compile(m=args.size)
     inputs = workload.make_inputs(program, seed=args.input_seed)
@@ -475,16 +539,18 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
     command = "checkpoint" if args.json else None
     if args.backend == "sharded":
         plan = _keyed(plan)
+        raw = getattr(args, "shard_config", None)
+        shards = args.shards if (args.shards != 2 or not raw) else None
         runner = ShardedRunner(
-            program.graph, inputs, shards=args.shards, fault_plan=plan,
+            program.graph, inputs, fault_plan=plan,
             checkpoint=cfg, workload_id=workload_id,
-            heal=_heal_from_args(args),
+            shard_config=_shard_config_from_args(args, shards=shards),
         )
         if plan is not None:
             print(f"# plan: {plan.describe()}", file=sys.stderr)
         print(
             f"# checkpointing {args.workload} (m={args.size}, "
-            f"{args.shards} shards) to {args.dir} every "
+            f"{runner.shards} shards) to {args.dir} every "
             f"{args.interval} cycles",
             file=sys.stderr,
         )
@@ -515,7 +581,7 @@ def cmd_resume(args: argparse.Namespace) -> int:
         try:
             runner = ShardedRunner.resume(
                 target, allow_legacy=args.allow_v1,
-                heal=_heal_from_args(args),
+                shard_config=_shard_config_from_args(args),
             )
         except SnapshotError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -529,6 +595,15 @@ def cmd_resume(args: argparse.Namespace) -> int:
             runner, args.max_cycles, crash_at=args.crash_at,
             crash_shard=args.crash_shard, command=command,
         )
+    if getattr(args, "shard_config", None):
+        # the target resolved to a single-machine snapshot; shard
+        # tuning cannot apply, so fail loudly like the facade does
+        print(
+            f"error: --shard-config given but {target} is not a "
+            f"sharded checkpoint directory",
+            file=sys.stderr,
+        )
+        return 1
     try:
         machine = Machine.resume(args.snapshot, allow_legacy=args.allow_v1)
     except SnapshotError as exc:
@@ -994,6 +1069,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the compilation report")
     p.set_defaults(fn=cmd_compile)
 
+    def shard_tuning_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--shard-config", metavar="JSON",
+                       help="consolidated sharded-backend configuration "
+                       "as a JSON object (ShardConfig schema: shards, "
+                       "partition, processes, window, max_window, pool, "
+                       "transport {kind, ring_slots}, recovery, ...); "
+                       "individual flags override its fields")
+        p.add_argument("--window", choices=["adaptive", "fixed"],
+                       default=None,
+                       help="lockstep horizon mode: 'adaptive' batches "
+                       "many cycles per barrier when the cut allows it "
+                       "(default), 'fixed' uses the conservative "
+                       "rn_delay cadence")
+        p.add_argument("--max-window", type=int, default=None,
+                       metavar="N",
+                       help="cap on cycles batched per adaptive window "
+                       "(default 4096)")
+        p.add_argument("--no-warm-pool", action="store_true",
+                       help="disable the warm worker pool (spawn fresh "
+                       "worker processes for every run)")
+        p.add_argument("--transport", choices=["auto", "shm", "pipe"],
+                       default=None,
+                       help="cut-packet transport: shared-memory rings "
+                       "when supported ('auto', default), forced rings "
+                       "('shm') or the pickle pipe ('pipe')")
+
     p = sub.add_parser("run", help="compile and run on one of the "
                        "backends (unit-delay simulator by default)")
     common(p)
@@ -1009,6 +1110,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "fast-forwards periodic steady state)")
     p.add_argument("--shards", type=int, default=1, metavar="K",
                    help="worker count for --backend sharded")
+    shard_tuning_args(p)
     p.add_argument("--json", action="store_true",
                    help="print the stable JSON result envelope to "
                    "stdout instead of the outputs object")
@@ -1123,6 +1225,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="which worker --crash-at kills on the sharded "
                    "backend (default 0)")
     heal_args(p)
+    shard_tuning_args(p)
     p.add_argument("--json", action="store_true",
                    help="print the stable JSON result envelope to "
                    "stdout instead of the outputs object")
@@ -1147,6 +1250,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="which worker --crash-at kills when resuming a "
                    "sharded directory (default 0)")
     heal_args(p)
+    shard_tuning_args(p)
     p.add_argument("--json", action="store_true",
                    help="print the stable JSON result envelope to "
                    "stdout instead of the outputs object")

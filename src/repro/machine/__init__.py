@@ -21,6 +21,11 @@ from .diagnose import (
     diagnose,
 )
 from .machine import Machine, run_machine
+from .shard_config import (
+    RecoveryPolicy,
+    ShardConfig,
+    TransportConfig,
+)
 from .sharded import (
     ShardCrashError,
     ShardedRunner,
@@ -30,6 +35,7 @@ from .sharded import (
     ShardRecoveryPolicy,
     merge_shard_stats,
     run_sharded,
+    shutdown_worker_pool,
 )
 from .packets import (
     AckPacket,
@@ -58,9 +64,12 @@ __all__ = [
     "OperationPacket",
     "POLICIES",
     "PacketCounters",
+    "RecoveryPolicy",
     "RecoveryStats",
     "ReliabilityStats",
     "ResultPacket",
+    "ShardConfig",
+    "TransportConfig",
     "ShardCrashError",
     "ShardHangError",
     "ShardRecoveryExhausted",
@@ -78,4 +87,5 @@ __all__ = [
     "merge_shard_stats",
     "run_machine",
     "run_sharded",
+    "shutdown_worker_pool",
 ]

@@ -1,0 +1,168 @@
+"""Fixed-layout shared-memory transport for cut packets.
+
+Steady-state cross-shard traffic is made of exactly four event kinds
+(``deliver_results`` with a single arc, ``deliver_reliable``,
+``receive_ack``, ``deliver_ack``) whose payloads are small scalars.
+Routing them through the command pipe means one pickle round trip per
+packet; this module instead encodes each packet into one fixed 32-byte
+slot of a ``multiprocessing.shared_memory`` ring that both sides of a
+worker pipe map.
+
+The rings are *batch-drained*: every lockstep window writes its
+packets from slot 0 and ships only the slot **count** through the
+(seq-tagged) command pipe, so the request/reply protocol itself is the
+memory barrier -- there are no shared cursors to desynchronize across
+rollbacks, respawns or straggler replies.  Packets the codec cannot
+represent (exotic value types, huge ints, out-of-range ids) spill to
+the pipe inside the same command, preserving the exact injection
+order; correctness never depends on the ring.
+
+Slot layout (little-endian, 32 bytes)::
+
+    u32 idx     position in the window's merged packet order
+    u8  kind    0=deliver_results  1=deliver_reliable
+                2=receive_ack      3=deliver_ack
+    u8  vtag    0=float  1=int64  2=bool  3=None
+    u8  flags   bit0 = corrupted (deliver_reliable)
+    u8  dst     destination shard (outbound rings; 0 inbound)
+    i64 when    arrival cycle
+    i32 a       arc id / cell id
+    i32 b       sequence number (0 when unused)
+    8s  value   raw value bytes per vtag
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Optional
+
+SLOT = struct.Struct("<IBBBBqii8s")
+SLOT_SIZE = SLOT.size          # 32 bytes
+
+_K_RESULTS = 0
+_K_RELIABLE = 1
+_K_RECV_ACK = 2
+_K_DELIVER_ACK = 3
+
+_KIND_CODES = {
+    "deliver_results": _K_RESULTS,
+    "deliver_reliable": _K_RELIABLE,
+    "receive_ack": _K_RECV_ACK,
+    "deliver_ack": _K_DELIVER_ACK,
+}
+_KIND_NAMES = {v: k for k, v in _KIND_CODES.items()}
+
+_V_FLOAT = 0
+_V_INT = 1
+_V_BOOL = 2
+_V_NONE = 3
+
+_F8 = struct.Struct("<d")
+_I8 = struct.Struct("<q")
+_I32_MIN, _I32_MAX = -(2 ** 31), 2 ** 31 - 1
+_I64_MIN, _I64_MAX = -(2 ** 63), 2 ** 63 - 1
+_ZERO8 = b"\x00" * 8
+
+
+def _encode_value(value: Any) -> Optional[tuple[int, bytes]]:
+    """(vtag, 8 raw bytes), or None when the codec can't carry it."""
+    if value is None:
+        return _V_NONE, _ZERO8
+    if isinstance(value, bool):        # before int: bool is an int
+        return _V_BOOL, (b"\x01" if value else b"\x00") + b"\x00" * 7
+    if isinstance(value, float):
+        return _V_FLOAT, _F8.pack(value)
+    if isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            return _V_INT, _I8.pack(value)
+        return None
+    return None
+
+
+def _decode_value(vtag: int, raw: bytes) -> Any:
+    if vtag == _V_FLOAT:
+        return _F8.unpack(raw)[0]
+    if vtag == _V_INT:
+        return _I8.unpack(raw)[0]
+    if vtag == _V_BOOL:
+        return raw[0] == 1
+    return None
+
+
+def _fits_i32(*xs: int) -> bool:
+    return all(_I32_MIN <= x <= _I32_MAX for x in xs)
+
+
+def encode_slot(
+    buf, slot: int, idx: int, dst: int, when: int, kind: str, args: tuple
+) -> bool:
+    """Encode one packet into ring slot ``slot``.  Returns False when
+    the packet cannot be represented (caller spills it to the pipe)."""
+    code = _KIND_CODES.get(kind)
+    if code is None or not (0 <= dst <= 255):
+        return False
+    if not (_I64_MIN <= when <= _I64_MAX):
+        return False
+    flags = 0
+    b = 0
+    if code == _K_RESULTS:
+        aids, value = args
+        if len(aids) != 1:
+            return False
+        a = aids[0]
+        enc = _encode_value(value)
+    elif code == _K_RELIABLE:
+        a, b, value, corrupted = args
+        flags = 1 if corrupted else 0
+        enc = _encode_value(value)
+    elif code == _K_RECV_ACK:
+        a, b = args
+        enc = (_V_NONE, _ZERO8)
+    else:                               # deliver_ack
+        (a,) = args
+        enc = (_V_NONE, _ZERO8)
+    if enc is None or not _fits_i32(a, b):
+        return False
+    vtag, raw = enc
+    SLOT.pack_into(
+        buf, slot * SLOT_SIZE, idx, code, vtag, flags, dst, when, a, b, raw
+    )
+    return True
+
+
+def decode_slot(buf, slot: int) -> tuple[int, int, int, str, tuple]:
+    """Decode ring slot ``slot`` -> (idx, dst, when, kind, args)."""
+    idx, code, vtag, flags, dst, when, a, b, raw = SLOT.unpack_from(
+        buf, slot * SLOT_SIZE
+    )
+    kind = _KIND_NAMES[code]
+    if code == _K_RESULTS:
+        args: tuple = ((a,), _decode_value(vtag, raw))
+    elif code == _K_RELIABLE:
+        args = (a, b, _decode_value(vtag, raw), bool(flags & 1))
+    elif code == _K_RECV_ACK:
+        args = (a, b)
+    else:
+        args = (a,)
+    return idx, dst, when, kind, args
+
+
+def shm_supported(start_method: Optional[str]) -> bool:
+    """Rings need the fork start method (the child inherits the
+    mapping; nothing is pickled) and an importable shared_memory."""
+    if start_method != "fork":
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:          # pragma: no cover - stdlib always has it
+        return False
+    return True
+
+
+def create_ring(slots: int):
+    """Allocate one ring (``slots`` fixed-size slots).  Raises
+    whatever ``SharedMemory`` raises when /dev/shm is unusable --
+    callers in ``auto`` mode catch and fall back to pipes."""
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(create=True, size=slots * SLOT_SIZE)

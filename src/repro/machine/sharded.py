@@ -12,21 +12,57 @@ a dropped or corrupted cross-shard packet is retransmitted exactly
 like a local one, because the shard machines run the same handlers on
 the same per-arc state, merely split producer-side/consumer-side.
 
-Conservative lockstep
----------------------
+Conservative lockstep, adaptive horizons
+----------------------------------------
 
 Every packet sent at cycle ``t`` arrives at ``t + L`` or later, where
 ``L = max(1, rn_delay)`` (results add at least the network delay, acks
 at least ``max(1, rn_delay)``).  The coordinator therefore runs a
 classic conservative time-window protocol: it computes the global
 minimum next-event time ``T`` over all shard heaps and in-flight
-messages, lets every shard execute events with ``time <= T + L - 1``,
-collects the messages those events emitted (all stamped ``>= T + L``),
-and delivers them at the next barrier.  No shard ever receives a
-message in its past, so the merged execution is equivalent to the
-single-heap one -- and because message injection is sorted by
-``(time, source shard, emission index)``, it is also deterministic
-run-to-run.
+messages, lets every shard execute events up to a safe horizon,
+collects the messages those events emitted, and delivers them at the
+next barrier.  No shard ever receives a message in its past, so the
+merged execution is equivalent to the single-heap one -- and because
+message injection is sorted by ``(time, source shard, emission
+index)``, it is also deterministic run-to-run.
+
+The *fixed* horizon is the classic ``T + L - 1``.  The *adaptive*
+horizon (default) is derived from cut-arc occupancy: each shard
+reports an **earliest output time** (EOT) -- a lower bound on the
+arrival cycle of the next packet it could possibly push across the
+cut.  For every pending event at time ``t`` whose influence must
+traverse at least ``d`` arcs (BFS hop distance to the nearest
+shard-boundary cell) before reaching the cut, any resulting
+cross-shard packet arrives at ``t + d + L`` or later: every arc
+traversal (delivery, reliable copy, ack) costs at least one cycle and
+brings the influence at most one hop closer, and an emission from a
+boundary cell at time ``t'`` is stamped ``>= t' + L``.  The
+coordinator may therefore run every shard to ``min(all EOTs, all
+pending-message arrivals + L) - 1`` without any shard ever hearing
+from the future -- on coarse cuts this batches thousands of cycles
+per barrier instead of ``L``.  Shards whose heaps cannot reach the
+cut at all (zero-cut component partitions) report no bound and run
+to quiescence in one window.
+
+Warm worker pool and shared-memory rings
+----------------------------------------
+
+Worker processes outlive a run: on success they park in a
+module-level pool keyed by graph content, and the next
+``ShardedRunner`` over the same graph reclaims them with a
+``rebuild`` command instead of paying fork+import again (idle workers
+are reaped after ``ShardConfig.pool_idle_timeout``).  Steady-state
+cut packets travel through per-worker ``multiprocessing``
+shared-memory rings with a fixed 32-byte slot codec (see
+:mod:`repro.machine.shard_transport`); the rings are fully drained
+every window and only slot counts ride the (seq-tagged) command pipe,
+so rollbacks and respawns cannot desynchronize a cursor.  Packets the
+codec cannot carry spill to the pipe in the same command, preserving
+the exact injection order.  At a barrier the rings are empty and all
+in-flight packets sit in the coordinator -- the Chandy-Lamport
+``channel_state`` captured by coordinated snapshots is therefore
+complete by construction.
 
 Coordinated (Chandy-Lamport) snapshots
 --------------------------------------
@@ -72,15 +108,20 @@ this deterministically testable.
 
 from __future__ import annotations
 
+import atexit
+import hashlib
 import heapq
 import multiprocessing
 import os
+import pickle
 import random
+import threading
 import time
+import weakref
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Optional, Union
+from typing import Any, Optional, Union
 
-from ..analysis.partition import Partition, partition_graph
+from ..analysis.partition import Partition, cut_distances, partition_graph
 from ..checkpoint.manager import CheckpointConfig
 from ..errors import (
     EXIT_SHARD_CRASH,
@@ -95,9 +136,37 @@ from ..graph.graph import DataflowGraph
 from ..graph.lower import lower_fifos
 from ..graph.opcodes import Op
 from .config import MachineConfig
-from .machine import Machine
+from .machine import Machine, _CellState
 from .packets import PacketCounters
+from .shard_config import (
+    RecoveryPolicy,
+    ShardConfig,
+    ShardRecoveryPolicy,
+    TransportConfig,
+)
+from .shard_transport import (
+    create_ring,
+    decode_slot,
+    encode_slot,
+    shm_supported,
+)
 from .stats import MachineStats, RecoveryStats, ReliabilityStats
+
+__all__ = [
+    "Message",
+    "RecoveryPolicy",
+    "ShardConfig",
+    "ShardCrashError",
+    "ShardHangError",
+    "ShardMachine",
+    "ShardRecoveryExhausted",
+    "ShardRecoveryPolicy",
+    "ShardedRunner",
+    "TransportConfig",
+    "merge_shard_stats",
+    "run_sharded",
+    "shutdown_worker_pool",
+]
 
 #: a routed cross-shard message: (arrival cycle, event kind, args)
 Message = tuple[int, str, tuple]
@@ -134,49 +203,6 @@ class ShardRecoveryExhausted(ShardCrashError):
     and ``repro supervise`` remains the outer loop of last resort."""
 
 
-@dataclass
-class ShardRecoveryPolicy:
-    """Knobs of the in-process self-healing loop.
-
-    Mirrors the supervisor's escalation policy one level down: per
-    shard restart budgets, exponential backoff with seeded jitter, and
-    two-strike same-window step-back -- but rollback happens inside
-    the running coordinator, from the latest complete coordinated set,
-    without tearing the process tree down.
-    """
-
-    #: seconds a worker may take to answer one command before it
-    #: counts as hung
-    deadline: float = 60.0
-    #: poll granularity while waiting (also bounds detection jitter)
-    heartbeat: float = 0.05
-    #: respawns allowed per shard before escalating
-    max_restarts: int = 3
-    backoff_base: float = 0.1
-    backoff_factor: float = 2.0
-    backoff_max: float = 2.0
-    jitter: float = 0.1
-    seed: int = 0
-    #: failures inside the same replay window before the resume set is
-    #: barred and recovery steps back one set (supervisor parity)
-    strikes: int = 2
-    #: on budget exhaustion, fold the shard into the coordinator
-    #: process (K-1 worker processes) instead of raising
-    degrade: bool = False
-    #: injectable for tests; the backoff delays go through this
-    sleep: Callable[[float], None] = time.sleep
-
-    def backoff(self, attempt: int, rng: random.Random) -> float:
-        """Delay before restart ``attempt`` (1-based), jittered."""
-        delay = min(
-            self.backoff_max,
-            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
-        )
-        if self.jitter:
-            delay *= 1.0 + rng.uniform(-self.jitter, self.jitter)
-        return max(0.0, delay)
-
-
 class ShardMachine(Machine):
     """One shard's machine: the full graph, but only *owned* cells run.
 
@@ -197,8 +223,13 @@ class ShardMachine(Machine):
     #: outbox travels with the core, the shard identity is static
     _SNAP_CORE_ATTRS = Machine._SNAP_CORE_ATTRS + ("_outbox",)
     _SNAP_STATIC_ATTRS = Machine._SNAP_STATIC_ATTRS | frozenset(
-        {"shard_index", "n_shards", "_owner"}
+        {"shard_index", "n_shards", "_owner", "_cut_dist"}
     )
+
+    #: lazily-built ``(cell_dist, arc_dist)`` hop-distance tables to
+    #: the nearest shard-boundary cell (class default so machines
+    #: pickled before this attribute existed still load)
+    _cut_dist: Optional[tuple[dict[int, int], dict[int, int]]] = None
 
     def __init__(
         self,
@@ -256,6 +287,28 @@ class ShardMachine(Machine):
             for cell in self.graph
             if cell.op is Op.AM_WRITE and self._owner[cell.cid] == shard_index
         }
+        # Non-owned cells never execute here (the ownership gates below
+        # divert their packets to the owning shard), so their per-cell
+        # state stays pristine for the whole run.  Alias them all to a
+        # single shared pristine record -- read-only consumers
+        # (diagnosis, stats merges, snapshot sections) still see valid
+        # zeros, but the process stops carrying ``n_shards`` full
+        # replicas of the graph's mutable state.  That replica weight
+        # is what made K in-process shards lose to K=1: every GC pass
+        # and every worker finish pickle paid for all K copies.
+        # ``_start`` writes initial-token bookkeeping through arc
+        # endpoints regardless of ownership, so those keep private
+        # records.
+        if n_shards > 1:
+            keep = set()
+            for arc in self.graph.arcs.values():
+                if arc.has_initial:
+                    keep.add(arc.src)
+                    keep.add(arc.dst)
+            shared = _CellState()
+            for cid in self.graph.cells:
+                if self._owner[cid] != shard_index and cid not in keep:
+                    self.cell_state[cid] = shared
 
     # ------------------------------------------------------------------
     # ownership gates
@@ -329,24 +382,119 @@ class ShardMachine(Machine):
     # ------------------------------------------------------------------
     # windowed execution driven by the coordinator
     # ------------------------------------------------------------------
-    def begin(self) -> tuple[Optional[int], int]:
-        """Start (idempotent) and report (next event time, live)."""
+    def begin(self) -> tuple[Optional[int], int, Optional[int]]:
+        """Start (idempotent) and report (next event time, live, EOT)."""
         if not self._started:
             self._start()
         return self.frontier()
 
-    def frontier(self) -> tuple[Optional[int], int]:
+    def frontier(self) -> tuple[Optional[int], int, Optional[int]]:
         nt = self._events[0][0] if self._events else None
-        return nt, self._live_events
+        return nt, self._live_events, self.eot()
 
     def inject(self, messages: list[Message]) -> None:
         """Deliver routed cross-shard packets into the local heap."""
         for when, kind, args in messages:
             self._at(when, kind, args)
 
+    # ------------------------------------------------------------------
+    # adaptive-horizon support: earliest output time over the cut
+    # ------------------------------------------------------------------
+    def _distances(self) -> tuple[dict[int, int], dict[int, int]]:
+        """(cell -> hops to nearest boundary cell, arc -> min endpoint
+        distance).  Cells/arcs that cannot reach the cut are omitted."""
+        if self._cut_dist is None:
+            cell_dist = cut_distances(self.graph, self._owner)
+            arc_dist: dict[int, int] = {}
+            for aid, arc in self.graph.arcs.items():
+                ds = cell_dist.get(arc.src)
+                dd = cell_dist.get(arc.dst)
+                if ds is None:
+                    d = dd
+                elif dd is None:
+                    d = ds
+                else:
+                    d = min(ds, dd)
+                if d is not None:
+                    arc_dist[aid] = d
+            self._cut_dist = (cell_dist, arc_dist)
+        return self._cut_dist
+
+    def _event_distance(
+        self,
+        kind: str,
+        args: tuple,
+        cell_dist: dict[int, int],
+        arc_dist: dict[int, int],
+    ) -> Optional[int]:
+        """Minimum arc traversals before this event's influence can
+        reach a boundary cell; None = it never can."""
+        if kind in ("record_sink", "watchdog_tick", "checkpoint_tick"):
+            return None         # pure bookkeeping, enables nothing
+        if kind == "dispatch":
+            queue = self._pe_queues[args[0]]
+            best = None
+            for cid in queue:
+                d = cell_dist.get(cid)
+                if d is not None and (best is None or d < best):
+                    best = d
+            return best
+        if kind == "deliver_results":
+            best = None
+            for aid in args[0]:
+                d = arc_dist.get(aid)
+                if d is not None and (best is None or d < best):
+                    best = d
+            return best
+        if kind in (
+            "deliver_one_faulty", "transmit_result", "check_retransmit",
+            "receive_ack", "deliver_reliable",
+        ):
+            return arc_dist.get(args[0])
+        if kind == "deliver_ack":
+            return cell_dist.get(args[0])
+        return 0                # unknown kind: fail safe
+
+    def eot(self) -> Optional[int]:
+        """Earliest cycle at which any pending event here could cause
+        a packet to *arrive* on another shard, or None (it cannot).
+
+        For an event at time ``t`` whose influence is ``d`` arc hops
+        from the cut, the quantity ``t + d`` never decreases along a
+        causal chain (each hop costs >= 1 cycle and closes at most one
+        hop), and an emission from a boundary cell at ``t'`` is
+        stamped ``>= t' + L``; hence the bound ``t + d + L``.  Events
+        added *during* a window are enabled by an existing event and
+        inherit its bound, so scanning the heap at the barrier is
+        sufficient.
+        """
+        if not self._events:
+            return None
+        cell_dist, arc_dist = self._distances()
+        if not cell_dist:
+            return None         # no cut reachable from this shard
+        lookahead = max(1, self.config.rn_delay)
+        best: Optional[int] = None
+        for entry in self._events:
+            t = entry[0]
+            if best is not None and t + lookahead >= best:
+                continue
+            d = self._event_distance(
+                entry[2], entry[3], cell_dist, arc_dist
+            )
+            if d is None:
+                continue
+            bound = t + d + lookahead
+            if best is None or bound < best:
+                best = bound
+        return best
+
     def run_window(
         self, horizon: int, max_cycles: int
-    ) -> tuple[list[tuple[int, int, str, tuple]], Optional[int], int]:
+    ) -> tuple[
+        list[tuple[int, int, str, tuple]], Optional[int], int,
+        Optional[int],
+    ]:
         """Execute every event with ``time <= horizon``; return the
         outbox of cross-shard messages plus the new frontier."""
         while self._events and self._events[0][0] <= horizon:
@@ -369,8 +517,8 @@ class ShardMachine(Machine):
                 self._finish = time
             self._execute(kind, args)
         outbox, self._outbox = self._outbox, []
-        nt, live = self.frontier()
-        return outbox, nt, live
+        nt, live, eot = self.frontier()
+        return outbox, nt, live, eot
 
 
 # ----------------------------------------------------------------------
@@ -443,7 +591,7 @@ def _write_shard_snapshot(
 
 
 def _shard_worker(conn, machine: ShardMachine,
-                  crash_at: Optional[int]) -> None:
+                  crash_at: Optional[int], rings=None) -> None:
     """Event loop of one worker process (commands over a duplex pipe).
 
     Every command arrives wrapped as ``(seq, cmd)`` and every reply is
@@ -452,7 +600,16 @@ def _shard_worker(conn, machine: ShardMachine,
     survivor was still computing for the *failed* barrier, and the
     sequence number lets ``_ProcessShard.wait`` discard such stragglers
     no matter when they land on the pipe.
+
+    ``rings`` is ``(in_shm, out_shm, slots)`` when this worker's cut
+    packets travel through shared memory (inherited over fork), else
+    None.  A ``finish`` reply ships only the machine's mutable state
+    and keeps the loop alive so the process can be pooled and later
+    rebuilt (``rebuild``) for another run over the same graph.
     """
+    in_shm, out_shm, ring_slots = rings if rings is not None else (
+        None, None, 0
+    )
     try:
         while True:
             seq, cmd = conn.recv()
@@ -461,12 +618,38 @@ def _shard_worker(conn, machine: ShardMachine,
                 if op == "start":
                     conn.send((seq, "ok", machine.begin()))
                 elif op == "window":
-                    _, horizon, max_cycles, messages, fault = cmd
+                    _, horizon, max_cycles, inband, n_ring, fault = cmd
                     _maybe_crash(crash_at, horizon)
                     _apply_shard_fault(fault)
-                    machine.inject(messages)
-                    conn.send((seq, "ok",
-                               machine.run_window(horizon, max_cycles)))
+                    entries = list(inband)
+                    if n_ring:
+                        buf = in_shm.buf
+                        for s in range(n_ring):
+                            i, _dst, when, kind, args = decode_slot(buf, s)
+                            entries.append((i, when, kind, args))
+                        entries.sort(key=lambda e: e[0])
+                    machine.inject([e[1:] for e in entries])
+                    outbox, nt, live, eot = machine.run_window(
+                        horizon, max_cycles
+                    )
+                    spill = []
+                    n_out = 0
+                    if out_shm is not None:
+                        buf = out_shm.buf
+                        for i, (dst, when, kind, args) in enumerate(outbox):
+                            if n_out < ring_slots and encode_slot(
+                                buf, n_out, i, dst, when, kind, args
+                            ):
+                                n_out += 1
+                            else:
+                                spill.append((i, dst, when, kind, args))
+                    else:
+                        spill = [
+                            (i, dst, when, kind, args)
+                            for i, (dst, when, kind, args)
+                            in enumerate(outbox)
+                        ]
+                    conn.send((seq, "ok", (spill, n_out, nt, live, eot)))
                 elif op == "snapshot":
                     # a kill/hang fault here dies *before* the file
                     # lands: the set stays uncommitted and recovery
@@ -484,9 +667,27 @@ def _shard_worker(conn, machine: ShardMachine,
                     _, path = cmd
                     machine = _load_shard_machine(path)
                     conn.send((seq, "ok", machine.shard_index))
+                elif op == "rebuild":
+                    # pool reclamation: reconstruct a pristine machine
+                    # for a new run over the retained (content-equal)
+                    # graph; deterministic __init__ makes it
+                    # bit-identical to a freshly forked copy
+                    spec = dict(cmd[1])
+                    crash_at = spec.pop("crash_at", None)
+                    wid = spec.pop("workload_id", None)
+                    machine = ShardMachine(machine.graph, **spec)
+                    machine.workload_id = wid
+                    conn.send((seq, "ok", machine.shard_index))
                 elif op == "finish":
-                    conn.send((seq, "ok", machine))
-                    return
+                    # ship only the mutable state (the parent already
+                    # holds the static graph/config/inputs) and keep
+                    # looping: the process may be pooled for reuse
+                    static = type(machine)._SNAP_STATIC_ATTRS
+                    state = {
+                        k: v for k, v in machine.__dict__.items()
+                        if k not in static
+                    }
+                    conn.send((seq, "ok", ("state", state)))
                 elif op == "stop":
                     return
                 else:       # pragma: no cover - protocol bug
@@ -510,6 +711,156 @@ def _rebuild_error(name: str, message: str, cycle: int) -> ReproError:
     return SimulationError(message)
 
 
+# ----------------------------------------------------------------------
+# warm worker pool (module level: reuse survives across runners, and
+# therefore across facade calls and ``repro serve`` jobs)
+# ----------------------------------------------------------------------
+@dataclass
+class _PooledWorker:
+    proc: Any
+    conn: Any
+    seq: int
+    rings: Optional[tuple]      # (in_shm, out_shm, slots) or None
+    released_at: float
+
+
+#: pool key -> LIFO stack of parked workers.  The key is the content
+#: digest of the (lowered) graph plus the transport geometry, so a
+#: reclaimed worker is guaranteed to hold a content-equal graph and a
+#: compatible ring mapping.
+_POOL: dict[str, list[_PooledWorker]] = {}
+_POOL_LOCK = threading.Lock()
+#: global cap on parked workers (LRU-evicted beyond this)
+_POOL_CAP = 16
+
+#: id(graph) -> (weakref, digest) memo so repeat runs over the same
+#: graph object don't re-pickle it per spawn
+_KEY_CACHE: dict[int, tuple[Any, str]] = {}
+
+
+def _graph_key(graph: DataflowGraph) -> str:
+    """Content digest of the lowered graph (identity-verified memo)."""
+    ent = _KEY_CACHE.get(id(graph))
+    if ent is not None and ent[0]() is graph:
+        return ent[1]
+    digest = hashlib.sha256(
+        pickle.dumps(graph, protocol=pickle.HIGHEST_PROTOCOL)
+    ).hexdigest()
+    for gid in [g for g, (ref, _) in _KEY_CACHE.items() if ref() is None]:
+        del _KEY_CACHE[gid]
+    try:
+        _KEY_CACHE[id(graph)] = (weakref.ref(graph), digest)
+    except TypeError:       # pragma: no cover - graphs are weakref-able
+        pass
+    return digest
+
+
+def _close_pooled(entry: _PooledWorker) -> None:
+    try:
+        entry.conn.close()
+    except OSError:
+        pass
+    if entry.proc.is_alive():
+        entry.proc.terminate()
+        entry.proc.join(timeout=5)
+        if entry.proc.is_alive():
+            entry.proc.kill()
+    entry.proc.join(timeout=5)
+    _close_rings(entry.rings)
+
+
+def _close_rings(rings: Optional[tuple]) -> None:
+    if rings is None:
+        return
+    for shm in rings[:2]:
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+def _pool_reap(idle_timeout: float) -> None:
+    """Close parked workers idle past the timeout (or dead)."""
+    now = time.monotonic()
+    expired: list[_PooledWorker] = []
+    with _POOL_LOCK:
+        for key in list(_POOL):
+            keep = []
+            for e in _POOL[key]:
+                if (
+                    now - e.released_at > idle_timeout
+                    or not e.proc.is_alive()
+                ):
+                    expired.append(e)
+                else:
+                    keep.append(e)
+            if keep:
+                _POOL[key] = keep
+            else:
+                del _POOL[key]
+    for e in expired:
+        _close_pooled(e)
+
+
+def _pool_acquire(
+    key: str, idle_timeout: float
+) -> Optional[_PooledWorker]:
+    _pool_reap(idle_timeout)
+    with _POOL_LOCK:
+        stack = _POOL.get(key)
+        while stack:
+            entry = stack.pop()
+            if not stack:
+                del _POOL[key]
+            if entry.proc.is_alive():
+                return entry
+            _close_pooled(entry)
+            stack = _POOL.get(key)
+    return None
+
+
+def _pool_release(key: str, entry: _PooledWorker,
+                  idle_timeout: float) -> None:
+    evict: list[_PooledWorker] = []
+    with _POOL_LOCK:
+        _POOL.setdefault(key, []).append(entry)
+        total = sum(len(v) for v in _POOL.values())
+        while total > _POOL_CAP:
+            oldest_key = min(
+                _POOL, key=lambda k: _POOL[k][0].released_at
+            )
+            evict.append(_POOL[oldest_key].pop(0))
+            if not _POOL[oldest_key]:
+                del _POOL[oldest_key]
+            total -= 1
+    for e in evict:
+        _close_pooled(e)
+    _pool_reap(idle_timeout)
+
+
+def pooled_worker_count() -> int:
+    """Parked warm workers right now (observability/tests)."""
+    with _POOL_LOCK:
+        return sum(len(v) for v in _POOL.values())
+
+
+def shutdown_worker_pool() -> None:
+    """Terminate every parked warm worker and release its rings.
+
+    Called automatically at interpreter exit; call it explicitly to
+    bound resources between test phases or serve tenants.
+    """
+    with _POOL_LOCK:
+        entries = [e for stack in _POOL.values() for e in stack]
+        _POOL.clear()
+    for e in entries:
+        _close_pooled(e)
+
+
+atexit.register(shutdown_worker_pool)
+
+
 class _LocalShard:
     """In-process transport: same protocol, no OS processes.  Used for
     K=1, for tests that sweep many configurations quickly, and as the
@@ -521,17 +872,24 @@ class _LocalShard:
         self.machine = machine
         self.crash_at = crash_at
         self._reply: Any = None
+        self.finished_ok = False
+
+    def post_window(self, horizon: int, max_cycles: int,
+                    messages: list[Message],
+                    fault: Optional[tuple]) -> None:
+        self._refuse_fault(fault)
+        _maybe_crash(self.crash_at, horizon)
+        self.machine.inject(messages)
+        self._reply = self.machine.run_window(horizon, max_cycles)
+
+    @staticmethod
+    def window_result(raw):
+        return raw          # already (outbox, nt, live, eot)
 
     def post(self, cmd: tuple) -> None:
         op = cmd[0]
         if op == "start":
             self._reply = self.machine.begin()
-        elif op == "window":
-            _, horizon, max_cycles, messages, fault = cmd
-            self._refuse_fault(fault)
-            _maybe_crash(self.crash_at, horizon)
-            self.machine.inject(messages)
-            self._reply = self.machine.run_window(horizon, max_cycles)
         elif op == "snapshot":
             _, path, cycle, messages, fault, kind = cmd
             self._refuse_fault(fault)
@@ -574,10 +932,10 @@ class _ProcessShard:
     (:class:`ShardCrashError` / :class:`ShardHangError`).
     """
 
-    def __init__(self, shard: int, machine: ShardMachine,
-                 crash_at: Optional[int], ctx, *,
+    def __init__(self, shard: int, *,
                  deadline: float = _DEFAULT_DEADLINE,
-                 heartbeat: float = _DEFAULT_HEARTBEAT) -> None:
+                 heartbeat: float = _DEFAULT_HEARTBEAT,
+                 pool_key: Optional[str] = None) -> None:
         self.shard = shard
         self.deadline = deadline
         self.heartbeat = heartbeat
@@ -586,19 +944,96 @@ class _ProcessShard:
         #: sequence number of the last command posted; replies echo it
         #: so ``wait`` can drop stragglers from before a rollback
         self._seq = 0
+        #: (in_shm, out_shm, slots) when cut packets ride rings
+        self.rings: Optional[tuple] = None
+        #: warm-pool key; None = never pool this worker
+        self.pool_key = pool_key
+        #: set by the runner after a clean finish; gates pooling
+        self.finished_ok = False
+        self.conn: Any = None
+        self.proc: Any = None
+
+    @classmethod
+    def spawn(cls, shard: int, machine: ShardMachine,
+              crash_at: Optional[int], ctx, *,
+              deadline: float = _DEFAULT_DEADLINE,
+              heartbeat: float = _DEFAULT_HEARTBEAT,
+              rings: Optional[tuple] = None,
+              pool_key: Optional[str] = None) -> "_ProcessShard":
+        self = cls(shard, deadline=deadline, heartbeat=heartbeat,
+                   pool_key=pool_key)
+        self.rings = rings
         self.conn, child = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(
             target=_shard_worker,
-            args=(child, machine, crash_at),
+            args=(child, machine, crash_at, rings),
             daemon=True,
             name=f"repro-shard-{shard}",
         )
         self.proc.start()
         child.close()
+        return self
+
+    @classmethod
+    def adopt(cls, shard: int, entry: _PooledWorker, spec: dict, *,
+              deadline: float = _DEFAULT_DEADLINE,
+              heartbeat: float = _DEFAULT_HEARTBEAT,
+              pool_key: Optional[str] = None) -> "_ProcessShard":
+        """Reclaim a parked warm worker: continue its command stream
+        (the pool recorded the last seq) and rebuild its machine for
+        the new run.  Raises :class:`ShardCrashError` if the worker
+        died in the pool -- callers fall back to a fresh spawn."""
+        self = cls(shard, deadline=deadline, heartbeat=heartbeat,
+                   pool_key=pool_key)
+        self.proc = entry.proc
+        self.conn = entry.conn
+        self._seq = entry.seq
+        self.rings = entry.rings
+        self.post(("rebuild", spec))
+        self.wait()
+        return self
 
     @property
     def pid(self) -> Optional[int]:
         return self.proc.pid
+
+    def post_window(self, horizon: int, max_cycles: int,
+                    messages: list[Message],
+                    fault: Optional[tuple]) -> None:
+        """Encode this window's inbound packets into the ring (spilling
+        what the codec can't carry) and post the window command."""
+        inband: list[tuple] = []
+        n_ring = 0
+        if self.rings is not None and messages:
+            in_shm, _out, slots = self.rings
+            buf = in_shm.buf
+            for i, (when, kind, args) in enumerate(messages):
+                if n_ring < slots and encode_slot(
+                    buf, n_ring, i, 0, when, kind, args
+                ):
+                    n_ring += 1
+                else:
+                    inband.append((i, when, kind, args))
+        else:
+            inband = [
+                (i, when, kind, args)
+                for i, (when, kind, args) in enumerate(messages)
+            ]
+        self.post(("window", horizon, max_cycles, inband, n_ring, fault))
+
+    def window_result(self, raw):
+        """Merge a window reply's pipe spill with its ring slots back
+        into the worker's original emission order."""
+        spill, n_out, nt, live, eot = raw
+        merged = list(spill)
+        if n_out:
+            buf = self.rings[1].buf
+            for s in range(n_out):
+                merged.append(decode_slot(buf, s))
+            merged.sort(key=lambda e: e[0])
+        outbox = [(dst, when, kind, args)
+                  for _i, dst, when, kind, args in merged]
+        return outbox, nt, live, eot
 
     def post(self, cmd: tuple) -> None:
         if cmd[0] == "window":
@@ -688,6 +1123,8 @@ class _ProcessShard:
                 # SIGTERM; SIGKILL it rather than leak a live child
                 self.proc.kill()
         self.proc.join(timeout=5)
+        _close_rings(self.rings)
+        self.rings = None
 
 
 # ----------------------------------------------------------------------
@@ -711,7 +1148,22 @@ class ShardedRunner:
         processes: Optional[bool] = None,
         workload_id: Optional[str] = None,
         heal: Union[None, bool, ShardRecoveryPolicy] = None,
+        shard_config: Union[None, ShardConfig, dict, str] = None,
     ) -> None:
+        sc = ShardConfig.coerce(shard_config)
+        if sc is not None:
+            # the consolidated config is authoritative; legacy kwargs
+            # explicitly passed alongside still win (the facade merges
+            # them into the config before it gets here)
+            shards = sc.shards
+            if not isinstance(partition, Partition):
+                partition = sc.partition
+            processes = sc.processes
+            if heal is None:
+                heal = sc.heal_value()
+        else:
+            sc = ShardConfig(shards=max(1, shards))
+        self._shard_cfg = sc
         if shards < 1:
             raise SimulationError(f"shard count must be >= 1, got {shards}")
         config = config or MachineConfig()
@@ -732,6 +1184,8 @@ class ShardedRunner:
         self.workload_id = workload_id
         self._lookahead = max(1, config.rn_delay)
         self._processes = shards > 1 if processes is None else processes
+        self._policy = policy
+        self._init_execution_knobs(config)
         self.machines: list[ShardMachine] = [
             ShardMachine(
                 graph,
@@ -760,6 +1214,65 @@ class ShardedRunner:
         self.worker_pids: list[Optional[int]] = []
         self._finished = False
         self._init_heal(heal, fault_plan)
+
+    @staticmethod
+    def _order_free(config: MachineConfig) -> bool:
+        """Whether equal-cycle event order can never affect modeled
+        times.  PEs, FUs/AMs and the routing network each serialize
+        same-cycle work through a ``next_free`` cursor when their
+        issue interval / bandwidth knob is non-zero; with all three at
+        zero (the ``unit_time`` model) heap insertion order for
+        equal-cycle events is timing-irrelevant and coarse windows are
+        exact."""
+        return not (
+            config.pe_issue_interval
+            or config.fu_issue_interval
+            or config.rn_bandwidth
+        )
+
+    def _init_execution_knobs(self, config: MachineConfig) -> None:
+        """Resolve window/pool/transport knobs from the shard config."""
+        sc = self._shard_cfg
+        self._window_mode = sc.window
+        if self._window_mode == "adaptive" and not self._order_free(config):
+            # Coarse windows schedule a shard's local events for cycle
+            # T before cycle-T cut packets are injected at the next
+            # barrier, reordering equal-cycle heap insertions.  That
+            # is invisible when resources never serialize within a
+            # cycle, but with issue intervals it shifts modeled times;
+            # clamp to the fixed cadence to stay bit-identical.
+            self._window_mode = "fixed"
+        self._max_window = sc.max_window
+        self._pool_enabled = bool(sc.pool) and self._processes
+        self._pool_idle = sc.pool_idle_timeout
+        self._ring_slots = sc.transport.ring_slots
+        self.worker_spawns = 0
+        self.worker_reuses = 0
+        #: lockstep windows driven so far (adaptive horizons shrink it)
+        self.windows_run = 0
+        kind = sc.transport.kind
+        if not self._processes or kind == "pipe":
+            self._transport = "pipe"
+            if kind == "shm" and not self._processes:
+                raise SimulationError(
+                    "transport 'shm' needs real worker processes"
+                )
+            return
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        if shm_supported(method):
+            self._transport = "shm"
+        elif kind == "shm":
+            raise SimulationError(
+                "transport 'shm' needs the fork start method and "
+                "multiprocessing.shared_memory; use 'auto' to fall "
+                "back to pipes"
+            )
+        else:
+            self._transport = "pipe"
 
     def _init_heal(
         self,
@@ -848,6 +1361,7 @@ class ShardedRunner:
         processes: Optional[bool] = None,
         allow_legacy: bool = False,
         heal: Union[None, bool, ShardRecoveryPolicy] = None,
+        shard_config: Union[None, ShardConfig, dict, str] = None,
     ) -> "ShardedRunner":
         """Load the newest *complete* coordinated snapshot set and
         return a runner ready to continue bit-identically."""
@@ -882,6 +1396,16 @@ class ShardedRunner:
             machines.append(machine)
         shards = len(machines)
         self = cls.__new__(cls)
+        sc = ShardConfig.coerce(shard_config)
+        if sc is not None:
+            if sc.processes is not None:
+                processes = sc.processes
+            if heal is None:
+                heal = sc.heal_value()
+            sc = replace(sc, shards=shards)
+        else:
+            sc = ShardConfig(shards=shards)
+        self._shard_cfg = sc
         self.partition = Partition(
             k=shards,
             scheme=str(manifest.get("partition_scheme", "resumed")),
@@ -892,6 +1416,8 @@ class ShardedRunner:
         self.workload_id = machines[0].workload_id
         self._lookahead = max(1, machines[0].config.rn_delay)
         self._processes = shards > 1 if processes is None else processes
+        self._policy = "round_robin"
+        self._init_execution_knobs(machines[0].config)
         self.machines = machines
         self._ckpt = CoordinatedCheckpointManager.attach(directory)
         interval = self._ckpt.config.interval
@@ -923,6 +1449,9 @@ class ShardedRunner:
         """
         if self._finished:
             raise SimulationError("this runner has already completed")
+        if crash_at is None and self._shard_cfg.crash_at is not None:
+            crash_at = self._shard_cfg.crash_at
+            crash_shard = self._shard_cfg.crash_shard
         heal = self._heal if crash_at is None else None
         if heal is not None and self._recovery is None:
             self._recovery = RecoveryStats()
@@ -932,8 +1461,13 @@ class ShardedRunner:
         try:
             while True:
                 try:
-                    self._drive(eps, max_cycles)
-                    self.machines = [self._finish_one(ep) for ep in eps]
+                    self._drive(eps, max_cycles, crash_at)
+                    self.machines = [
+                        self._finish_one(k, ep)
+                        for k, ep in enumerate(eps)
+                    ]
+                    for ep in eps:
+                        ep.finished_ok = True
                     break
                 except ShardCrashError as exc:
                     if heal is None:
@@ -941,7 +1475,7 @@ class ShardedRunner:
                     eps = self._recover(eps, exc, heal)
         finally:
             for ep in eps:
-                ep.close()
+                self._retire(ep)
         self._finished = True
         self._check_complete()
         if self._ckpt is not None:
@@ -969,21 +1503,99 @@ class ShardedRunner:
             if machine is self.machines[shard] and self._degraded:
                 # a degraded shard runs in-process and would mutate
                 # the pristine restart copy; work on a clone instead
-                import pickle
-
                 machine = pickle.loads(pickle.dumps(machine))
             self.worker_pids[shard] = None
             return _LocalShard(shard, machine, crash_at)
         policy = self._heal
-        ep = _ProcessShard(
+        deadline = policy.deadline if policy else _DEFAULT_DEADLINE
+        heartbeat = policy.heartbeat if policy else _DEFAULT_HEARTBEAT
+        pool_key = None
+        if self._pool_enabled and not machine._started:
+            # only pristine pre-run machines are rebuild-equivalent; a
+            # resumed/restored machine carries run state the rebuild
+            # op cannot reproduce, so it always gets a fork-fresh copy
+            pool_key = (
+                f"{_graph_key(machine.graph)}:{self._transport}:"
+                f"{self._ring_slots}"
+            )
+            entry = _pool_acquire(pool_key, self._pool_idle)
+            if entry is not None:
+                try:
+                    ep = _ProcessShard.adopt(
+                        shard, entry,
+                        self._rebuild_spec(shard, machine, crash_at),
+                        deadline=deadline, heartbeat=heartbeat,
+                        pool_key=pool_key,
+                    )
+                    self.worker_reuses += 1
+                    self.worker_pids[shard] = ep.pid
+                    return ep
+                except ShardCrashError:
+                    # the parked worker died between the liveness check
+                    # and the rebuild; fall through to a fresh spawn
+                    _close_pooled(entry)
+        rings = None
+        if self._transport == "shm":
+            try:
+                rings = (
+                    create_ring(self._ring_slots),
+                    create_ring(self._ring_slots),
+                    self._ring_slots,
+                )
+            except OSError:
+                if self._shard_cfg.transport.kind == "shm":
+                    raise
+                # /dev/shm unusable: degrade the whole runner to pipes
+                self._transport = "pipe"
+        ep = _ProcessShard.spawn(
             shard, machine, crash_at, self._ctx,
-            deadline=policy.deadline if policy else _DEFAULT_DEADLINE,
-            heartbeat=policy.heartbeat if policy else _DEFAULT_HEARTBEAT,
+            deadline=deadline, heartbeat=heartbeat,
+            rings=rings, pool_key=pool_key,
         )
+        self.worker_spawns += 1
         self.worker_pids[shard] = ep.pid
         return ep
 
-    def _drive(self, eps, max_cycles: int) -> None:
+    def _rebuild_spec(self, shard: int, machine: ShardMachine,
+                      crash_at: Optional[int]) -> dict:
+        """Constructor args a pooled worker needs to rebuild this
+        shard's pristine machine from its retained graph."""
+        return {
+            "shard_index": shard,
+            "n_shards": self.shards,
+            "owner": machine._owner,
+            "config": machine.config,
+            "inputs": machine.inputs,
+            "policy": self._policy,
+            "fault_plan": machine.fault_plan,
+            "recovery": machine.recovery,
+            "workload_id": machine.workload_id,
+            "crash_at": crash_at,
+        }
+
+    def _retire(self, ep) -> None:
+        """End-of-run disposal: park clean process workers in the warm
+        pool, close everything else."""
+        if (
+            isinstance(ep, _ProcessShard)
+            and ep.finished_ok
+            and ep.pool_key is not None
+            and ep.proc is not None
+            and ep.proc.is_alive()
+        ):
+            _pool_release(
+                ep.pool_key,
+                _PooledWorker(
+                    proc=ep.proc, conn=ep.conn, seq=ep._seq,
+                    rings=ep.rings, released_at=time.monotonic(),
+                ),
+                self._pool_idle,
+            )
+        else:
+            ep.close()
+
+    def _drive(self, eps, max_cycles: int,
+               crash_at: Optional[int] = None) -> None:
         for ep in eps:
             ep.post(("start",))
         frontier = [ep.wait() for ep in eps]
@@ -991,12 +1603,19 @@ class ShardedRunner:
         #: kind, args) -- sorted injection keeps the run deterministic
         pending: list[tuple[int, int, int, int, str, tuple]] = []
         while True:
-            times = [nt for nt, _ in frontier if nt is not None]
+            times = [nt for nt, _live, _eot in frontier if nt is not None]
             times.extend(m[0] for m in pending)
             if not times:
                 return          # global quiescence
             t_min = min(times)
             self._barrier = t_min
+            # a packet injected this window lands at a boundary cell
+            # (distance 0), so nothing it causes can cross the cut
+            # before its arrival + L -- computed *before* the snapshot
+            # block because the stale shard EOTs don't cover it
+            msg_bound = min((m[0] for m in pending), default=None)
+            if msg_bound is not None:
+                msg_bound += self._lookahead
             by_dst: dict[int, list[Message]] = {}
             for when, _src, _idx, dst, kind, args in sorted(pending):
                 by_dst.setdefault(dst, []).append((when, kind, args))
@@ -1007,17 +1626,48 @@ class ShardedRunner:
                 while self._next_ckpt <= t_min:
                     self._next_ckpt += interval
                 by_dst = {}     # the snapshot op already injected them
-            horizon = t_min + self._lookahead - 1
+            horizon = self._horizon(
+                t_min, frontier, msg_bound, crash_at
+            )
+            self.windows_run += 1
             for k, ep in enumerate(eps):
-                ep.post(("window", horizon, max_cycles,
-                         by_dst.get(k, []),
-                         self._take_fault(k, horizon)))
+                ep.post_window(horizon, max_cycles, by_dst.get(k, []),
+                               self._take_fault(k, horizon))
             frontier = []
             for k, ep in enumerate(eps):
-                outbox, nt, live = ep.wait()
+                outbox, nt, live, eot = ep.window_result(ep.wait())
                 for idx, (dst, when, kind, args) in enumerate(outbox):
                     pending.append((when, k, idx, dst, kind, args))
-                frontier.append((nt, live))
+                frontier.append((nt, live, eot))
+
+    def _horizon(self, t_min: int, frontier, msg_bound: Optional[int],
+                 crash_at: Optional[int]) -> int:
+        """Safe lockstep horizon for the window starting at ``t_min``.
+
+        Fixed mode reproduces the classic ``t_min + L - 1`` cadence.
+        Adaptive mode runs to just below the earliest cycle any shard
+        could hear from another (shard EOTs and pending-message
+        bounds), additionally capped so checkpoint cadence, crash
+        demonstrations and chaos-fault firing keep their fixed-mode
+        barrier alignment.  Every cap is ``>= t_min`` (the bounds are
+        ``>= t_min + L``), so the floor only guards degenerate cases.
+        """
+        if self._window_mode == "fixed":
+            return t_min + self._lookahead - 1
+        h = t_min + self._max_window - 1
+        for _nt, _live, eot in frontier:
+            if eot is not None:
+                h = min(h, eot - 1)
+        if msg_bound is not None:
+            h = min(h, msg_bound - 1)
+        if self._next_ckpt is not None:
+            h = min(h, self._next_ckpt - 1)
+        if crash_at is not None and t_min < crash_at:
+            h = min(h, crash_at - 1)
+        for queue in self._shard_faults.values():
+            if queue and t_min < queue[0].cycle:
+                h = min(h, queue[0].cycle - 1)
+        return max(t_min, h)
 
     def _coordinated_snapshot(
         self, eps, cycle: int, by_dst: dict[int, list[Message]]
@@ -1042,9 +1692,20 @@ class ShardedRunner:
         # mirroring the supervisor's progressed-past-resume-point rule
         self._strikes.clear()
 
-    def _finish_one(self, ep) -> ShardMachine:
+    def _finish_one(self, k: int, ep) -> ShardMachine:
+        """Collect shard ``k``'s final state.  An in-process shard
+        hands back its machine object; a worker ships only the mutable
+        state, which overlays the coordinator's own (static-equal)
+        machine -- the worker keeps its copy and stays eligible for
+        the warm pool."""
         ep.post(("finish",))
-        return ep.wait()
+        reply = ep.wait()
+        if isinstance(reply, ShardMachine):
+            return reply
+        _tag, state = reply
+        machine = self.machines[k]
+        machine.__dict__.update(state)
+        return machine
 
     # ------------------------------------------------------------------
     # in-process self-healing
@@ -1322,6 +1983,7 @@ def run_sharded(
     processes: Optional[bool] = None,
     workload_id: Optional[str] = None,
     heal: Union[None, bool, ShardRecoveryPolicy] = None,
+    shard_config: Union[None, ShardConfig, dict, str] = None,
 ) -> tuple[dict[str, list[Any]], MachineStats, ShardedRunner]:
     """Convenience wrapper mirroring ``run_machine`` for sharded runs."""
     runner = ShardedRunner(
@@ -1336,6 +1998,7 @@ def run_sharded(
         processes=processes,
         workload_id=workload_id,
         heal=heal,
+        shard_config=shard_config,
     )
     stats = runner.run(max_cycles=max_cycles)
     return runner.outputs(), stats, runner

@@ -3,6 +3,7 @@ pipelines, and random generators for benchmarks and fuzz tests."""
 
 from .figures import FIGURES, FigureWorkload, figure_workload
 from .generators import (
+    parallel_chain_graph,
     random_forall_program,
     random_layered_graph,
     random_pe_source,
@@ -46,6 +47,7 @@ __all__ = [
     "SOURCES",
     "WEATHER_STEP_SOURCE",
     "am_backed",
+    "parallel_chain_graph",
     "compile_weather_step",
     "initial_weather_state",
     "random_forall_program",

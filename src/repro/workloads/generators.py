@@ -184,3 +184,34 @@ def random_recurrence_program(
     else T[i: {element}]
     endif
   endfor"""
+
+
+def parallel_chain_graph(
+    n_chains: int = 250,
+    depth: int = 40,
+    m: int = 4,
+) -> DataflowGraph:
+    """Many independent source -> ID-chain -> sink pipelines.
+
+    The scaling workload for the sharded backend: with ``n_chains``
+    disjoint components the partitioner cuts zero arcs, every shard
+    runs its chains with no cross-shard traffic, and adaptive lockstep
+    windows collapse the whole run into a handful of barriers -- so
+    measured speedup reflects the event loops, not coordination.  The
+    defaults build ``n_chains * (depth + 2)`` = 10500 cells, past the
+    10^4-cell mark the ROADMAP's scaling exit criterion names.
+
+    Deterministic by construction (pattern sources carry their own
+    values), so repeated runs are bit-identical.
+    """
+    g = DataflowGraph("parallel_chains")
+    for c in range(n_chains):
+        values = [float((c * 31 + i * 7) % 97) * 0.5 for i in range(m)]
+        prev = g.add_pattern_source(f"src{c}", values)
+        for d in range(depth):
+            cell = g.add_cell(Op.ID, name=f"c{c}_{d}")
+            g.connect(prev, cell, 0)
+            prev = cell
+        sink = g.add_sink(f"out{c}", stream=f"y{c}", limit=m)
+        g.connect(prev, sink, 0)
+    return g

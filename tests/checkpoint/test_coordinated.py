@@ -182,6 +182,51 @@ class TestCrashResume:
         for s in ref_out:
             assert resumed.sink_arrival_times(s) == ref_times[s]
 
+    def test_shm_rings_drain_into_channel_state(self, tmp_path):
+        # Force the shared-memory ring transport, kill a worker
+        # mid-run, and resume: a barrier snapshot is only usable if
+        # every in-flight ring packet was drained into the set's
+        # ``extra.channel_state`` (a packet stranded in a ring would
+        # shift delivery times on replay).
+        from repro.checkpoint.snapshot import load_machine
+        from repro.machine import ShardConfig, ShardMachine
+        from repro.machine.shard_config import TransportConfig
+
+        graph, streams = _fig("fig6")
+        cfg = CheckpointConfig(
+            tmp_path / "snaps", interval=INTERVAL, retain=3
+        )
+        runner = ShardedRunner(
+            graph, streams,
+            config=MachineConfig.unit_time(), checkpoint=cfg,
+            shard_config=ShardConfig(
+                shards=4, processes=True, window="fixed",
+                transport=TransportConfig(kind="shm"),
+            ),
+        )
+        assert runner._transport == "shm"
+        with pytest.raises(ShardCrashError):
+            runner.run(crash_at=25, crash_shard=1)
+        directory = tmp_path / "snaps"
+        newest = latest_coordinated(directory)
+        carried = 0
+        for fname in newest["files"]:
+            _, extra = load_machine(
+                directory / fname, expected_cls=ShardMachine,
+                with_extra=True,
+            )
+            assert "channel_state" in (extra or {})
+            carried += len(extra["channel_state"])
+        # fig6's levels partition has real cross-shard traffic, so at
+        # least one shard's snapshot must carry in-flight cut packets
+        assert carried > 0
+        ref_out, ref_times = _reference(graph, streams)
+        resumed = ShardedRunner.resume(directory)
+        resumed.run()
+        assert resumed.outputs() == ref_out
+        for s in ref_out:
+            assert resumed.sink_arrival_times(s) == ref_times[s]
+
     def test_resume_without_complete_set_is_snapshot_error(
         self, tmp_path
     ):

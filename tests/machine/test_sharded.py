@@ -18,9 +18,12 @@ from repro.graph import DataflowGraph
 from repro.machine import (
     Machine,
     MachineConfig,
+    ShardConfig,
     ShardedRunner,
     run_sharded,
+    shutdown_worker_pool,
 )
+from repro.machine.sharded import pooled_worker_count
 from repro.workloads import figure_workload
 
 FIGS = ["fig2", "fig4", "fig5", "fig6", "fig7"]
@@ -74,11 +77,13 @@ class TestPartitioner:
             if aid not in part.cut_arcs:
                 assert part.owner[arc.src] == part.owner[arc.dst]
 
-    def test_acyclic_uses_levels_cyclic_falls_back(self):
+    def test_acyclic_uses_levels_cyclic_uses_scc(self):
         acyclic, _ = _figure_graph("fig2")
         assert partition_graph(acyclic, 2).scheme == "levels"
         cyclic, _ = _figure_graph("fig7")   # Todd for-iter feedback
-        assert partition_graph(cyclic, 2).scheme == "round_robin"
+        # cyclic graphs condense to their SCC DAG and split along it
+        # instead of falling back to a blind round-robin cut
+        assert partition_graph(cyclic, 2).scheme == "scc"
 
     def test_levels_scheme_rejects_cyclic(self):
         cyclic, _ = _figure_graph("fig7")
@@ -170,6 +175,136 @@ class TestDeterminismMatrix:
         assert out == ref_out
         for s in ref_out:
             assert runner.sink_arrival_times(s) == ref_times[s]
+
+
+class TestAdaptiveWindows:
+    """Adaptive lockstep horizons: fewer barriers, same bits."""
+
+    @pytest.mark.parametrize("name", FIGS)
+    @pytest.mark.parametrize("plan", [None, KEYED_PLAN],
+                             ids=["clean", "faults"])
+    def test_adaptive_matches_fixed(self, name, plan):
+        graph, streams = _figure_graph(name)
+        ref_out, ref_times = _reference(graph, streams, plan=plan)
+        for k in (2, 4):
+            runs = {}
+            for window in ("adaptive", "fixed"):
+                out, _, runner = run_sharded(
+                    graph, streams, fault_plan=plan,
+                    config=MachineConfig.unit_time(),
+                    shard_config=ShardConfig(
+                        shards=k, processes=False, window=window
+                    ),
+                )
+                assert out == ref_out, f"{name} K={k} {window} outputs"
+                for s in ref_out:
+                    assert runner.sink_arrival_times(s) == ref_times[s], (
+                        f"{name} K={k} {window} sink times for {s}"
+                    )
+                runs[window] = runner
+            assert runs["adaptive"]._window_mode == "adaptive"
+            assert runs["fixed"]._window_mode == "fixed"
+            # the whole point: adaptive horizons batch multiple fixed
+            # cadence steps per barrier
+            assert (runs["adaptive"].windows_run
+                    <= runs["fixed"].windows_run)
+
+    def test_adaptive_takes_fewer_barriers(self):
+        graph, streams = _figure_graph("fig2")
+        counts = {}
+        for window in ("adaptive", "fixed"):
+            _, _, runner = run_sharded(
+                graph, streams, config=MachineConfig.unit_time(),
+                shard_config=ShardConfig(
+                    shards=2, processes=False, window=window
+                ),
+            )
+            counts[window] = runner.windows_run
+        assert counts["adaptive"] < counts["fixed"]
+
+    def test_serialized_config_clamps_to_fixed(self):
+        # With non-zero issue intervals equal-cycle heap order is
+        # timing-relevant, so coarse adaptive windows would shift
+        # modeled times; the runner silently falls back to the fixed
+        # cadence there and only unit-time-style configs stay adaptive.
+        graph, streams = _figure_graph("fig2")
+        _, _, serialized = run_sharded(
+            graph, streams, config=MachineConfig(),
+            shard_config=ShardConfig(
+                shards=2, processes=False, window="adaptive"
+            ),
+        )
+        assert serialized._window_mode == "fixed"
+        _, _, unit = run_sharded(
+            graph, streams, config=MachineConfig.unit_time(),
+            shard_config=ShardConfig(
+                shards=2, processes=False, window="adaptive"
+            ),
+        )
+        assert unit._window_mode == "adaptive"
+
+
+class TestWarmPool:
+    """Worker processes outlive a run and are reused by the next."""
+
+    def setup_method(self):
+        # earlier process-mode tests may have parked workers for the
+        # same figure graphs; spawn counts below assume a cold pool
+        shutdown_worker_pool()
+
+    def teardown_method(self):
+        shutdown_worker_pool()
+
+    def test_second_run_spawns_nothing(self):
+        graph, streams = _figure_graph("fig2")
+        sc = ShardConfig(shards=2, processes=True, pool=True)
+        _, _, first = run_sharded(
+            graph, streams, config=MachineConfig.unit_time(),
+            shard_config=sc,
+        )
+        assert first.worker_spawns == 2
+        assert pooled_worker_count() == 2
+        _, _, second = run_sharded(
+            graph, streams, config=MachineConfig.unit_time(),
+            shard_config=sc,
+        )
+        assert second.worker_spawns == 0
+        assert second.worker_reuses == 2
+        assert second.outputs() == first.outputs()
+
+    def test_pool_reuse_across_workloads(self):
+        # the pool key is the graph identity, not the shard count:
+        # a different graph must not adopt stale workers
+        g2, s2 = _figure_graph("fig2")
+        g4, s4 = _figure_graph("fig4")
+        sc = ShardConfig(shards=2, processes=True, pool=True)
+        run_sharded(g2, s2, config=MachineConfig.unit_time(),
+                    shard_config=sc)
+        _, _, other = run_sharded(
+            g4, s4, config=MachineConfig.unit_time(), shard_config=sc
+        )
+        assert other.worker_reuses == 0
+        assert other.worker_spawns == 2
+
+    def test_pool_disabled_never_parks_workers(self):
+        graph, streams = _figure_graph("fig2")
+        sc = ShardConfig(shards=2, processes=True, pool=False)
+        _, _, runner = run_sharded(
+            graph, streams, config=MachineConfig.unit_time(),
+            shard_config=sc,
+        )
+        assert runner.worker_spawns == 2
+        assert pooled_worker_count() == 0
+
+    def test_shutdown_empties_pool(self):
+        graph, streams = _figure_graph("fig2")
+        run_sharded(
+            graph, streams, config=MachineConfig.unit_time(),
+            shard_config=ShardConfig(shards=2, processes=True),
+        )
+        assert pooled_worker_count() > 0
+        shutdown_worker_pool()
+        assert pooled_worker_count() == 0
 
 
 class TestShardedGuards:
